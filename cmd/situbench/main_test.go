@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	// Every figure of the paper's evaluation must be runnable by id.
+	want := []string{"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
+		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c", "fig13",
+		"fig14", "fig15"}
+	for _, id := range want {
+		if _, ok := experiments[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(order) != len(want) {
+		t.Errorf("order lists %d experiments, want %d", len(order), len(want))
+	}
+	for _, id := range order {
+		if _, ok := experiments[id]; !ok {
+			t.Errorf("order entry %q not in registry", id)
+		}
+	}
+}
+
+func TestRunOneTextAndCSV(t *testing.T) {
+	p := harness.Params{N: 60, Checkpoints: 2, Seed: 1}
+	var buf bytes.Buffer
+	if err := runOne(&buf, "fig8a", p, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 8a") {
+		t.Errorf("text output missing title:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := runOne(&buf, "fig8a", p, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "x,series,y") {
+		t.Errorf("csv output malformed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,184 @@
+// Command situfact streams CSV rows through the discovery engine and
+// prints situational facts as they emerge — the "newsroom monitor" use
+// case of the paper's introduction.
+//
+// The input's first CSV row must be a header; the -dims and -measures
+// flags partition the columns. Measures default to larger-is-better;
+// prefix a name with '-' for smaller-is-better (e.g. -measures
+// points,assists,-fouls).
+//
+// Usage:
+//
+//	situfact -dims player,team,opp_team -measures points,rebounds,-fouls \
+//	         [-algo sbottomup] [-dhat 3] [-mhat 3] [-tau 100] [-top 3] [input.csv]
+//
+// With no input file, rows are read from stdin, enabling live pipelines:
+//
+//	tail -f gamelog.csv | situfact -dims ... -measures ...
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	situfact "repro"
+)
+
+func main() {
+	dims := flag.String("dims", "", "comma-separated dimension column names (required)")
+	measures := flag.String("measures", "", "comma-separated measure column names; '-' prefix = smaller-is-better (required)")
+	algo := flag.String("algo", "sbottomup", "algorithm: bottomup|topdown|sbottomup|stopdown|baselineseq|baselineidx|ccsc|bruteforce")
+	dhat := flag.Int("dhat", 0, "max bound dimension attributes (0 = no cap)")
+	mhat := flag.Int("mhat", 0, "max measure subspace size (0 = no cap)")
+	tau := flag.Float64("tau", 0, "only print arrivals whose max prominence ≥ τ (0 = print every arrival with facts)")
+	top := flag.Int("top", 3, "facts to print per arrival")
+	quiet := flag.Bool("quiet", false, "suppress per-arrival output; print summary only")
+	flag.Parse()
+
+	if *dims == "" || *measures == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *dims, *measures, *algo, *dhat, *mhat, *tau, *top, *quiet); err != nil {
+		fatal(err)
+	}
+}
+
+func run(in io.Reader, out io.Writer, dims, measures, algo string, dhat, mhat int, tau float64, top int, quiet bool) error {
+	dimNames := strings.Split(dims, ",")
+	b := situfact.NewSchemaBuilder("stream")
+	for _, d := range dimNames {
+		b.Dimension(strings.TrimSpace(d))
+	}
+	var measureNames []string
+	for _, m := range strings.Split(measures, ",") {
+		m = strings.TrimSpace(m)
+		dir := situfact.LargerBetter
+		if strings.HasPrefix(m, "-") {
+			dir = situfact.SmallerBetter
+			m = m[1:]
+		}
+		measureNames = append(measureNames, m)
+		b.Measure(m, dir)
+	}
+	schema, err := b.Build()
+	if err != nil {
+		return err
+	}
+	opt := situfact.Options{
+		Algorithm:      situfact.Algorithm(algo),
+		MaxBoundDims:   dhat,
+		MaxMeasureDims: mhat,
+	}
+	switch opt.Algorithm {
+	case situfact.AlgoBruteForce, situfact.AlgoBaselineSeq, situfact.AlgoBaselineIdx, situfact.AlgoCCSC:
+		// Baselines have no µ store, so prominence cannot be computed.
+		opt.DisableProminence = true
+	}
+	eng, err := situfact.New(schema, opt)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	r := csv.NewReader(bufio.NewReader(in))
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("read header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	for _, n := range dimNames {
+		if _, ok := col[strings.TrimSpace(n)]; !ok {
+			return fmt.Errorf("dimension column %q not in header %v", n, header)
+		}
+	}
+	for _, n := range measureNames {
+		if _, ok := col[n]; !ok {
+			return fmt.Errorf("measure column %q not in header %v", n, header)
+		}
+	}
+
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	arrivals, printed := 0, 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		dv := make([]string, len(dimNames))
+		for i, n := range dimNames {
+			dv[i] = rec[col[strings.TrimSpace(n)]]
+		}
+		mv := make([]float64, len(measureNames))
+		for i, n := range measureNames {
+			v, err := strconv.ParseFloat(rec[col[n]], 64)
+			if err != nil {
+				return fmt.Errorf("row %d: measure %s: %w", arrivals+1, n, err)
+			}
+			mv[i] = v
+		}
+		arr, err := eng.Append(dv, mv)
+		if err != nil {
+			return err
+		}
+		arrivals++
+		if quiet || len(arr.Facts) == 0 {
+			continue
+		}
+		if tau > 0 {
+			prom := arr.Prominent(tau)
+			if len(prom) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "tuple %d (%s):\n", arr.TupleID, strings.Join(dv, ","))
+			for _, f := range prom[:minInt(top, len(prom))] {
+				fmt.Fprintf(w, "  PROMINENT %s\n", f)
+			}
+			printed++
+			continue
+		}
+		fmt.Fprintf(w, "tuple %d (%s): %d facts\n", arr.TupleID, strings.Join(dv, ","), len(arr.Facts))
+		for _, f := range arr.Top(top) {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+		printed++
+	}
+	m := eng.Metrics()
+	fmt.Fprintf(w, "# %d arrivals, %d printed; algorithm %s; %d facts total; %d comparisons; %d stored entries\n",
+		arrivals, printed, eng.Algorithm(), m.Facts, m.Comparisons, m.StoredTuples)
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "situfact:", err)
+	os.Exit(1)
+}

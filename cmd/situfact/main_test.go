@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const gamelogCSV = `player,month,season,team,opp_team,points,assists,rebounds,fouls
+Bogues,Feb,1991-92,Hornets,Hawks,4,12,5,2
+Seikaly,Feb,1991-92,Heat,Hawks,24,5,15,3
+Sherman,Dec,1993-94,Celtics,Nets,13,13,5,1
+Wesley,Feb,1994-95,Celtics,Nets,2,5,2,4
+Wesley,Feb,1994-95,Celtics,Timberwolves,3,5,3,2
+Strickland,Jan,1995-96,Blazers,Celtics,27,18,8,5
+Wesley,Feb,1995-96,Celtics,Nets,12,13,5,0
+`
+
+func TestRunBasic(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(gamelogCSV), &out,
+		"player,month,season,team,opp_team", "points,assists,rebounds",
+		"sbottomup", 0, 0, 0, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "tuple 6") {
+		t.Errorf("output missing last arrival:\n%s", s)
+	}
+	if !strings.Contains(s, "195 facts") {
+		t.Errorf("output missing t7's 195 facts:\n%s", s)
+	}
+	if !strings.Contains(s, "# 7 arrivals") {
+		t.Errorf("output missing summary:\n%s", s)
+	}
+}
+
+func TestRunSmallerBetterAndTau(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(gamelogCSV), &out,
+		"player,team", "points,-fouls",
+		"bottomup", 2, 2, 2.0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PROMINENT") {
+		t.Errorf("τ-filtered run printed no prominent facts:\n%s", out.String())
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(gamelogCSV), &out,
+		"player,team", "points", "stopdown", 0, 0, 0, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "#") {
+		t.Errorf("quiet mode printed rows:\n%s", out.String())
+	}
+}
+
+func TestRunBaselineDisablesProminence(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(gamelogCSV), &out,
+		"player,team", "points,assists", "baselineseq", 0, 0, 0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BaselineSeq") {
+		t.Errorf("summary missing algorithm name:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(gamelogCSV), &out,
+		"nope", "points", "sbottomup", 0, 0, 0, 3, false); err == nil {
+		t.Error("unknown dimension column accepted")
+	}
+	if err := run(strings.NewReader(gamelogCSV), &out,
+		"player", "nope", "sbottomup", 0, 0, 0, 3, false); err == nil {
+		t.Error("unknown measure column accepted")
+	}
+	if err := run(strings.NewReader(gamelogCSV), &out,
+		"player", "points", "bogus-algo", 0, 0, 0, 3, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(strings.NewReader("a,b\nx,notanumber\n"), &out,
+		"a", "b", "sbottomup", 0, 0, 0, 3, false); err == nil {
+		t.Error("non-numeric measure accepted")
+	}
+	if err := run(strings.NewReader(""), &out,
+		"a", "b", "sbottomup", 0, 0, 0, 3, false); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package situfact_test
+
+import (
+	"fmt"
+	"log"
+
+	situfact "repro"
+)
+
+// The mini-world of the paper's Table I: when David Wesley's 12/13/5 game
+// arrives, the engine reports the contexts in which it stands out.
+func Example() {
+	schema, err := situfact.NewSchemaBuilder("gamelog").
+		Dimension("player").Dimension("month").Dimension("season").
+		Dimension("team").Dimension("opp_team").
+		Measure("points", situfact.LargerBetter).
+		Measure("assists", situfact.LargerBetter).
+		Measure("rebounds", situfact.LargerBetter).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := situfact.New(schema, situfact.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	rows := []struct {
+		dims     []string
+		measures []float64
+	}{
+		{[]string{"Bogues", "Feb", "1991-92", "Hornets", "Hawks"}, []float64{4, 12, 5}},
+		{[]string{"Seikaly", "Feb", "1991-92", "Heat", "Hawks"}, []float64{24, 5, 15}},
+		{[]string{"Sherman", "Dec", "1993-94", "Celtics", "Nets"}, []float64{13, 13, 5}},
+		{[]string{"Wesley", "Feb", "1994-95", "Celtics", "Nets"}, []float64{2, 5, 2}},
+		{[]string{"Wesley", "Feb", "1994-95", "Celtics", "Timberwolves"}, []float64{3, 5, 3}},
+		{[]string{"Strickland", "Jan", "1995-96", "Blazers", "Celtics"}, []float64{27, 18, 8}},
+	}
+	for _, r := range rows {
+		if _, err := eng.Append(r.dims, r.measures); err != nil {
+			log.Fatal(err)
+		}
+	}
+	arr, err := eng.Append(
+		[]string{"Wesley", "Feb", "1995-96", "Celtics", "Nets"},
+		[]float64{12, 13, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("facts: %d\n", len(arr.Facts))
+	fmt.Println(arr.Facts[0])
+	// Output:
+	// facts: 195
+	// month=Feb | {assists} (prominence 5 = 5/1)
+}
+
+// Narrate renders a fact as a newsroom sentence.
+func ExampleNarrate() {
+	f := situfact.Fact{
+		Conditions:  []situfact.Condition{{Attr: "team", Value: "Pacers"}, {Attr: "opp_team", Value: "Bulls"}},
+		Measures:    []string{"points", "rebounds", "assists"},
+		ContextSize: 312,
+		SkylineSize: 1,
+		Prominence:  312,
+	}
+	fmt.Println(situfact.Narrate(f, "Paul George", map[string]float64{
+		"points": 21, "rebounds": 11, "assists": 5,
+	}))
+	// Output:
+	// Paul George (21 points / 11 rebounds / 5 assists) posts the single best points/rebounds/assists line among team=Pacers ∧ opp_team=Bulls — 1 of 1 skyline records out of 312.
+}
+
+// Engines support exact retraction of earlier rows (the paper's §VIII
+// future-work item) when running the BottomUp family.
+func ExampleEngine_Delete() {
+	schema, _ := situfact.NewSchemaBuilder("quotes").
+		Dimension("symbol").
+		Measure("price", situfact.LargerBetter).
+		Build()
+	eng, _ := situfact.New(schema, situfact.Options{Algorithm: situfact.AlgoBottomUp})
+	defer eng.Close()
+
+	eng.Append([]string{"AAA"}, []float64{10})
+	eng.Append([]string{"AAA"}, []float64{30}) // id 1: an erroneous spike
+	arr, _ := eng.Append([]string{"AAA"}, []float64{20})
+	fmt.Printf("before correction: %d facts\n", len(arr.Facts))
+
+	eng.Delete(1) // retract the spike
+	arr, _ = eng.Append([]string{"AAA"}, []float64{25})
+	fmt.Printf("after correction: %d facts\n", len(arr.Facts))
+	// Output:
+	// before correction: 0 facts
+	// after correction: 2 facts
+}

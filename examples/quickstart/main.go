@@ -1,0 +1,78 @@
+// Quickstart: the paper's Table I mini-world of basketball gamelogs.
+//
+// Seven box-score rows arrive one by one; when the last one (David
+// Wesley's 12/13/5 game for the Celtics against the Nets) is appended, the
+// engine reports every constraint–measure pair that makes it a contextual
+// skyline tuple, ranked by prominence — exactly Example 1 of the paper.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	situfact "repro"
+)
+
+func main() {
+	schema, err := situfact.NewSchemaBuilder("gamelog").
+		Dimension("player").
+		Dimension("month").
+		Dimension("season").
+		Dimension("team").
+		Dimension("opp_team").
+		Measure("points", situfact.LargerBetter).
+		Measure("assists", situfact.LargerBetter).
+		Measure("rebounds", situfact.LargerBetter).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := situfact.New(schema, situfact.Options{}) // default: SBottomUp + prominence
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	rows := []struct {
+		dims     []string
+		measures []float64
+	}{
+		{[]string{"Bogues", "Feb", "1991-92", "Hornets", "Hawks"}, []float64{4, 12, 5}},
+		{[]string{"Seikaly", "Feb", "1991-92", "Heat", "Hawks"}, []float64{24, 5, 15}},
+		{[]string{"Sherman", "Dec", "1993-94", "Celtics", "Nets"}, []float64{13, 13, 5}},
+		{[]string{"Wesley", "Feb", "1994-95", "Celtics", "Nets"}, []float64{2, 5, 2}},
+		{[]string{"Wesley", "Feb", "1994-95", "Celtics", "Timberwolves"}, []float64{3, 5, 3}},
+		{[]string{"Strickland", "Jan", "1995-96", "Blazers", "Celtics"}, []float64{27, 18, 8}},
+		{[]string{"Wesley", "Feb", "1995-96", "Celtics", "Nets"}, []float64{12, 13, 5}},
+	}
+
+	var last *situfact.Arrival
+	for _, r := range rows {
+		if last, err = eng.Append(r.dims, r.measures); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("t7 (Wesley 12/13/5) is a contextual skyline tuple for %d constraint-measure pairs.\n\n", len(last.Facts))
+
+	fmt.Println("Top 5 by prominence:")
+	for _, f := range last.Top(5) {
+		fmt.Println(" ", f)
+	}
+
+	fmt.Println("\nProminent facts (τ = 3):")
+	for _, f := range last.Prominent(3) {
+		fmt.Println(" ", situfact.Narrate(f, "David Wesley", map[string]float64{
+			"points": 12, "assists": 13, "rebounds": 5,
+		}))
+	}
+
+	m := eng.Metrics()
+	fmt.Printf("\nengine: %s | %d tuples, %d facts, %d comparisons, %d stored skyline entries\n",
+		eng.Algorithm(), m.Tuples, m.Facts, m.Comparisons, m.StoredTuples)
+}

@@ -1,0 +1,118 @@
+package core
+
+// Ablation benchmarks isolating the paper's three ideas (§IV):
+//
+//	constraint pruning  — BruteForce vs BaselineSeq (same full-history
+//	                      scans; BaselineSeq adds Proposition-3 pruning)
+//	tuple reduction     — BaselineSeq vs BottomUp (both prune constraints;
+//	                      BottomUp compares against skyline tuples only)
+//	sharing             — TopDown vs STopDown (identical storage; the S*
+//	                      pass pre-prunes subspaces via Proposition 4)
+//	index acceleration  — BaselineSeq vs BaselineIdx (k-d tree)
+//
+// plus the measure-correlation regimes (correlated streams have small
+// skylines, anti-correlated large ones — the main workload driver of
+// skyline-based algorithms).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+func ablationStream(b *testing.B, dist gen.Distribution) *relation.Table {
+	b.Helper()
+	g, err := gen.NewGeneric(gen.GenericConfig{Seed: 9, D: 4, M: 4, Dist: dist, DimCardinality: 8, MeasureLevels: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := relation.NewTable(g.Schema())
+	if err := g.Fill(tb, 1<<16); err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+func benchDiscoverer(b *testing.B, tb *relation.Table, mk func(Config) (Discoverer, error), warmup int) {
+	b.Helper()
+	d, err := mk(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < warmup; i++ {
+		d.Process(tb.At(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(tb.At((warmup + i) % tb.Len()))
+	}
+	b.StopTimer()
+	m := d.Metrics()
+	if m.Tuples > 0 {
+		b.ReportMetric(float64(m.Comparisons)/float64(m.Tuples), "cmp/tuple")
+	}
+}
+
+// BenchmarkAblationConstraintPruning: BruteForce vs BaselineSeq.
+func BenchmarkAblationConstraintPruning(b *testing.B) {
+	tb := ablationStream(b, gen.Independent)
+	b.Run("BruteForce", func(b *testing.B) {
+		benchDiscoverer(b, tb, func(c Config) (Discoverer, error) { return NewBruteForce(c) }, 200)
+	})
+	b.Run("BaselineSeq", func(b *testing.B) {
+		benchDiscoverer(b, tb, func(c Config) (Discoverer, error) { return NewBaselineSeq(c) }, 200)
+	})
+}
+
+// BenchmarkAblationTupleReduction: BaselineSeq vs BottomUp.
+func BenchmarkAblationTupleReduction(b *testing.B) {
+	tb := ablationStream(b, gen.Independent)
+	b.Run("BaselineSeq", func(b *testing.B) {
+		benchDiscoverer(b, tb, func(c Config) (Discoverer, error) { return NewBaselineSeq(c) }, 500)
+	})
+	b.Run("BottomUp", func(b *testing.B) {
+		benchDiscoverer(b, tb, func(c Config) (Discoverer, error) { return NewBottomUp(c) }, 500)
+	})
+}
+
+// BenchmarkAblationSharing: TopDown vs STopDown and BottomUp vs SBottomUp.
+func BenchmarkAblationSharing(b *testing.B) {
+	tb := ablationStream(b, gen.Independent)
+	cases := []struct {
+		name string
+		mk   func(Config) (Discoverer, error)
+	}{
+		{"TopDown", func(c Config) (Discoverer, error) { return NewTopDown(c) }},
+		{"STopDown", func(c Config) (Discoverer, error) { return NewSTopDown(c) }},
+		{"BottomUp", func(c Config) (Discoverer, error) { return NewBottomUp(c) }},
+		{"SBottomUp", func(c Config) (Discoverer, error) { return NewSBottomUp(c) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) { benchDiscoverer(b, tb, tc.mk, 800) })
+	}
+}
+
+// BenchmarkAblationIndex: BaselineSeq vs BaselineIdx.
+func BenchmarkAblationIndex(b *testing.B) {
+	tb := ablationStream(b, gen.Correlated)
+	b.Run("BaselineSeq", func(b *testing.B) {
+		benchDiscoverer(b, tb, func(c Config) (Discoverer, error) { return NewBaselineSeq(c) }, 500)
+	})
+	b.Run("BaselineIdx", func(b *testing.B) {
+		benchDiscoverer(b, tb, func(c Config) (Discoverer, error) { return NewBaselineIdx(c) }, 500)
+	})
+}
+
+// BenchmarkAblationCorrelation: SBottomUp across measure regimes.
+func BenchmarkAblationCorrelation(b *testing.B) {
+	for _, dist := range []gen.Distribution{gen.Correlated, gen.Independent, gen.AntiCorrelated} {
+		b.Run(fmt.Sprint(dist), func(b *testing.B) {
+			tb := ablationStream(b, dist)
+			benchDiscoverer(b, tb, func(c Config) (Discoverer, error) { return NewSBottomUp(c) }, 800)
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/subspace"
+)
+
+// BottomUp is Algorithm 4 of the paper. It maintains Invariant 1 — µ(C,M)
+// stores ALL skyline tuples λ_M(σ_C(R)) — and traverses each arriving
+// tuple's constraint lattice bottom-up (from the most specific constraint
+// towards ⊤), pruning all ancestors of a constraint as soon as a stored
+// skyline tuple dominates t there.
+//
+// With Shared=true it becomes SBottomUp (§V-C): a first pass over the full
+// measure space records one Proposition-4 relation per compared tuple, and
+// each subspace pass pre-prunes the submask closure of every recorded
+// dominator's shared mask, letting the bottom-up traversal stop earlier.
+// Subspace passes keep their own dominance checks (the pre-pruning is
+// sound but not complete for BottomUp's traversal order), which is why the
+// paper observes only marginal comparison savings for SBottomUp (Fig 11).
+type BottomUp struct {
+	*base
+	shared bool
+
+	recs    []pairRec
+	recSeen map[int64]bool
+}
+
+// pairRec is one root-phase comparison record used by the sharing passes.
+type pairRec struct {
+	shared lattice.Mask
+	rel    subspace.Relation
+}
+
+// NewBottomUp creates plain BottomUp.
+func NewBottomUp(cfg Config) (*BottomUp, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BottomUp{base: b}, nil
+}
+
+// NewSBottomUp creates SBottomUp (sharing across measure subspaces).
+func NewSBottomUp(cfg Config) (*BottomUp, error) {
+	if cfg.Subspaces != nil {
+		return nil, fmt.Errorf("core: SBottomUp shares work across ALL subspaces; explicit subspace subsets require the non-shared algorithms")
+	}
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BottomUp{base: b, shared: true}, nil
+}
+
+// Name implements Discoverer.
+func (a *BottomUp) Name() string {
+	if a.shared {
+		return "SBottomUp"
+	}
+	return "BottomUp"
+}
+
+// Process implements Discoverer.
+func (a *BottomUp) Process(t *relation.Tuple) []Fact {
+	a.met.Tuples++
+	a.newTupleScratch()
+	var facts []Fact
+	if !a.shared {
+		for _, m := range a.subs {
+			facts = a.traverse(t, m, false, facts)
+		}
+		return facts
+	}
+	// SBottomUp: root pass over the full space 𝕄, recording relations.
+	a.recs = a.recs[:0]
+	if a.recSeen == nil {
+		a.recSeen = make(map[int64]bool, 64)
+	} else {
+		clear(a.recSeen)
+	}
+	facts = a.traverse(t, a.fullM, true, facts)
+	for _, m := range a.subs {
+		if m == a.fullM {
+			continue
+		}
+		facts = a.traverse(t, m, false, facts)
+	}
+	return facts
+}
+
+// traverse runs one bottom-up pass in measure subspace m. When root is
+// true this is SBottomUp's full-space pass (it records pair relations and
+// only emits facts if the full space is itself a reported subspace); when
+// a.shared and !root, recorded relations pre-prune the lattice.
+func (a *BottomUp) traverse(t *relation.Tuple, m subspace.Mask, root bool, facts []Fact) []Fact {
+	a.nextEpoch()
+	emitting := !root || a.mhat == a.m
+	if a.shared && !root {
+		for _, r := range a.recs {
+			if r.rel.DominatedIn(m) {
+				a.markSubmasksPruned(r.shared)
+			}
+		}
+		if a.allBottomsPruned() {
+			// t is dominated in every context: nothing to emit, and no
+			// stored tuple can need deletion (a tuple t dominates in a
+			// context where t is itself dominated cannot be in the
+			// skyline there).
+			return facts
+		}
+	}
+	a.queue = a.queue[:0]
+	for _, bm := range a.bottoms {
+		if a.pruned[bm] != a.epoch {
+			a.queue = append(a.queue, bm)
+			a.inQueue[bm] = a.epoch
+		}
+	}
+	for len(a.queue) > 0 {
+		c := a.queue[0]
+		a.queue = a.queue[1:]
+		if a.pruned[c] == a.epoch {
+			// Pruned after being enqueued; its parents are pruned too
+			// (pruned sets are submask-closed), so drop the branch.
+			continue
+		}
+		a.met.Traversed++
+		ck := a.cellKey(t, c, m)
+		cell := a.st.Load(ck)
+		dominated, changed := false, false
+		for i := 0; i < len(cell); {
+			u := cell[i]
+			a.met.Comparisons++
+			if root && !a.recSeen[u.ID] {
+				a.recSeen[u.ID] = true
+				a.recs = append(a.recs, pairRec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
+			}
+			dom, doms := cmpIn(t, u, m)
+			if dom {
+				dominated = true
+				// Prune C and all its ancestors (Alg. 4 lines 11–12).
+				a.markSubmasksPruned(c)
+				break
+			}
+			if doms {
+				cell = removeAt(cell, i)
+				changed = true
+				continue
+			}
+			i++
+		}
+		if !dominated {
+			if emitting {
+				facts = a.emit(t, c, m, facts)
+			}
+			cell = append(cell, t)
+			changed = true
+			for cc := c; cc != 0; {
+				bit := cc & -cc
+				p := c &^ bit
+				cc &^= bit
+				if a.pruned[p] != a.epoch && a.inQueue[p] != a.epoch {
+					a.inQueue[p] = a.epoch
+					a.queue = append(a.queue, p)
+				}
+			}
+		}
+		if changed {
+			a.st.Save(ck, cell)
+		}
+	}
+	return facts
+}
+
+// removeAt deletes element i preserving order.
+func removeAt(ts []*relation.Tuple, i int) []*relation.Tuple {
+	copy(ts[i:], ts[i+1:])
+	ts[len(ts)-1] = nil
+	return ts[:len(ts)-1]
+}
+
+var _ Discoverer = (*BottomUp)(nil)

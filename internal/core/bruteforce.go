@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/relation"
+	"repro/internal/subspace"
+)
+
+// BruteForce is Algorithm 2 of the paper: for every measure subspace and
+// every constraint satisfied by the new tuple, scan the entire history to
+// check whether some earlier tuple in the context dominates it. It is the
+// yardstick the three optimisation ideas are measured against; complexity
+// O(2^m̂ · |C^t| · n) per arrival.
+type BruteForce struct {
+	*base
+	history []*relation.Tuple
+}
+
+// NewBruteForce creates the algorithm.
+func NewBruteForce(cfg Config) (*BruteForce, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BruteForce{base: b}, nil
+}
+
+// Name implements Discoverer.
+func (a *BruteForce) Name() string { return "BruteForce" }
+
+// Process implements Discoverer (Alg. 2 verbatim: the t' ∈ σ_C(R) check is
+// the satisfaction test against each constraint).
+func (a *BruteForce) Process(t *relation.Tuple) []Fact {
+	a.met.Tuples++
+	a.newTupleScratch()
+	var facts []Fact
+	for _, m := range a.subs {
+		for _, c := range a.ctMasks {
+			a.met.Traversed++
+			pruned := false
+			for _, u := range a.history {
+				a.met.Comparisons++
+				if dominated, _ := cmpIn(t, u, m); dominated {
+					// t' ∈ σ_C(R) ⇔ C ⊆ shared(t, t') in mask terms.
+					if satisfiesMask(t, u, c) {
+						pruned = true
+						break
+					}
+				}
+			}
+			if !pruned {
+				facts = a.emit(t, c, m, facts)
+			}
+		}
+	}
+	a.history = append(a.history, t)
+	return facts
+}
+
+// satisfiesMask reports whether u satisfies the constraint of C^t selected
+// by mask c, i.e. u agrees with t on every bound attribute.
+func satisfiesMask(t, u *relation.Tuple, c uint32) bool {
+	for i := 0; c != 0; i++ {
+		bit := uint32(1) << uint(i)
+		if c&bit == 0 {
+			continue
+		}
+		c &^= bit
+		if t.Dims[i] != u.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Discoverer = (*BruteForce)(nil)
+
+// Oracle is a slow but independently-derived reference implementation used
+// by the test suite: it decides each (C, M) membership from first
+// principles using one Proposition-4 comparison per historical tuple.
+// Unlike BruteForce it shares nothing with the lattice traversal code
+// paths, which makes it a meaningful differential-testing target.
+type Oracle struct {
+	*base
+	history []*relation.Tuple
+}
+
+// NewOracle creates the reference discoverer.
+func NewOracle(cfg Config) (*Oracle, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{base: b}, nil
+}
+
+// Name implements Discoverer.
+func (a *Oracle) Name() string { return "Oracle" }
+
+// Process implements Discoverer.
+func (a *Oracle) Process(t *relation.Tuple) []Fact {
+	a.met.Tuples++
+	a.newTupleScratch()
+	// For each historical tuple record (shared mask, relation); then (C,M)
+	// is a fact iff no record has C ⊆ shared and t dominated in M.
+	type rec struct {
+		shared uint32
+		rel    subspace.Relation
+	}
+	recs := make([]rec, 0, len(a.history))
+	for _, u := range a.history {
+		a.met.Comparisons++
+		recs = append(recs, rec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
+	}
+	var facts []Fact
+	for _, m := range a.subs {
+		for _, c := range a.ctMasks {
+			a.met.Traversed++
+			dominated := false
+			for _, r := range recs {
+				if c&^r.shared == 0 && r.rel.DominatedIn(m) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				facts = a.emit(t, c, m, facts)
+			}
+		}
+	}
+	a.history = append(a.history, t)
+	return facts
+}
+
+func sharedOf(t, u *relation.Tuple) uint32 {
+	var m uint32
+	for i := range t.Dims {
+		if t.Dims[i] == u.Dims[i] {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+var _ Discoverer = (*Oracle)(nil)

@@ -1,0 +1,302 @@
+// Package core implements the situational-fact discovery algorithms of
+// Sultana et al., ICDE 2014: given an append-only relation and a newly
+// arrived tuple t, find every constraint–measure pair (C, M) such that t
+// is a contextual skyline tuple of λ_M(σ_C(R)).
+//
+// Seven algorithms are provided, mirroring the paper's §IV–V:
+//
+//	BruteForce   Alg. 2 — compare with every tuple, per constraint, per subspace
+//	BaselineSeq  Alg. 3 — sequential scan + Proposition-3 pruning
+//	BaselineIdx  k-d tree one-sided range queries + Proposition-3 pruning
+//	CCSC         per-context compressed skycube (§II adaptation)
+//	BottomUp     Alg. 4 — µ stores all skyline tuples; bottom-up lattice BFS
+//	TopDown      Alg. 5 — µ stores maximal skyline constraints; top-down BFS
+//	SBottomUp    §V-C — BottomUp + sharing across measure subspaces
+//	STopDown     Alg. 6 — TopDown + sharing across measure subspaces
+//
+// All algorithms produce identical fact sets; they differ in time, memory
+// and I/O profiles (the subject of the paper's evaluation).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/subspace"
+)
+
+// MaxLatticeDims bounds the number of dimension attributes the discovery
+// algorithms accept: per-tuple scratch state is sized 2^d. The paper uses
+// d ≤ 8.
+const MaxLatticeDims = 16
+
+// Fact is one discovered situational fact: the arriving tuple is a
+// contextual skyline tuple for (Constraint, Subspace).
+type Fact struct {
+	// Constraint is the context selector C.
+	Constraint lattice.Constraint
+	// Subspace is the measure subspace mask M.
+	Subspace subspace.Mask
+}
+
+// Metrics aggregates the work counters reported in the paper's Figure 11
+// plus general bookkeeping. Store-level counters (stored tuples, file I/O)
+// live in store.Stats.
+type Metrics struct {
+	// Tuples is the number of processed arrivals.
+	Tuples int64
+	// Comparisons counts pairwise tuple dominance tests (Fig 11a).
+	Comparisons int64
+	// Traversed counts visited lattice constraints, accumulated over all
+	// measure subspaces (Fig 11b).
+	Traversed int64
+	// Facts is the cumulative number of discovered facts.
+	Facts int64
+}
+
+// Discoverer is the common interface of all algorithms.
+type Discoverer interface {
+	// Name returns the paper's algorithm name (e.g. "TopDown").
+	Name() string
+	// Process discovers the facts pertinent to the arrival of t and folds
+	// t into the internal state. Tuples must be presented in arrival order
+	// with unique IDs.
+	Process(t *relation.Tuple) []Fact
+	// Metrics returns a snapshot of the work counters.
+	Metrics() Metrics
+	// StoreStats returns the µ-store counters (zero value for algorithms
+	// without a store).
+	StoreStats() store.Stats
+	// Close releases resources.
+	Close() error
+}
+
+// Config parameterises an algorithm instance.
+type Config struct {
+	// Schema is the relation schema.
+	Schema *relation.Schema
+	// MaxBound is d̂, the maximum number of bound dimension attributes per
+	// constraint; < 0 means no cap.
+	MaxBound int
+	// MaxMeasure is m̂, the maximum measure-subspace size; < 0 means no cap.
+	MaxMeasure int
+	// Store is the µ(C,M) store for the lattice algorithms; nil selects a
+	// fresh in-memory store. Baselines ignore it.
+	Store store.Store
+	// Subspaces, when non-nil, restricts discovery to exactly these
+	// measure subspaces instead of every subspace with ≤ m̂ attributes.
+	// Used by the Parallel driver to partition subspaces across workers;
+	// each mask must be non-empty and within the schema's measure space.
+	Subspaces []subspace.Mask
+}
+
+func (c Config) validate() error {
+	if c.Schema == nil {
+		return fmt.Errorf("core: nil schema")
+	}
+	if c.Schema.NumDims() > MaxLatticeDims {
+		return fmt.Errorf("core: %d dimension attributes exceed the lattice limit %d",
+			c.Schema.NumDims(), MaxLatticeDims)
+	}
+	return nil
+}
+
+// base carries the precomputed lattice/subspace structure and scratch
+// buffers shared by all algorithm implementations.
+type base struct {
+	schema *relation.Schema
+	d, m   int
+	dhat   int // effective d̂ (normalised: 0..d)
+	mhat   int // effective m̂ (normalised: 1..m)
+
+	ctMasks []lattice.Mask  // all constraint masks, Alg.1 order (parents first)
+	bottoms []lattice.Mask  // minimal masks of the (possibly truncated) lattice
+	subs    []subspace.Mask // all reported subspaces (|M| ≤ m̂), ascending mask
+	fullM   subspace.Mask   // the full measure space 𝕄
+
+	st  store.Store
+	met Metrics
+
+	// Epoch-stamped per-mask scratch (avoids O(2^d) clearing per subspace).
+	epoch    uint32
+	pruned   []uint32
+	inQueue  []uint32
+	inAnces  []uint32
+	queue    []lattice.Mask
+	keyStamp uint32
+	keyEpoch []uint32
+	keys     []lattice.Key
+	scratch  []lattice.Mask
+}
+
+func newBase(cfg Config) (*base, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d, m := cfg.Schema.NumDims(), cfg.Schema.NumMeasures()
+	dhat := cfg.MaxBound
+	if dhat < 0 || dhat > d {
+		dhat = d
+	}
+	mhat := cfg.MaxMeasure
+	if mhat < 0 || mhat > m {
+		mhat = m
+	}
+	if mhat < 1 {
+		return nil, fmt.Errorf("core: m̂ = %d leaves no measure subspace", mhat)
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory()
+	}
+	subs := subspace.Enumerate(m, mhat)
+	if cfg.Subspaces != nil {
+		subs = append([]subspace.Mask(nil), cfg.Subspaces...)
+		for _, s := range subs {
+			if s == 0 || s&^subspace.Full(m) != 0 {
+				return nil, fmt.Errorf("core: invalid explicit subspace %b for m=%d", s, m)
+			}
+			if subspace.Size(s) > mhat {
+				return nil, fmt.Errorf("core: explicit subspace %b exceeds m̂=%d", s, mhat)
+			}
+		}
+	}
+	size := 1 << uint(d)
+	return &base{
+		schema:   cfg.Schema,
+		d:        d,
+		m:        m,
+		dhat:     dhat,
+		mhat:     mhat,
+		ctMasks:  lattice.CtMasks(d, dhat),
+		bottoms:  lattice.BottomMasks(d, dhat),
+		subs:     subs,
+		fullM:    subspace.Full(m),
+		st:       st,
+		pruned:   make([]uint32, size),
+		inQueue:  make([]uint32, size),
+		inAnces:  make([]uint32, size),
+		keyEpoch: make([]uint32, size),
+		keys:     make([]lattice.Key, size),
+	}, nil
+}
+
+// nextEpoch invalidates the pruned/inQueue/inAnces scratch marks.
+func (b *base) nextEpoch() {
+	b.epoch++
+	if b.epoch == 0 { // wrapped: hard reset
+		for i := range b.pruned {
+			b.pruned[i], b.inQueue[i], b.inAnces[i] = 0, 0, 0
+		}
+		b.epoch = 1
+	}
+}
+
+// newTupleScratch starts a fresh per-tuple generation: it clears the mark
+// arrays (via a new epoch) and invalidates the cached store keys, which
+// are per-tuple because they embed the tuple's dimension values.
+func (b *base) newTupleScratch() {
+	b.nextEpoch()
+	b.keyStamp++
+	if b.keyStamp == 0 {
+		for i := range b.keyEpoch {
+			b.keyEpoch[i] = 0
+		}
+		b.keyStamp = 1
+	}
+}
+
+func (b *base) key(t *relation.Tuple, c lattice.Mask) lattice.Key {
+	if b.keyEpoch[c] == b.keyStamp {
+		return b.keys[c]
+	}
+	k := lattice.KeyFromTuple(t, c)
+	b.keys[c] = k
+	b.keyEpoch[c] = b.keyStamp
+	return k
+}
+
+// cellKey builds the store key of µ(C, M).
+func (b *base) cellKey(t *relation.Tuple, c lattice.Mask, m subspace.Mask) store.CellKey {
+	return store.CellKey{C: b.key(t, c), M: m}
+}
+
+// emit materialises a fact.
+func (b *base) emit(t *relation.Tuple, c lattice.Mask, m subspace.Mask, facts []Fact) []Fact {
+	b.met.Facts++
+	return append(facts, Fact{Constraint: lattice.FromTuple(t, c), Subspace: m})
+}
+
+// cmpIn performs the single-pass dominance test between t and u in
+// subspace m: dominated reports t ≺_m u, dominates reports t ≻_m u.
+// Exactly one Metrics comparison is charged per call by the caller.
+func cmpIn(t, u *relation.Tuple, m subspace.Mask) (dominated, dominates bool) {
+	var hasGt, hasLt bool
+	for i := 0; m != 0; i++ {
+		bit := subspace.Mask(1) << uint(i)
+		if m&bit == 0 {
+			continue
+		}
+		m &^= bit
+		tv, uv := t.Oriented[i], u.Oriented[i]
+		switch {
+		case tv > uv:
+			hasGt = true
+			if hasLt {
+				return false, false
+			}
+		case tv < uv:
+			hasLt = true
+			if hasGt {
+				return false, false
+			}
+		}
+	}
+	return hasLt && !hasGt, hasGt && !hasLt
+}
+
+// markSubmasksPruned stamps every submask of m as pruned for the current
+// epoch (Proposition 3: the interval [⊥(C^{t,t'}), ⊤] of the intersection
+// lattice, which in mask terms is the submask closure of the shared mask).
+// All pruning in this package goes through this routine, so the pruned set
+// is always submask-closed; if m itself is already stamped, so is its
+// whole closure and the scan is skipped.
+func (b *base) markSubmasksPruned(m lattice.Mask) {
+	if b.pruned[m] == b.epoch {
+		return
+	}
+	s := m
+	for {
+		b.pruned[s] = b.epoch
+		if s == 0 {
+			break
+		}
+		s = (s - 1) & m
+	}
+}
+
+// allBottomsPruned reports whether every minimal mask of the truncated
+// lattice is pruned; pruned sets are submask-closed, so this is equivalent
+// to "every constraint is pruned".
+func (b *base) allBottomsPruned() bool {
+	for _, bm := range b.bottoms {
+		if b.pruned[bm] != b.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// Metrics implements Discoverer.
+func (b *base) Metrics() Metrics { return b.met }
+
+// Store exposes the µ(C,M) store (engine snapshot support).
+func (b *base) Store() store.Store { return b.st }
+
+// StoreStats implements Discoverer.
+func (b *base) StoreStats() store.Stats { return b.st.Stats() }
+
+// Close implements Discoverer.
+func (b *base) Close() error { return b.st.Close() }

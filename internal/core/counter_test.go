@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+func TestContextCounter(t *testing.T) {
+	tb := table4(t)
+	cc := NewContextCounter(3, -1)
+	for _, tu := range tb.Tuples() {
+		cc.Observe(tu)
+	}
+	// ⊤ counts everything.
+	if got := cc.ContextSize(lattice.Top(3)); got != 5 {
+		t.Errorf("|σ_⊤| = %d, want 5", got)
+	}
+	// 〈a1,*,*〉 holds t1, t2, t5.
+	a1, _ := tb.Dict().Lookup(0, "a1")
+	c := lattice.Constraint{Vals: []int32{a1, lattice.Wildcard, lattice.Wildcard}}
+	if got := cc.ContextSize(c); got != 3 {
+		t.Errorf("|σ_a1| = %d, want 3", got)
+	}
+	// 〈a1,b1,c1〉 holds t2, t5.
+	b1, _ := tb.Dict().Lookup(1, "b1")
+	c1, _ := tb.Dict().Lookup(2, "c1")
+	full := lattice.Constraint{Vals: []int32{a1, b1, c1}}
+	if got := cc.ContextSize(full); got != 2 {
+		t.Errorf("|σ_abc| = %d, want 2", got)
+	}
+	// Never-seen constraints count zero.
+	if got := cc.ContextSize(lattice.Constraint{Vals: []int32{99, lattice.Wildcard, lattice.Wildcard}}); got != 0 {
+		t.Errorf("unknown context size = %d", got)
+	}
+
+	// Unobserve reverses exactly.
+	cc.Unobserve(tb.Tuples()[4]) // t5 = (a1,b1,c1)
+	if got := cc.ContextSize(full); got != 1 {
+		t.Errorf("after unobserve |σ_abc| = %d, want 1", got)
+	}
+	if got := cc.ContextSize(lattice.Top(3)); got != 4 {
+		t.Errorf("after unobserve |σ_⊤| = %d, want 4", got)
+	}
+
+	// Snapshot/Restore round trip.
+	snap := cc.Snapshot()
+	cc2 := NewContextCounter(3, -1)
+	cc2.Restore(snap)
+	if got := cc2.ContextSize(c); got != cc.ContextSize(c) {
+		t.Errorf("restored counter disagrees: %d vs %d", got, cc.ContextSize(c))
+	}
+}
+
+func TestContextCounterRespectsCap(t *testing.T) {
+	tb := table4(t)
+	cc := NewContextCounter(3, 1)
+	for _, tu := range tb.Tuples() {
+		cc.Observe(tu)
+	}
+	a1, _ := tb.Dict().Lookup(0, "a1")
+	b1, _ := tb.Dict().Lookup(1, "b1")
+	two := lattice.Constraint{Vals: []int32{a1, b1, lattice.Wildcard}}
+	if got := cc.ContextSize(two); got != 0 {
+		t.Errorf("bound-2 constraint counted %d under d̂=1", got)
+	}
+	one := lattice.Constraint{Vals: []int32{a1, lattice.Wildcard, lattice.Wildcard}}
+	if got := cc.ContextSize(one); got != 3 {
+		t.Errorf("bound-1 constraint = %d, want 3", got)
+	}
+}

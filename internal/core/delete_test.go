@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// TestDeleteDifferential interleaves arrivals and deletions, checking
+// after every operation that (a) the next arrival's fact set matches a
+// fresh Oracle over the live history and (b) Invariant 1 holds.
+func TestDeleteDifferential(t *testing.T) {
+	const d, m = 3, 2
+	rng := rand.New(rand.NewSource(4242))
+	tb := randomTable(t, rng, 60, d, m, 2, 3)
+
+	for _, shared := range []bool{false, true} {
+		name := "BottomUp"
+		mk := NewBottomUp
+		if shared {
+			name = "SBottomUp"
+			mk = NewSBottomUp
+		}
+		t.Run(name, func(t *testing.T) {
+			mem := store.NewMemory()
+			alg, err := mk(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var live []*relation.Tuple
+			for i, tu := range tb.Tuples() {
+				// Cross-check the arrival against a fresh oracle replaying
+				// the live history.
+				oracle, err := NewOracle(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range live {
+					oracle.Process(w)
+				}
+				want := oracle.Process(tu)
+				got := alg.Process(tu)
+				if ok, why := sameFacts(want, got); !ok {
+					t.Fatalf("arrival %d after deletions: %s", i, why)
+				}
+				live = append(live, tu)
+
+				// Every third arrival, delete a random live tuple.
+				if i%3 == 2 && len(live) > 1 {
+					victim := rng.Intn(len(live))
+					vt := live[victim]
+					live = append(live[:victim], live[victim+1:]...)
+					alg.Delete(vt, live)
+				}
+				if i%10 == 9 {
+					checkInvariant1(t, mem, live, d, d, m, m, false)
+				}
+			}
+		})
+	}
+}
+
+// TestDeleteLastTuple: deleting the only tuple empties every cell.
+func TestDeleteLastTuple(t *testing.T) {
+	tb := table4(t)
+	mem := store.NewMemory()
+	alg, err := NewBottomUp(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := tb.Tuples()[0]
+	alg.Process(tu)
+	if mem.Stats().StoredTuples == 0 {
+		t.Fatal("nothing stored after first arrival")
+	}
+	alg.Delete(tu, nil)
+	if got := mem.Stats().StoredTuples; got != 0 {
+		t.Errorf("stored entries after deleting the only tuple = %d, want 0", got)
+	}
+}
+
+// TestDeletePromotes: a tuple suppressed by the deleted one re-enters.
+func TestDeletePromotes(t *testing.T) {
+	tb := table4(t) // t4=(20,20) dominates everything in full space
+	mem := store.NewMemory()
+	alg, err := NewBottomUp(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tb.Tuples()
+	for _, tu := range ts {
+		alg.Process(tu)
+	}
+	// Before: µ(⊤, full) = {t4}.
+	topKey := store.CellKey{C: lattice.Top(3).Key(), M: 0b11}
+	if cell := mem.Load(topKey); len(cell) != 1 || cell[0].ID != 3 {
+		t.Fatalf("µ(⊤, full) = %v before delete", ids(cell))
+	}
+	// Delete t4: t3 (17,17) and t5 (11,15)... t5 is dominated by t3; the
+	// new top skyline is {t3}. t2=(15,10): dominated by t3 too. t1=(10,15)
+	// dominated by t3.
+	live := append(append([]*relation.Tuple(nil), ts[:3]...), ts[4])
+	alg.Delete(ts[3], live)
+	cell := mem.Load(topKey)
+	if len(cell) != 1 || cell[0].ID != 2 {
+		t.Errorf("µ(⊤, full) after deleting t4 = %v, want {t3}", ids(cell))
+	}
+	checkInvariant1(t, mem, live, 3, 3, 2, 2, false)
+}
+
+func ids(ts []*relation.Tuple) []int64 {
+	out := make([]int64, len(ts))
+	for i, u := range ts {
+		out[i] = u.ID
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestExample10ComparisonCounts pins the exact comparison counts for t5's
+// arrival on Table IV. The paper's Example 10 claims 7 (TopDown) vs 4
+// (STopDown), based on Fig 6a showing µ(〈a1,b1,*〉,{m2}) and
+// µ(〈a1,*,c1〉,{m2}) as empty — but that state contradicts the paper's own
+// Invariant 2: before t5, t2 IS in the {m2}-skyline of both contexts
+// (σ〈a1,b1,*〉 = σ〈a1,*,c1〉 = {t2}) while their parents 〈a1,*,*〉 (t1's 15
+// beats t2's 10 on m2) and 〈*,b1,*〉/〈*,*,c1〉 (t4 dominates) are not
+// skyline constraints of t2, so both are MAXIMAL skyline constraints and
+// must store t2 (our invariant checker verifies this from first
+// principles — see TestInvariants). With those two cells populated, both
+// algorithms make exactly 2 more comparisons than the example states:
+// TopDown 9, STopDown 6. The paper's headline — sharing saves exactly 3
+// comparisons (7−4 = 9−6) and skips the fully-pruned {m1} pass — is
+// preserved verbatim. Recorded as erratum #3 in EXPERIMENTS.md.
+func TestExample10ComparisonCounts(t *testing.T) {
+	tb := table4(t)
+	cases := []struct {
+		mk   func(Config) (*TopDown, error)
+		want int64
+	}{
+		{NewTopDown, 9},
+		{NewSTopDown, 6},
+	}
+	for _, tc := range cases {
+		alg, err := tc.mk(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := tb.Tuples()
+		for _, tu := range ts[:4] {
+			alg.Process(tu)
+		}
+		before := alg.Metrics().Comparisons
+		alg.Process(ts[4])
+		got := alg.Metrics().Comparisons - before
+		if got != tc.want {
+			t.Errorf("%s: t5 needed %d comparisons, want %d (paper says %d; see erratum note)",
+				alg.Name(), got, tc.want, tc.want-2)
+		}
+	}
+}
+
+// TestExample7BottomUpComparisonFlow pins BottomUp's Example 7 behaviour
+// on the same arrival: the traversal starting from ⊥(C^t5) compares t5
+// with t2 (stored at the bottom and the two surviving parents), is
+// dominated by t4 at 〈*,b1,c1〉, and deletes t1 at 〈a1,*,*〉.
+func TestExample7BottomUpFlow(t *testing.T) {
+	tb := table4(t)
+	alg, err := NewBottomUp(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tb.Tuples()
+	for _, tu := range ts[:4] {
+		alg.Process(tu)
+	}
+	beforeStored := alg.StoreStats().StoredTuples
+	facts := alg.Process(ts[4])
+	// Net stored-entry delta across the three subspaces: full space: t5
+	// enters 4 cells and evicts t1 from 〈a1,*,*〉 (Fig 3b) → +3; {m1}: t5
+	// is dominated by t2 at ⊥(C^t5) and everything is pruned (Fig 5) → 0;
+	// {m2}: t5 replaces t2 at the three 〈a1..〉 combinations (±0) and
+	// joins t1's skyline at 〈a1,*,*〉 (Fig 6b) → +1. Total +4.
+	delta := alg.StoreStats().StoredTuples - beforeStored
+	if delta != 4 {
+		t.Errorf("stored-entry delta for t5 = %d, want 4 (+3 full, +0 {m1}, +1 {m2})", delta)
+	}
+	// Facts: 4 in full space (Fig 3b), 0 in {m1} (Fig 5), 4 in {m2} (Fig 6).
+	bySub := map[uint32]int{}
+	for _, f := range facts {
+		bySub[f.Subspace]++
+	}
+	if bySub[0b11] != 4 || bySub[0b01] != 0 || bySub[0b10] != 4 {
+		t.Errorf("t5 facts per subspace = %v, want full:4 {m1}:0 {m2}:4", bySub)
+	}
+}

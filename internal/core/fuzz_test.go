@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// FuzzEquivalence drives STopDown and BottomUp against the Oracle with a
+// fuzzer-chosen stream: every byte pair encodes one tuple (two dimension
+// values, two measure values, all from tiny domains to maximise ties and
+// shared lattices). Any divergence in the discovered fact sets fails.
+//
+// Run the seeds with `go test`; explore with
+// `go test -fuzz FuzzEquivalence ./internal/core`.
+func FuzzEquivalence(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x00, 0x00, 0x01, 0x42, 0x99, 0x42, 0x99})
+	f.Add([]byte("situational facts are contextual skylines"))
+
+	s, err := relation.NewSchema("fuzz",
+		[]relation.DimAttr{{Name: "d1"}, {Name: "d2"}},
+		[]relation.MeasureAttr{
+			{Name: "m1", Direction: relation.LargerBetter},
+			{Name: "m2", Direction: relation.SmallerBetter},
+		})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 { // keep the oracle affordable
+			data = data[:64]
+		}
+		cfg := Config{Schema: s, MaxBound: -1, MaxMeasure: -1}
+		oracle, err := NewOracle(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std, err := NewSTopDown(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bu, err := NewBottomUp(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			a, b := data[i], data[i+1]
+			tu, err := relation.NewTuple(s, int64(i/2),
+				[]int32{int32(a & 0x3), int32((a >> 2) & 0x3)},
+				[]float64{float64((a >> 4) & 0x7), float64(b & 0x7)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.Process(tu)
+			if got := std.Process(tu); len(got) != len(want) {
+				t.Fatalf("tuple %d: STopDown %d facts, oracle %d", tu.ID, len(got), len(want))
+			} else if ok, why := sameFacts(want, got); !ok {
+				t.Fatalf("tuple %d: STopDown diverged: %s", tu.ID, why)
+			}
+			if got := bu.Process(tu); len(got) != len(want) {
+				t.Fatalf("tuple %d: BottomUp %d facts, oracle %d", tu.ID, len(got), len(want))
+			} else if ok, why := sameFacts(want, got); !ok {
+				t.Fatalf("tuple %d: BottomUp diverged: %s", tu.ID, why)
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParallelValidation(t *testing.T) {
+	tb := table4(t)
+	cfg := Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1}
+	if _, err := NewParallel(cfg, "nope", 2); err == nil {
+		t.Error("unknown base algorithm accepted")
+	}
+	bad := cfg
+	bad.Subspaces = []uint32{1}
+	if _, err := NewParallel(bad, "topdown", 2); err == nil {
+		t.Error("explicit subspaces accepted")
+	}
+	// Worker count is capped by the subspace count (m=2 → 3 subspaces).
+	p, err := NewParallel(cfg, "topdown", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 3 {
+		t.Errorf("workers = %d, want 3 (one per subspace)", p.Workers())
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// TestParallelEquivalence: the parallel drivers must produce the exact
+// fact sets of the Oracle on random streams, for both base algorithms and
+// several worker counts.
+func TestParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	tb := randomTable(t, rng, 60, 3, 3, 2, 3)
+	cfg := Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1}
+	oracle, err := NewOracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps []Discoverer
+	for _, algo := range []string{"topdown", "bottomup"} {
+		for _, w := range []int{1, 2, 4} {
+			p, err := NewParallel(cfg, algo, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, p)
+		}
+	}
+	for _, tu := range tb.Tuples() {
+		want := oracle.Process(tu)
+		for _, p := range ps {
+			got := p.Process(tu)
+			if ok, why := sameFacts(want, got); !ok {
+				t.Fatalf("tuple %d: %s disagrees with Oracle: %s", tu.ID, p.Name(), why)
+			}
+		}
+	}
+	for _, p := range ps {
+		if p.StoreStats().StoredTuples == 0 {
+			t.Errorf("%s stored nothing", p.Name())
+		}
+		if err := p.Close(); err != nil {
+			t.Errorf("%s: Close: %v", p.Name(), err)
+		}
+	}
+}
+
+// TestSubspacesConfig covers the explicit-subspace restriction directly.
+func TestSubspacesConfig(t *testing.T) {
+	tb := table4(t)
+	cfg := Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Subspaces: []uint32{0b01, 0b11}}
+	alg, err := NewTopDown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tb.Tuples() {
+		for _, f := range alg.Process(tu) {
+			if f.Subspace != 0b01 && f.Subspace != 0b11 {
+				t.Fatalf("fact in unrequested subspace %b", f.Subspace)
+			}
+		}
+	}
+	// Invalid masks must be rejected.
+	for _, bad := range []uint32{0, 0b100} {
+		cfg.Subspaces = []uint32{bad}
+		if _, err := NewTopDown(cfg); err == nil {
+			t.Errorf("invalid subspace %b accepted", bad)
+		}
+	}
+	cfg.Subspaces = []uint32{0b11}
+	cfg.MaxMeasure = 1
+	if _, err := NewTopDown(cfg); err == nil {
+		t.Error("subspace exceeding m̂ accepted")
+	}
+	// Shared variants refuse explicit subsets.
+	cfg.MaxMeasure = -1
+	if _, err := NewSTopDown(cfg); err == nil {
+		t.Error("STopDown accepted explicit subspaces")
+	}
+	if _, err := NewSBottomUp(cfg); err == nil {
+		t.Error("SBottomUp accepted explicit subspaces")
+	}
+}

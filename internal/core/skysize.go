@@ -1,0 +1,120 @@
+package core
+
+import (
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/subspace"
+)
+
+// SkylineSizer reports |λ_M(σ_C(R))|, the denominator of the paper's
+// prominence measure |σ_C(R)| / |λ_M(σ_C(R))| (§VII). Both µ-store
+// families implement it; the cost differs because of their storage
+// schemes.
+type SkylineSizer interface {
+	SkylineSize(c lattice.Constraint, m subspace.Mask) int
+}
+
+// SkylineSize implements SkylineSizer for the BottomUp family: Invariant 1
+// makes µ(C,M) the skyline itself, so the size is the cell length.
+func (a *BottomUp) SkylineSize(c lattice.Constraint, m subspace.Mask) int {
+	return len(a.st.Load(store.CellKey{C: c.Key(), M: m}))
+}
+
+// SkylineSize implements SkylineSizer for the TopDown family: Invariant 2
+// stores a tuple only at its maximal skyline constraints, so the skyline
+// of (C,M) is the set of tuples stored at C or any of its ancestors
+// (2^bound(C) cells) that satisfy C. Tuples stored at two incomparable
+// ancestors are deduplicated by ID.
+func (a *TopDown) SkylineSize(c lattice.Constraint, m subspace.Mask) int {
+	bound := c.BoundMask()
+	var seen map[int64]bool
+	count := 0
+	visit := func(anc lattice.Constraint) {
+		cell := a.st.Load(store.CellKey{C: anc.Key(), M: m})
+		for _, u := range cell {
+			if !c.Satisfies(u) {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[int64]bool, 8)
+			}
+			if !seen[u.ID] {
+				seen[u.ID] = true
+				count++
+			}
+		}
+	}
+	// Enumerate ancestors-or-self: blank out every subset of bound attrs.
+	sub := bound
+	for {
+		anc := lattice.Constraint{Vals: make([]int32, len(c.Vals))}
+		for i := range c.Vals {
+			if sub&(1<<uint(i)) != 0 {
+				anc.Vals[i] = c.Vals[i]
+			} else {
+				anc.Vals[i] = lattice.Wildcard
+			}
+		}
+		visit(anc)
+		if sub == 0 {
+			break
+		}
+		sub = (sub - 1) & bound
+	}
+	return count
+}
+
+var (
+	_ SkylineSizer = (*BottomUp)(nil)
+	_ SkylineSizer = (*TopDown)(nil)
+)
+
+// ContextCounter tracks |σ_C(R)| for every constraint with bound(C) ≤ d̂
+// over the observed stream: each arrival increments the counters of all
+// constraints it satisfies. It is the numerator of the prominence measure
+// and is shared by any algorithm via composition.
+type ContextCounter struct {
+	masks  []lattice.Mask
+	counts map[lattice.Key]int64
+}
+
+// NewContextCounter creates a counter for d dimension attributes with the
+// d̂ cap (maxBound < 0: none).
+func NewContextCounter(d, maxBound int) *ContextCounter {
+	return &ContextCounter{
+		masks:  lattice.CtMasks(d, maxBound),
+		counts: make(map[lattice.Key]int64),
+	}
+}
+
+// Observe folds an arrival into the counters.
+func (cc *ContextCounter) Observe(t *relation.Tuple) {
+	for _, m := range cc.masks {
+		cc.counts[lattice.KeyFromTuple(t, m)]++
+	}
+}
+
+// ContextSize returns |σ_C(R)| for the constraint (0 if never observed).
+func (cc *ContextCounter) ContextSize(c lattice.Constraint) int64 {
+	return cc.counts[c.Key()]
+}
+
+// Snapshot returns a copy of the raw counters, keyed by constraint key.
+// Used by engine persistence.
+func (cc *ContextCounter) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(cc.counts))
+	for k, v := range cc.counts {
+		out[string(k)] = v
+	}
+	return out
+}
+
+// Restore replaces the counters with a snapshot previously produced by
+// Snapshot.
+func (cc *ContextCounter) Restore(counts map[string]int64) {
+	cc.counts = make(map[lattice.Key]int64, len(counts))
+	for k, v := range counts {
+		cc.counts[lattice.Key(k)] = v
+	}
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestNBASchemaSpaces(t *testing.T) {
+	for d := 4; d <= 8; d++ {
+		for m := 4; m <= 7; m++ {
+			s, err := NBASchema(d, m)
+			if err != nil {
+				t.Fatalf("NBASchema(%d,%d): %v", d, m, err)
+			}
+			if s.NumDims() != d || s.NumMeasures() != m {
+				t.Errorf("NBASchema(%d,%d) has %d/%d attrs", d, m, s.NumDims(), s.NumMeasures())
+			}
+		}
+	}
+	if _, err := NBASchema(3, 7); err == nil {
+		t.Error("NBASchema(3,·) should fail")
+	}
+	if _, err := NBASchema(5, 9); err == nil {
+		t.Error("NBASchema(·,9) should fail")
+	}
+	// Directions per paper: fouls and turnovers smaller-better.
+	s, _ := NBASchema(5, 7)
+	for i := 0; i < s.NumMeasures(); i++ {
+		m := s.Measure(i)
+		want := relation.LargerBetter
+		if m.Name == "fouls" || m.Name == "turnovers" {
+			want = relation.SmallerBetter
+		}
+		if m.Direction != want {
+			t.Errorf("measure %s direction = %v", m.Name, m.Direction)
+		}
+	}
+}
+
+func TestNBADeterministicAndPlausible(t *testing.T) {
+	mk := func() *relation.Table {
+		g, err := NewNBA(NBAConfig{Seed: 42, Players: 50, Teams: 8, Seasons: 3}, 5, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := relation.NewTable(g.Schema())
+		if err := g.Fill(tb, 500); err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	a, b := mk(), mk()
+	if a.Len() != 500 || b.Len() != 500 {
+		t.Fatalf("Fill produced %d/%d rows", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tbu := a.At(i), b.At(i)
+		for j := range ta.Dims {
+			if ta.Dims[j] != tbu.Dims[j] {
+				t.Fatalf("row %d not deterministic (dims)", i)
+			}
+		}
+		for j := range ta.Raw {
+			if ta.Raw[j] != tbu.Raw[j] {
+				t.Fatalf("row %d not deterministic (measures)", i)
+			}
+		}
+	}
+	// Plausibility: non-negative integer-ish stats, points occasionally
+	// large, team ≠ opp_team.
+	maxPoints := 0.0
+	for _, tu := range a.Tuples() {
+		for j, v := range tu.Raw {
+			if v < 0 {
+				t.Fatalf("negative stat %g at measure %d", v, j)
+			}
+		}
+		if tu.Raw[0] > maxPoints {
+			maxPoints = tu.Raw[0]
+		}
+		team := a.Dict().Decode(3, tu.Dims[3])
+		opp := a.Dict().Decode(4, tu.Dims[4])
+		if team == opp {
+			t.Fatalf("team == opp_team (%s)", team)
+		}
+	}
+	if maxPoints < 20 {
+		t.Errorf("max points over 500 games = %g; star tail missing", maxPoints)
+	}
+}
+
+func TestWeatherGenerator(t *testing.T) {
+	g, err := NewWeather(WeatherConfig{Seed: 7, Locations: 40, Countries: 3}, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := relation.NewTable(g.Schema())
+	if err := g.Fill(tb, 300); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 300 {
+		t.Fatalf("Fill produced %d rows", tb.Len())
+	}
+	if got := tb.Dict().Cardinality(0); got > 40 {
+		t.Errorf("location cardinality %d exceeds config", got)
+	}
+	// Humidity bounded at 100.
+	hIdx := g.Schema().MeasureIndex("humidity_day")
+	for _, tu := range tb.Tuples() {
+		if tu.Raw[hIdx] > 100 {
+			t.Fatalf("humidity %g > 100", tu.Raw[hIdx])
+		}
+	}
+	if _, err := NewWeather(WeatherConfig{}, 3, 7); err == nil {
+		t.Error("NewWeather(d=3) should fail")
+	}
+	if _, err := NewWeather(WeatherConfig{}, 5, 3); err == nil {
+		t.Error("NewWeather(m=3) should fail")
+	}
+}
+
+func TestGenericDistributions(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, AntiCorrelated} {
+		g, err := NewGeneric(GenericConfig{Seed: 1, D: 3, M: 3, Dist: dist, DimCardinality: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		tb := relation.NewTable(g.Schema())
+		if err := g.Fill(tb, 200); err != nil {
+			t.Fatal(err)
+		}
+		if tb.Len() != 200 {
+			t.Fatalf("%v: %d rows", dist, tb.Len())
+		}
+		if dist.String() == "" {
+			t.Error("empty distribution name")
+		}
+		for _, tu := range tb.Tuples() {
+			for _, d := range tu.Dims {
+				if d < 0 || d >= 5 {
+					t.Fatalf("dim code %d out of range", d)
+				}
+			}
+		}
+	}
+	if Distribution(99).String() == "" {
+		t.Error("unknown distribution should still render")
+	}
+}
+
+// Correlated streams must have (far) fewer full-space skyline tuples than
+// anti-correlated ones — the defining property of the regimes.
+func TestGenericSkylineDensity(t *testing.T) {
+	count := func(dist Distribution) int {
+		g, err := NewGeneric(GenericConfig{Seed: 3, D: 1, M: 4, Dist: dist, MeasureLevels: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := relation.NewTable(g.Schema())
+		if err := g.Fill(tb, 400); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		full := uint32(0b1111)
+		for _, tu := range tb.Tuples() {
+			in := true
+			for _, u := range tb.Tuples() {
+				if u == tu {
+					continue
+				}
+				if dominates(u, tu, full) {
+					in = false
+					break
+				}
+			}
+			if in {
+				n++
+			}
+		}
+		return n
+	}
+	c, a := count(Correlated), count(AntiCorrelated)
+	if c*3 > a {
+		t.Errorf("correlated skyline (%d) not much smaller than anti-correlated (%d)", c, a)
+	}
+}
+
+func dominates(t, u *relation.Tuple, m uint32) bool {
+	strict := false
+	for i := 0; i < len(t.Oriented); i++ {
+		if m&(1<<uint(i)) == 0 {
+			continue
+		}
+		if t.Oriented[i] < u.Oriented[i] {
+			return false
+		}
+		if t.Oriented[i] > u.Oriented[i] {
+			strict = true
+		}
+	}
+	return strict
+}

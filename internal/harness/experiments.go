@@ -1,0 +1,372 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Params carries the experiment knobs, mirroring the paper's §VI-A. Zero
+// values select per-experiment defaults scaled down from the paper's
+// (317K-tuple / 16 GB JVM) setting to laptop budgets; pass explicit values
+// to scale up.
+type Params struct {
+	N           int     // stream length
+	D, M        int     // dimension / measure space (Tables V, VI)
+	MaxBound    int     // d̂ (paper: 4 for §VI, 3 for §VII)
+	MaxMeasure  int     // m̂ (paper: m for §VI, 3 for §VII)
+	Tau         float64 // τ for prominence experiments
+	Seed        int64
+	Checkpoints int
+}
+
+func (p Params) withDefaults(n, d, m int) Params {
+	if p.N == 0 {
+		p.N = n
+	}
+	if p.D == 0 {
+		p.D = d
+	}
+	if p.M == 0 {
+		p.M = m
+	}
+	if p.MaxBound == 0 {
+		p.MaxBound = 4
+	}
+	if p.MaxMeasure == 0 {
+		p.MaxMeasure = -1
+	}
+	if p.Checkpoints == 0 {
+		p.Checkpoints = 10
+	}
+	return p
+}
+
+func (p Params) config(s *relation.Schema) core.Config {
+	return core.Config{Schema: s, MaxBound: p.MaxBound, MaxMeasure: p.MaxMeasure}
+}
+
+// timeVsN runs the given algorithms over one stream, one series per
+// algorithm: x = tuple id, y = per-tuple ms over the checkpoint window.
+func timeVsN(title, dataset string, p Params, algs []AlgorithmID) (*Result, error) {
+	tb, err := StreamSpec{Dataset: dataset, D: p.D, M: p.M, N: p.N, Seed: p.Seed}.Build()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Title:  title,
+		XLabel: "tuple id",
+		YLabel: "execution time per tuple (ms), checkpoint window average",
+		Notes: []string{
+			fmt.Sprintf("dataset=%s n=%d d=%d m=%d d̂=%d m̂=%d seed=%d",
+				dataset, p.N, p.D, p.M, p.MaxBound, p.MaxMeasure, p.Seed),
+		},
+	}
+	for _, id := range algs {
+		d, err := NewDiscoverer(id, p.config(tb.Schema()), "")
+		if err != nil {
+			return nil, err
+		}
+		xs, ys, avg := runTimed(d, tb, p.Checkpoints)
+		res.Series = append(res.Series, Series{Label: string(id), X: xs, Y: ys})
+		res.Notes = append(res.Notes, fmt.Sprintf("%s: overall avg %.4g ms/tuple", id, avg))
+		cleanup(d)
+	}
+	return res, nil
+}
+
+// timeVsDim sweeps d or m, one point per value: y = overall per-tuple ms.
+func timeVsDim(title, dataset string, p Params, algs []AlgorithmID, sweep string, vals []int) (*Result, error) {
+	res := &Result{
+		Title:  title,
+		XLabel: "number of " + sweep + " attributes",
+		YLabel: "execution time per tuple (ms), run average",
+		Notes: []string{
+			fmt.Sprintf("dataset=%s n=%d d̂=%d m̂=%d seed=%d", dataset, p.N, p.MaxBound, p.MaxMeasure, p.Seed),
+		},
+	}
+	series := make([]Series, len(algs))
+	for i, id := range algs {
+		series[i].Label = string(id)
+	}
+	for _, v := range vals {
+		q := p
+		if sweep == "dimension" {
+			q.D = v
+		} else {
+			q.M = v
+		}
+		tb, err := StreamSpec{Dataset: dataset, D: q.D, M: q.M, N: q.N, Seed: q.Seed}.Build()
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range algs {
+			d, err := NewDiscoverer(id, q.config(tb.Schema()), "")
+			if err != nil {
+				return nil, err
+			}
+			_, _, avg := runTimed(d, tb, 1)
+			series[i].X = append(series[i].X, float64(v))
+			series[i].Y = append(series[i].Y, avg)
+			cleanup(d)
+		}
+	}
+	res.Series = series
+	return res, nil
+}
+
+func cleanup(d core.Discoverer) {
+	d.Close()
+}
+
+// Fig7a: per-tuple time vs n for the baselines, C-CSC, BottomUp, TopDown
+// (NBA, d=5, m=7). Expected shape: BottomUp/TopDown beat the baselines by
+// orders of magnitude and C-CSC by about one order.
+func Fig7a(p Params) (*Result, error) {
+	p = p.withDefaults(4000, 5, 7)
+	return timeVsN("Fig 7a — time/tuple vs n: baselines vs lattice algorithms (NBA)",
+		"nba", p, []AlgorithmID{BaselineSeq, BaselineIdx, CCSC, BottomUp, TopDown})
+}
+
+// Fig7b: vs d (4–7), NBA, m=7, fixed n.
+func Fig7b(p Params) (*Result, error) {
+	p = p.withDefaults(2000, 5, 7)
+	return timeVsDim("Fig 7b — time/tuple vs d (NBA, m=7)",
+		"nba", p, []AlgorithmID{BaselineSeq, BaselineIdx, CCSC, BottomUp, TopDown},
+		"dimension", []int{4, 5, 6, 7})
+}
+
+// Fig7c: vs m (4–7), NBA, d=5, fixed n.
+func Fig7c(p Params) (*Result, error) {
+	p = p.withDefaults(2000, 5, 7)
+	return timeVsDim("Fig 7c — time/tuple vs m (NBA, d=5)",
+		"nba", p, []AlgorithmID{BaselineSeq, BaselineIdx, CCSC, BottomUp, TopDown},
+		"measure", []int{4, 5, 6, 7})
+}
+
+// Fig8a: per-tuple time vs n for C-CSC and the four lattice algorithms
+// (NBA, d=5, m=7). Expected: sharing (S*) helps; bottom-up beats top-down
+// on time.
+func Fig8a(p Params) (*Result, error) {
+	p = p.withDefaults(12000, 5, 7)
+	return timeVsN("Fig 8a — time/tuple vs n: sharing variants (NBA)",
+		"nba", p, []AlgorithmID{CCSC, BottomUp, TopDown, SBottomUp, STopDown})
+}
+
+// Fig8b: vs d.
+func Fig8b(p Params) (*Result, error) {
+	p = p.withDefaults(4000, 5, 7)
+	return timeVsDim("Fig 8b — time/tuple vs d (NBA, m=7)",
+		"nba", p, []AlgorithmID{CCSC, BottomUp, TopDown, SBottomUp, STopDown},
+		"dimension", []int{4, 5, 6, 7})
+}
+
+// Fig8c: vs m.
+func Fig8c(p Params) (*Result, error) {
+	p = p.withDefaults(4000, 5, 7)
+	return timeVsDim("Fig 8c — time/tuple vs m (NBA, d=5)",
+		"nba", p, []AlgorithmID{CCSC, BottomUp, TopDown, SBottomUp, STopDown},
+		"measure", []int{4, 5, 6, 7})
+}
+
+// Fig9: weather dataset, time vs n. In the paper the bottom-up family
+// exhausts the 16 GB heap early on this (larger) dataset; here the note
+// reports the stored-tuple gap instead of crashing the host.
+func Fig9(p Params) (*Result, error) {
+	p = p.withDefaults(12000, 5, 7)
+	res, err := timeVsN("Fig 9 — time/tuple vs n (weather)",
+		"weather", p, []AlgorithmID{CCSC, BottomUp, TopDown, SBottomUp, STopDown})
+	if err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes,
+		"paper: BottomUp/SBottomUp exhaust the 16GB JVM heap shortly after 0.2M tuples on this dataset; see Fig 10 for the storage gap that causes it")
+	return res, nil
+}
+
+// Fig10 charts memory consumption vs n: (a) estimated resident bytes of
+// the µ store, (b) number of stored skyline tuples. Expected shape:
+// BottomUp ≫ TopDown by several ×; C-CSC in between; the S* variants
+// match their base algorithms exactly (same materialisation scheme).
+func Fig10(p Params) (*Result, error) {
+	p = p.withDefaults(12000, 5, 7)
+	tb, err := StreamSpec{Dataset: "nba", D: p.D, M: p.M, N: p.N, Seed: p.Seed}.Build()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Title:  "Fig 10 — memory: stored skyline tuples (b) and estimated MB (a) vs n (NBA)",
+		XLabel: "tuple id",
+		YLabel: "stored tuple entries (series '#') and estimated MB (series 'MB')",
+		Notes: []string{
+			fmt.Sprintf("n=%d d=%d m=%d d̂=%d", p.N, p.D, p.M, p.MaxBound),
+			"MB estimate = stored entries × encoded tuple size (see relation.EncodedSize); Fig 10a proxy",
+		},
+	}
+	algs := []AlgorithmID{CCSC, BottomUp, TopDown, SBottomUp, STopDown}
+	perTuple := float64(relation.EncodedSize(tb.Schema()))
+	window := p.N / p.Checkpoints
+	if window == 0 {
+		window = 1
+	}
+	for _, id := range algs {
+		d, err := NewDiscoverer(id, p.config(tb.Schema()), "")
+		if err != nil {
+			return nil, err
+		}
+		var xs, entries, mb []float64
+		for i := 0; i < tb.Len(); i++ {
+			d.Process(tb.At(i))
+			if (i+1)%window == 0 || i == tb.Len()-1 {
+				st := d.StoreStats()
+				xs = append(xs, float64(i+1))
+				entries = append(entries, float64(st.StoredTuples))
+				mb = append(mb, float64(st.StoredTuples)*perTuple/(1<<20))
+			}
+		}
+		res.Series = append(res.Series,
+			Series{Label: "#" + string(id), X: xs, Y: entries},
+			Series{Label: "MB:" + string(id), X: xs, Y: mb})
+		cleanup(d)
+	}
+	return res, nil
+}
+
+// Fig11 charts cumulative work vs n: (a) tuple comparisons, (b) traversed
+// constraints, for the four lattice algorithms. Expected: STopDown ≪
+// TopDown on both; SBottomUp ≈ BottomUp (the paper's boundary-constraint
+// explanation).
+func Fig11(p Params) (*Result, error) {
+	p = p.withDefaults(12000, 5, 7)
+	tb, err := StreamSpec{Dataset: "nba", D: p.D, M: p.M, N: p.N, Seed: p.Seed}.Build()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Title:  "Fig 11 — cumulative comparisons (cmp) and traversed constraints (trv) vs n (NBA)",
+		XLabel: "tuple id",
+		YLabel: "cumulative count",
+		Notes:  []string{fmt.Sprintf("n=%d d=%d m=%d d̂=%d", p.N, p.D, p.M, p.MaxBound)},
+	}
+	window := p.N / p.Checkpoints
+	if window == 0 {
+		window = 1
+	}
+	for _, id := range []AlgorithmID{BottomUp, TopDown, SBottomUp, STopDown} {
+		d, err := NewDiscoverer(id, p.config(tb.Schema()), "")
+		if err != nil {
+			return nil, err
+		}
+		var xs, cmps, trvs []float64
+		for i := 0; i < tb.Len(); i++ {
+			d.Process(tb.At(i))
+			if (i+1)%window == 0 || i == tb.Len()-1 {
+				m := d.Metrics()
+				xs = append(xs, float64(i+1))
+				cmps = append(cmps, float64(m.Comparisons))
+				trvs = append(trvs, float64(m.Traversed))
+			}
+		}
+		res.Series = append(res.Series,
+			Series{Label: "cmp:" + string(id), X: xs, Y: cmps},
+			Series{Label: "trv:" + string(id), X: xs, Y: trvs})
+		cleanup(d)
+	}
+	return res, nil
+}
+
+// fileBased runs FSBottomUp and FSTopDown (file-backed stores). dir == ""
+// uses a fresh temp directory, removed afterwards.
+func fileBased(title, dataset string, p Params, sweep string, vals []int) (*Result, error) {
+	dir, err := os.MkdirTemp("", "situfact-fs-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if sweep == "" {
+		tb, err := StreamSpec{Dataset: dataset, D: p.D, M: p.M, N: p.N, Seed: p.Seed}.Build()
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Title:  title,
+			XLabel: "tuple id",
+			YLabel: "execution time per tuple (ms), checkpoint window average",
+			Notes:  []string{fmt.Sprintf("dataset=%s n=%d d=%d m=%d d̂=%d", dataset, p.N, p.D, p.M, p.MaxBound)},
+		}
+		for _, id := range []AlgorithmID{FSBottomUp, FSTopDown} {
+			d, err := NewDiscoverer(id, p.config(tb.Schema()), dir)
+			if err != nil {
+				return nil, err
+			}
+			xs, ys, avg := runTimed(d, tb, p.Checkpoints)
+			st := d.StoreStats()
+			res.Series = append(res.Series, Series{Label: string(id), X: xs, Y: ys})
+			res.Notes = append(res.Notes, fmt.Sprintf("%s: avg %.4g ms/tuple, %d file reads, %d file writes",
+				id, avg, st.Reads, st.Writes))
+			cleanup(d)
+		}
+		return res, nil
+	}
+	// sweep over d or m
+	res := &Result{
+		Title:  title,
+		XLabel: "number of " + sweep + " attributes",
+		YLabel: "execution time per tuple (ms), run average",
+		Notes:  []string{fmt.Sprintf("dataset=%s n=%d d̂=%d", dataset, p.N, p.MaxBound)},
+	}
+	series := []Series{{Label: string(FSBottomUp)}, {Label: string(FSTopDown)}}
+	for _, v := range vals {
+		q := p
+		if sweep == "dimension" {
+			q.D = v
+		} else {
+			q.M = v
+		}
+		tb, err := StreamSpec{Dataset: dataset, D: q.D, M: q.M, N: q.N, Seed: q.Seed}.Build()
+		if err != nil {
+			return nil, err
+		}
+		sub := fmt.Sprintf("%s/%s%d", dir, sweep, v)
+		for i, id := range []AlgorithmID{FSBottomUp, FSTopDown} {
+			d, err := NewDiscoverer(id, q.config(tb.Schema()), sub)
+			if err != nil {
+				return nil, err
+			}
+			_, _, avg := runTimed(d, tb, 1)
+			series[i].X = append(series[i].X, float64(v))
+			series[i].Y = append(series[i].Y, avg)
+			cleanup(d)
+		}
+	}
+	res.Series = series
+	return res, nil
+}
+
+// Fig12a: file-based variants vs n (NBA). Expected: FSTopDown beats
+// FSBottomUp by multiple times (fewer non-empty cells → fewer file reads
+// and writes), inverting the in-memory time ordering.
+func Fig12a(p Params) (*Result, error) {
+	p = p.withDefaults(120, 5, 7) // seconds/tuple: keep the default run short
+	return fileBased("Fig 12a — file-based time/tuple vs n (NBA)", "nba", p, "", nil)
+}
+
+// Fig12b: file-based vs d.
+func Fig12b(p Params) (*Result, error) {
+	p = p.withDefaults(40, 5, 7)
+	return fileBased("Fig 12b — file-based time/tuple vs d (NBA, m=7)", "nba", p, "dimension", []int{4, 5, 6, 7})
+}
+
+// Fig12c: file-based vs m.
+func Fig12c(p Params) (*Result, error) {
+	p = p.withDefaults(40, 5, 7)
+	return fileBased("Fig 12c — file-based time/tuple vs m (NBA, d=5)", "nba", p, "measure", []int{4, 5, 6, 7})
+}
+
+// Fig13: file-based variants on the weather dataset vs n.
+func Fig13(p Params) (*Result, error) {
+	p = p.withDefaults(120, 5, 7)
+	return fileBased("Fig 13 — file-based time/tuple vs n (weather)", "weather", p, "", nil)
+}

@@ -1,0 +1,259 @@
+// Package harness drives the experiments of the paper's evaluation
+// (Sultana et al., ICDE 2014, §VI–VII): per-tuple execution time under
+// varying n, d and m; memory and stored-tuple counts; comparison and
+// traversal counters; file-based variants; and the prominence case study.
+// Each exported Fig* function regenerates the series of one figure of the
+// paper and returns a renderable Result.
+//
+// Absolute numbers differ from the paper (different hardware, language and
+// — necessarily — synthetic rather than proprietary data); the reproduced
+// property is the SHAPE of each figure: orderings, gaps in orders of
+// magnitude, growth trends and crossovers. EXPERIMENTS.md records
+// paper-vs-measured for every figure.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// AlgorithmID names an algorithm in experiment configurations.
+type AlgorithmID string
+
+// The algorithm identifiers, matching the paper's names.
+const (
+	BruteForce  AlgorithmID = "BruteForce"
+	BaselineSeq AlgorithmID = "BaselineSeq"
+	BaselineIdx AlgorithmID = "BaselineIdx"
+	CCSC        AlgorithmID = "C-CSC"
+	BottomUp    AlgorithmID = "BottomUp"
+	TopDown     AlgorithmID = "TopDown"
+	SBottomUp   AlgorithmID = "SBottomUp"
+	STopDown    AlgorithmID = "STopDown"
+	FSBottomUp  AlgorithmID = "FSBottomUp" // file-backed SBottomUp
+	FSTopDown   AlgorithmID = "FSTopDown"  // file-backed STopDown
+)
+
+// NewDiscoverer instantiates an algorithm. File-backed variants place
+// their cell store under dir (one fresh subdirectory per instance).
+func NewDiscoverer(id AlgorithmID, cfg core.Config, dir string) (core.Discoverer, error) {
+	switch id {
+	case BruteForce:
+		return core.NewBruteForce(cfg)
+	case BaselineSeq:
+		return core.NewBaselineSeq(cfg)
+	case BaselineIdx:
+		return core.NewBaselineIdx(cfg)
+	case CCSC:
+		return core.NewCCSC(cfg)
+	case BottomUp:
+		return core.NewBottomUp(cfg)
+	case TopDown:
+		return core.NewTopDown(cfg)
+	case SBottomUp:
+		return core.NewSBottomUp(cfg)
+	case STopDown:
+		return core.NewSTopDown(cfg)
+	case FSBottomUp, FSTopDown:
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "situfact-cells-*")
+			if err != nil {
+				return nil, err
+			}
+		}
+		sub := filepath.Join(dir, strings.ToLower(string(id)))
+		fs, err := store.NewFile(sub, cfg.Schema)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = fs
+		if id == FSBottomUp {
+			return core.NewSBottomUp(cfg)
+		}
+		return core.NewSTopDown(cfg)
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", id)
+	}
+}
+
+// StreamSpec describes a workload stream.
+type StreamSpec struct {
+	// Dataset is "nba", "weather", or "generic:<dist>" (independent,
+	// correlated, anti-correlated).
+	Dataset string
+	// D, M select the dimension/measure space (Tables V and VI).
+	D, M int
+	// N is the stream length.
+	N int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// Build materialises the stream as a table.
+func (s StreamSpec) Build() (*relation.Table, error) {
+	switch {
+	case s.Dataset == "nba":
+		g, err := gen.NewNBA(gen.NBAConfig{Seed: s.Seed}, s.D, s.M)
+		if err != nil {
+			return nil, err
+		}
+		tb := relation.NewTable(g.Schema())
+		return tb, g.Fill(tb, s.N)
+	case s.Dataset == "weather":
+		g, err := gen.NewWeather(gen.WeatherConfig{Seed: s.Seed}, s.D, s.M)
+		if err != nil {
+			return nil, err
+		}
+		tb := relation.NewTable(g.Schema())
+		return tb, g.Fill(tb, s.N)
+	case strings.HasPrefix(s.Dataset, "generic:"):
+		var dist gen.Distribution
+		switch strings.TrimPrefix(s.Dataset, "generic:") {
+		case "independent":
+			dist = gen.Independent
+		case "correlated":
+			dist = gen.Correlated
+		case "anti-correlated":
+			dist = gen.AntiCorrelated
+		default:
+			return nil, fmt.Errorf("harness: unknown generic distribution in %q", s.Dataset)
+		}
+		g, err := gen.NewGeneric(gen.GenericConfig{Seed: s.Seed, D: s.D, M: s.M, Dist: dist})
+		if err != nil {
+			return nil, err
+		}
+		tb := relation.NewTable(g.Schema())
+		return tb, g.Fill(tb, s.N)
+	default:
+		return nil, fmt.Errorf("harness: unknown dataset %q", s.Dataset)
+	}
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Result is a rendered experiment: the textual equivalent of one figure.
+type Result struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the result as an aligned text table (one x column, one
+// column per series), preceded by title and followed by notes.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n#   y: %s\n", r.Title, r.YLabel); err != nil {
+		return err
+	}
+	// Collect the union of x values.
+	xsSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	header := fmt.Sprintf("%-14s", r.XLabel)
+	for _, s := range r.Series {
+		header += fmt.Sprintf("%16s", s.Label)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := fmt.Sprintf("%-14g", x)
+		for _, s := range r.Series {
+			v, ok := lookup(s, x)
+			if ok {
+				row += fmt.Sprintf("%16.4g", v)
+			} else {
+				row += fmt.Sprintf("%16s", "-")
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the result as CSV (x, label, y rows).
+func (r *Result) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "x,series,y\n"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%g,%s,%g\n", s.X[i], s.Label, s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// runTimed feeds the table's tuples to the discoverer, recording the
+// average per-tuple execution time (in milliseconds) over each checkpoint
+// window. It returns the checkpoint positions and window averages plus the
+// overall average.
+func runTimed(d core.Discoverer, tb *relation.Table, checkpoints int) (xs, ys []float64, avgMs float64) {
+	n := tb.Len()
+	if checkpoints <= 0 {
+		checkpoints = 10
+	}
+	window := n / checkpoints
+	if window == 0 {
+		window = 1
+	}
+	var windowDur, totalDur time.Duration
+	count := 0
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		d.Process(tb.At(i))
+		el := time.Since(t0)
+		windowDur += el
+		totalDur += el
+		count++
+		if count == window || i == n-1 {
+			xs = append(xs, float64(i+1))
+			ys = append(ys, float64(windowDur.Microseconds())/float64(count)/1000.0)
+			windowDur, count = 0, 0
+		}
+	}
+	return xs, ys, float64(totalDur.Microseconds()) / float64(n) / 1000.0
+}

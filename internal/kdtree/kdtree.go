@@ -1,0 +1,123 @@
+// Package kdtree implements a k-d tree (Bentley 1979) over the measure
+// space of a relation, supporting incremental insertion and the one-sided
+// range queries BaselineIdx needs: find all tuples whose oriented measure
+// values are ≥ a query point on every attribute of a measure subspace
+// (attributes outside the subspace are unconstrained).
+package kdtree
+
+import (
+	"repro/internal/relation"
+	"repro/internal/subspace"
+)
+
+// Tree is a k-d tree over tuples' Oriented measure vectors. The tree is
+// built by sequential insertion (the discovery workload is a stream); no
+// rebalancing is performed, matching the paper's baseline.
+type Tree struct {
+	k     int // number of measure attributes
+	nodes []node
+	root  int32
+}
+
+type node struct {
+	t           *relation.Tuple
+	left, right int32
+}
+
+const nilNode = int32(-1)
+
+// New creates an empty tree over k measure attributes.
+func New(k int) *Tree {
+	if k <= 0 {
+		panic("kdtree: k must be positive")
+	}
+	return &Tree{k: k, root: nilNode}
+}
+
+// Len returns the number of stored tuples.
+func (tr *Tree) Len() int { return len(tr.nodes) }
+
+// Insert adds t to the tree.
+func (tr *Tree) Insert(t *relation.Tuple) {
+	idx := int32(len(tr.nodes))
+	tr.nodes = append(tr.nodes, node{t: t, left: nilNode, right: nilNode})
+	if tr.root == nilNode {
+		tr.root = idx
+		return
+	}
+	cur := tr.root
+	depth := 0
+	for {
+		axis := depth % tr.k
+		n := &tr.nodes[cur]
+		if t.Oriented[axis] < n.t.Oriented[axis] {
+			if n.left == nilNode {
+				n.left = idx
+				return
+			}
+			cur = n.left
+		} else {
+			if n.right == nilNode {
+				n.right = idx
+				return
+			}
+			cur = n.right
+		}
+		depth++
+	}
+}
+
+// DominatorsOrBetter calls fn for every stored tuple u whose oriented
+// values satisfy u.Oriented[i] ≥ q.Oriented[i] for every attribute i of
+// sub. This is the one-sided range query ⋀_{m_i ∈ M}(m_i ≥ t.m_i) of the
+// paper's BaselineIdx; callers filter for strict dominance.
+//
+// If fn returns false the search stops early.
+func (tr *Tree) DominatorsOrBetter(q *relation.Tuple, sub subspace.Mask, fn func(*relation.Tuple) bool) {
+	if tr.root == nilNode {
+		return
+	}
+	tr.search(tr.root, 0, q, sub, fn)
+}
+
+func (tr *Tree) search(idx int32, depth int, q *relation.Tuple, sub subspace.Mask, fn func(*relation.Tuple) bool) bool {
+	n := &tr.nodes[idx]
+	if matches(n.t, q, sub) {
+		if !fn(n.t) {
+			return false
+		}
+	}
+	axis := depth % tr.k
+	// The right subtree (coordinates ≥ split value) can always contain
+	// qualifying points. The left subtree (coordinates < split value) is
+	// pruned when the axis is constrained and the split value is already
+	// ≤ the query bound: everything to the left would fail the bound.
+	if n.right != nilNode {
+		if !tr.search(n.right, depth+1, q, sub, fn) {
+			return false
+		}
+	}
+	if n.left != nilNode {
+		constrained := sub&(1<<uint(axis)) != 0
+		if !constrained || n.t.Oriented[axis] > q.Oriented[axis] {
+			if !tr.search(n.left, depth+1, q, sub, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func matches(u, q *relation.Tuple, sub subspace.Mask) bool {
+	for i := 0; sub != 0; i++ {
+		bit := subspace.Mask(1) << uint(i)
+		if sub&bit == 0 {
+			continue
+		}
+		sub &^= bit
+		if u.Oriented[i] < q.Oriented[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/subspace"
+)
+
+func schema3(t *testing.T) *relation.Schema {
+	t.Helper()
+	s, err := relation.NewSchema("r",
+		[]relation.DimAttr{{Name: "d"}},
+		[]relation.MeasureAttr{{Name: "m1"}, {Name: "m2"}, {Name: "m3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mk(t *testing.T, s *relation.Schema, id int64, vals ...float64) *relation.Tuple {
+	t.Helper()
+	tu, err := relation.NewTuple(s, id, []int32{0}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tu
+}
+
+func collect(tr *Tree, q *relation.Tuple, sub subspace.Mask) []int64 {
+	var out []int64
+	tr.DominatorsOrBetter(q, sub, func(u *relation.Tuple) bool {
+		out = append(out, u.ID)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	s := schema3(t)
+	tr := New(3)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := collect(tr, mk(t, s, 0, 1, 2, 3), 0b111)
+	if len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestBasicQuery(t *testing.T) {
+	s := schema3(t)
+	tr := New(3)
+	tr.Insert(mk(t, s, 0, 5, 5, 5))
+	tr.Insert(mk(t, s, 1, 7, 7, 7))
+	tr.Insert(mk(t, s, 2, 3, 9, 5))
+	tr.Insert(mk(t, s, 3, 5, 5, 4))
+
+	q := mk(t, s, 99, 5, 5, 5)
+	// Full space, ≥ (5,5,5): ids 0 (equal) and 1.
+	if got := collect(tr, q, 0b111); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("full-space query = %v, want [0 1]", got)
+	}
+	// Subspace {m2}: ≥5 on m2 → ids 0,1,2,3.
+	if got := collect(tr, q, 0b010); len(got) != 4 {
+		t.Errorf("{m2} query = %v, want all four", got)
+	}
+	// Subspace {m1,m3}: ≥(5,·,5) → 0, 1.
+	if got := collect(tr, q, 0b101); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("{m1,m3} query = %v, want [0 1]", got)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	s := schema3(t)
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Insert(mk(t, s, int64(i), 10, 10, 10))
+	}
+	q := mk(t, s, 99, 1, 1, 1)
+	calls := 0
+	tr.DominatorsOrBetter(q, 0b111, func(u *relation.Tuple) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop visited %d tuples, want 1", calls)
+	}
+}
+
+func TestRespectsOrientation(t *testing.T) {
+	// Smaller-better attributes are negated in Oriented, so the one-sided
+	// query transparently means "at most" on raw values.
+	sch, err := relation.NewSchema("r", []relation.DimAttr{{Name: "d"}},
+		[]relation.MeasureAttr{{Name: "fouls", Direction: relation.SmallerBetter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(1)
+	lo, _ := relation.NewTuple(sch, 0, []int32{0}, []float64{1})
+	hi, _ := relation.NewTuple(sch, 1, []int32{0}, []float64{5})
+	tr.Insert(lo)
+	tr.Insert(hi)
+	q, _ := relation.NewTuple(sch, 2, []int32{0}, []float64{3})
+	got := collect(tr, q, 0b1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("smaller-better query = %v, want [0] (1 foul beats 3)", got)
+	}
+}
+
+// Randomised cross-check against a linear scan, over all subspaces.
+func TestRandomCrossCheck(t *testing.T) {
+	s := schema3(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		tr := New(3)
+		var all []*relation.Tuple
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			tu := mk(t, s, int64(i),
+				float64(rng.Intn(10)), float64(rng.Intn(10)), float64(rng.Intn(10)))
+			tr.Insert(tu)
+			all = append(all, tu)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		q := mk(t, s, 999, float64(rng.Intn(10)), float64(rng.Intn(10)), float64(rng.Intn(10)))
+		for sub := subspace.Mask(1); sub < 8; sub++ {
+			got := collect(tr, q, sub)
+			var want []int64
+			for _, u := range all {
+				ok := true
+				for i := 0; i < 3; i++ {
+					if sub&(1<<uint(i)) != 0 && u.Oriented[i] < q.Oriented[i] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					want = append(want, u.ID)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("trial %d sub %b: got %d results, want %d", trial, sub, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d sub %b: got %v, want %v", trial, sub, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package lattice implements the constraint lattice of Sultana et al.,
+// ICDE 2014 (Section IV): conjunctive constraints over dimension
+// attributes, their subsumption partial order, the per-tuple lattice C^t of
+// tuple-satisfied constraints, and lattice intersections C^{t,t'}.
+//
+// Two representations coexist:
+//
+//   - Constraint: a concrete value vector with wildcards, used at API
+//     boundaries, in the µ(C,M) store keys, and for display.
+//   - Mask: within one tuple's lattice C^t a constraint is fully determined
+//     by WHICH attributes are bound (always to t's values), so the hot
+//     per-tuple algorithms manipulate uint32 bitmasks instead: bit i set ⇔
+//     d_i bound. ⊤ = 0, ⊥(C^t) = all-ones. Parents clear one bit, children
+//     set one bit, and the intersection lattice C^{t,t'} is exactly the set
+//     of submasks of the "shared mask" (attributes where t and t' agree).
+package lattice
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Wildcard is the dimension-value code meaning "unbound" (the paper's *).
+const Wildcard int32 = -1
+
+// Constraint is a conjunctive constraint 〈v1, ..., vn〉 over the dimension
+// space: Vals[i] is a dictionary code, or Wildcard when d_i is unbound.
+// The zero-length Constraint is invalid; use Top(d) for ⊤.
+type Constraint struct {
+	Vals []int32
+}
+
+// Top returns the most general constraint ⊤ = 〈*, ..., *〉 over d dims.
+func Top(d int) Constraint {
+	vals := make([]int32, d)
+	for i := range vals {
+		vals[i] = Wildcard
+	}
+	return Constraint{Vals: vals}
+}
+
+// FromTuple returns the constraint that binds exactly the attributes in
+// mask to t's dimension values (a member of C^t).
+func FromTuple(t *relation.Tuple, mask Mask) Constraint {
+	vals := make([]int32, len(t.Dims))
+	for i := range vals {
+		if mask&(1<<uint(i)) != 0 {
+			vals[i] = t.Dims[i]
+		} else {
+			vals[i] = Wildcard
+		}
+	}
+	return Constraint{Vals: vals}
+}
+
+// Bound returns the number of bound attributes, bound(C).
+func (c Constraint) Bound() int {
+	n := 0
+	for _, v := range c.Vals {
+		if v != Wildcard {
+			n++
+		}
+	}
+	return n
+}
+
+// BoundMask returns the bitmask of bound attributes.
+func (c Constraint) BoundMask() Mask {
+	var m Mask
+	for i, v := range c.Vals {
+		if v != Wildcard {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// IsTop reports whether c is ⊤ (no bound attributes).
+func (c Constraint) IsTop() bool { return c.Bound() == 0 }
+
+// Satisfies reports whether tuple t satisfies c (Def. 4): every bound
+// attribute of c equals t's value.
+func (c Constraint) Satisfies(t *relation.Tuple) bool {
+	for i, v := range c.Vals {
+		if v != Wildcard && v != t.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsumedByOrEqual reports c ⊴ other (Def. 5): other's bound attributes
+// are a subset of c's with equal values.
+func (c Constraint) SubsumedByOrEqual(other Constraint) bool {
+	if len(c.Vals) != len(other.Vals) {
+		return false
+	}
+	for i, ov := range other.Vals {
+		if ov != Wildcard && ov != c.Vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsumedBy reports c ◁ other: c ⊴ other and c ≠ other.
+func (c Constraint) SubsumedBy(other Constraint) bool {
+	return c.SubsumedByOrEqual(other) && !c.Equal(other)
+}
+
+// Equal reports structural equality.
+func (c Constraint) Equal(other Constraint) bool {
+	if len(c.Vals) != len(other.Vals) {
+		return false
+	}
+	for i, v := range c.Vals {
+		if v != other.Vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the canonical store key of the constraint: the little-endian
+// concatenation of uint32(Vals[i]) (Wildcard encodes as 0xFFFFFFFF).
+// Constraints from different tuples that bind the same values produce equal
+// keys, which is what makes the global µ(C,M) store shareable.
+func (c Constraint) Key() Key {
+	buf := make([]byte, 4*len(c.Vals))
+	for i, v := range c.Vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return Key(buf)
+}
+
+// Key is the canonical map key for a constraint. It is a plain string of
+// bytes; see Constraint.Key.
+type Key string
+
+// ParseKey decodes a Key back into a Constraint over d dimensions.
+func ParseKey(k Key, d int) (Constraint, error) {
+	if len(k) != 4*d {
+		return Constraint{}, fmt.Errorf("lattice: key has %d bytes, want %d for d=%d", len(k), 4*d, d)
+	}
+	vals := make([]int32, d)
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32([]byte(k[4*i : 4*i+4])))
+	}
+	return Constraint{Vals: vals}, nil
+}
+
+// KeyFromTuple builds the store key for the member of C^t selected by mask
+// without materialising a Constraint. It must stay byte-identical to
+// FromTuple(t, mask).Key().
+func KeyFromTuple(t *relation.Tuple, mask Mask) Key {
+	buf := make([]byte, 4*len(t.Dims))
+	for i := range t.Dims {
+		v := Wildcard
+		if mask&(1<<uint(i)) != 0 {
+			v = t.Dims[i]
+		}
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return Key(buf)
+}
+
+// Format renders the constraint using decoded dimension values, in the
+// paper's style: "team=Celtics ∧ opp_team=Nets", or "⊤" when unbound.
+func (c Constraint) Format(s *relation.Schema, dict *relation.Dict) string {
+	var parts []string
+	for i, v := range c.Vals {
+		if v == Wildcard {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", s.Dim(i).Name, dict.Decode(i, v)))
+	}
+	if len(parts) == 0 {
+		return "⊤"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Mask identifies a member of a per-tuple lattice C^t: bit i set means
+// attribute d_i is bound (to the tuple's value).
+type Mask = uint32
+
+// FullMask returns ⊥(C^t) for d dimensions: all attributes bound.
+func FullMask(d int) Mask { return (1 << uint(d)) - 1 }
+
+// PopCount returns the number of bound attributes of mask, bound(C).
+func PopCount(m Mask) int { return bits.OnesCount32(m) }
+
+// SharedMask returns the bitmask of dimension attributes on which t and u
+// take equal values. The intersection lattice C^{t,u} is exactly the set of
+// submasks of SharedMask(t, u), whose bottom ⊥(C^{t,u}) is the shared mask
+// itself (Def. 8).
+func SharedMask(t, u *relation.Tuple) Mask {
+	var m Mask
+	for i := range t.Dims {
+		if t.Dims[i] == u.Dims[i] {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Parents appends to dst the parents of mask within C^t over d dimensions:
+// each parent unbinds exactly one bound attribute. |parents| = popcount.
+func Parents(mask Mask, dst []Mask) []Mask {
+	for m := mask; m != 0; {
+		bit := m & -m
+		dst = append(dst, mask&^bit)
+		m &^= bit
+	}
+	return dst
+}
+
+// Children appends to dst the children of mask within C^t over d
+// dimensions: each child binds exactly one more attribute.
+// |children| = d - popcount.
+func Children(mask Mask, d int, dst []Mask) []Mask {
+	for unbound := FullMask(d) &^ mask; unbound != 0; {
+		bit := unbound & -unbound
+		dst = append(dst, mask|bit)
+		unbound &^= bit
+	}
+	return dst
+}
+
+// IsSubmask reports a ⊆ b as attribute sets, i.e. whether the constraint
+// with mask b (within some C^t) is subsumed-by-or-equal the one with mask
+// a... NOTE the order: within C^t, constraint(m1) ⊴ constraint(m2) iff
+// m2 ⊆ m1 (binding MORE attributes makes a constraint MORE specific).
+func IsSubmask(a, b Mask) bool { return a&^b == 0 }
+
+// SubmasksOf calls fn for every submask of m, including m itself and 0.
+// This enumerates the intersection lattice C^{t,t'} when m is the shared
+// mask. The visit order is decreasing unsigned value.
+func SubmasksOf(m Mask, fn func(Mask)) {
+	s := m
+	for {
+		fn(s)
+		if s == 0 {
+			return
+		}
+		s = (s - 1) & m
+	}
+}
+
+// MasksByLevel returns all masks over d dimensions with popcount ≤ maxBound,
+// grouped by popcount level: result[k] holds all masks with k bound
+// attributes. It is used for deterministic level-order traversals and for
+// test oracles. maxBound < 0 means no cap.
+func MasksByLevel(d, maxBound int) [][]Mask {
+	if maxBound < 0 || maxBound > d {
+		maxBound = d
+	}
+	levels := make([][]Mask, maxBound+1)
+	for m := Mask(0); m <= FullMask(d); m++ {
+		k := PopCount(m)
+		if k <= maxBound {
+			levels[k] = append(levels[k], m)
+		}
+		if d == 0 {
+			break
+		}
+	}
+	return levels
+}
+
+// CountMasks returns |{m : popcount(m) ≤ maxBound}| over d dimensions,
+// i.e. the size of the (possibly d̂-truncated) per-tuple lattice.
+func CountMasks(d, maxBound int) int {
+	if maxBound < 0 || maxBound >= d {
+		return 1 << uint(d)
+	}
+	total := 0
+	choose := 1
+	for k := 0; k <= maxBound; k++ {
+		total += choose
+		choose = choose * (d - k) / (k + 1)
+	}
+	return total
+}

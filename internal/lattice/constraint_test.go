@@ -1,0 +1,294 @@
+package lattice
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func miniSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	s, err := relation.NewSchema("r",
+		[]relation.DimAttr{{Name: "d1"}, {Name: "d2"}, {Name: "d3"}},
+		[]relation.MeasureAttr{{Name: "m1"}, {Name: "m2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkTuple(t *testing.T, s *relation.Schema, dims ...int32) *relation.Tuple {
+	t.Helper()
+	tu, err := relation.NewTuple(s, 0, dims, make([]float64, s.NumMeasures()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tu
+}
+
+func TestTopAndFromTuple(t *testing.T) {
+	s := miniSchema(t)
+	tu := mkTuple(t, s, 7, 8, 9)
+	top := Top(3)
+	if !top.IsTop() || top.Bound() != 0 {
+		t.Errorf("Top(3) = %v", top)
+	}
+	c := FromTuple(tu, 0b101)
+	want := Constraint{Vals: []int32{7, Wildcard, 9}}
+	if !c.Equal(want) {
+		t.Errorf("FromTuple = %v, want %v", c, want)
+	}
+	if c.Bound() != 2 || c.BoundMask() != 0b101 {
+		t.Errorf("Bound = %d, BoundMask = %b", c.Bound(), c.BoundMask())
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	s := miniSchema(t)
+	tu := mkTuple(t, s, 1, 2, 3)
+	other := mkTuple(t, s, 1, 5, 3)
+	c := FromTuple(tu, 0b101) // d1=1 ∧ d3=3
+	if !c.Satisfies(tu) {
+		t.Error("tuple does not satisfy its own constraint")
+	}
+	if !c.Satisfies(other) {
+		t.Error("other should satisfy d1=1 ∧ d3=3")
+	}
+	c2 := FromTuple(tu, 0b010) // d2=2
+	if c2.Satisfies(other) {
+		t.Error("other should not satisfy d2=2")
+	}
+	if !Top(3).Satisfies(other) {
+		t.Error("every tuple satisfies ⊤")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	// Example 4 of the paper: C1=〈a,b,c〉 ◁ C2=〈a,*,c〉.
+	c1 := Constraint{Vals: []int32{0, 1, 2}}
+	c2 := Constraint{Vals: []int32{0, Wildcard, 2}}
+	if !c1.SubsumedBy(c2) {
+		t.Error("〈a,b,c〉 should be subsumed by 〈a,*,c〉")
+	}
+	if c2.SubsumedBy(c1) {
+		t.Error("subsumption should not be symmetric")
+	}
+	if !c1.SubsumedByOrEqual(c1) || c1.SubsumedBy(c1) {
+		t.Error("⊴ must be reflexive, ◁ irreflexive")
+	}
+	// Different bound values are incomparable.
+	c3 := Constraint{Vals: []int32{5, Wildcard, 2}}
+	if c1.SubsumedByOrEqual(c3) || c3.SubsumedByOrEqual(c1) {
+		t.Error("constraints with conflicting values must be incomparable")
+	}
+	// Everything is subsumed by ⊤.
+	if !c1.SubsumedBy(Top(3)) || !c2.SubsumedBy(Top(3)) {
+		t.Error("⊤ must subsume everything")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	s := miniSchema(t)
+	tu := mkTuple(t, s, 4, 0, 123456)
+	for mask := Mask(0); mask < 8; mask++ {
+		c := FromTuple(tu, mask)
+		k := c.Key()
+		if k2 := KeyFromTuple(tu, mask); k2 != k {
+			t.Errorf("mask %b: KeyFromTuple = %x, Constraint.Key = %x", mask, k2, k)
+		}
+		back, err := ParseKey(k, 3)
+		if err != nil {
+			t.Fatalf("ParseKey: %v", err)
+		}
+		if !back.Equal(c) {
+			t.Errorf("mask %b: round trip %v != %v", mask, back, c)
+		}
+	}
+	if _, err := ParseKey("short", 3); err == nil {
+		t.Error("ParseKey accepted wrong length")
+	}
+}
+
+func TestKeysEqualAcrossTuples(t *testing.T) {
+	s := miniSchema(t)
+	a := mkTuple(t, s, 1, 2, 3)
+	b := mkTuple(t, s, 1, 9, 3)
+	// Constraints binding only shared attrs must collide.
+	if KeyFromTuple(a, 0b101) != KeyFromTuple(b, 0b101) {
+		t.Error("same bound values must give same key")
+	}
+	if KeyFromTuple(a, 0b111) == KeyFromTuple(b, 0b111) {
+		t.Error("different bound values must give different keys")
+	}
+}
+
+func TestSharedMask(t *testing.T) {
+	s := miniSchema(t)
+	a := mkTuple(t, s, 1, 2, 3)
+	b := mkTuple(t, s, 1, 9, 3)
+	if got := SharedMask(a, b); got != 0b101 {
+		t.Errorf("SharedMask = %b, want 101", got)
+	}
+	if got := SharedMask(a, a); got != 0b111 {
+		t.Errorf("SharedMask(self) = %b, want 111", got)
+	}
+	c := mkTuple(t, s, 7, 8, 9)
+	if got := SharedMask(a, c); got != 0 {
+		t.Errorf("SharedMask(disjoint) = %b, want 0 (⊥ = ⊤ case of Def. 8)", got)
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	var ps []Mask
+	ps = Parents(0b101, ps)
+	if len(ps) != 2 {
+		t.Fatalf("parents of 101: %b", ps)
+	}
+	seen := map[Mask]bool{}
+	for _, p := range ps {
+		seen[p] = true
+		if bits.OnesCount32(p) != 1 || p&^Mask(0b101) != 0 {
+			t.Errorf("bad parent %b", p)
+		}
+	}
+	if !seen[0b100] || !seen[0b001] {
+		t.Errorf("parents = %b, want {100, 001}", ps)
+	}
+
+	var cs []Mask
+	cs = Children(0b001, 3, cs)
+	if len(cs) != 2 {
+		t.Fatalf("children of 001 in d=3: %b", cs)
+	}
+	seen = map[Mask]bool{}
+	for _, c := range cs {
+		seen[c] = true
+	}
+	if !seen[0b011] || !seen[0b101] {
+		t.Errorf("children = %b, want {011, 101}", cs)
+	}
+	if got := Parents(0, nil); len(got) != 0 {
+		t.Errorf("⊤ has no parents, got %b", got)
+	}
+	if got := Children(0b111, 3, nil); len(got) != 0 {
+		t.Errorf("⊥ has no children, got %b", got)
+	}
+}
+
+func TestSubmasksOf(t *testing.T) {
+	var got []Mask
+	SubmasksOf(0b101, func(m Mask) { got = append(got, m) })
+	want := map[Mask]bool{0b101: true, 0b100: true, 0b001: true, 0: true}
+	if len(got) != len(want) {
+		t.Fatalf("SubmasksOf(101) = %b, want 4 masks", got)
+	}
+	for _, m := range got {
+		if !want[m] {
+			t.Errorf("unexpected submask %b", m)
+		}
+	}
+	got = nil
+	SubmasksOf(0, func(m Mask) { got = append(got, m) })
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("SubmasksOf(0) = %v", got)
+	}
+}
+
+func TestIsSubmaskOrientation(t *testing.T) {
+	// constraint(m2) ⊴ constraint(m1) within C^t iff m1 ⊆ m2.
+	s := miniSchema(t)
+	tu := mkTuple(t, s, 1, 2, 3)
+	for m1 := Mask(0); m1 < 8; m1++ {
+		for m2 := Mask(0); m2 < 8; m2++ {
+			c1, c2 := FromTuple(tu, m1), FromTuple(tu, m2)
+			if got, want := c2.SubsumedByOrEqual(c1), IsSubmask(m1, m2); got != want {
+				t.Errorf("m1=%b m2=%b: SubsumedByOrEqual=%v IsSubmask=%v", m1, m2, got, want)
+			}
+		}
+	}
+}
+
+func TestMasksByLevelAndCount(t *testing.T) {
+	levels := MasksByLevel(4, 2)
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3 (bound 0..2)", len(levels))
+	}
+	wantSizes := []int{1, 4, 6}
+	total := 0
+	for k, lv := range levels {
+		if len(lv) != wantSizes[k] {
+			t.Errorf("level %d has %d masks, want %d", k, len(lv), wantSizes[k])
+		}
+		for _, m := range lv {
+			if PopCount(m) != k {
+				t.Errorf("mask %b in level %d", m, k)
+			}
+		}
+		total += len(lv)
+	}
+	if got := CountMasks(4, 2); got != total {
+		t.Errorf("CountMasks(4,2) = %d, want %d", got, total)
+	}
+	if got := CountMasks(5, -1); got != 32 {
+		t.Errorf("CountMasks(5,-1) = %d, want 32", got)
+	}
+	if got := CountMasks(5, 7); got != 32 {
+		t.Errorf("CountMasks(5,7) = %d, want 32", got)
+	}
+}
+
+// Property: subsumption defined on constraint vectors coincides with mask
+// inclusion for random pairs from the same tuple, and SharedMask produces a
+// lattice bottom that both tuples satisfy.
+func TestSharedMaskProperty(t *testing.T) {
+	s := miniSchema(t)
+	f := func(a0, a1, a2, b0, b1, b2 uint8) bool {
+		a := mkTupleQuick(s, int32(a0%4), int32(a1%4), int32(a2%4))
+		b := mkTupleQuick(s, int32(b0%4), int32(b1%4), int32(b2%4))
+		shared := SharedMask(a, b)
+		bottom := FromTuple(a, shared)
+		if !bottom.Satisfies(a) || !bottom.Satisfies(b) {
+			return false
+		}
+		// Any mask binding an attribute outside shared is not satisfied by
+		// both (unless values coincide, which shared already captures).
+		for m := Mask(0); m < 8; m++ {
+			c := FromTuple(a, m)
+			both := c.Satisfies(a) && c.Satisfies(b)
+			if both != IsSubmask(m, shared) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkTupleQuick(s *relation.Schema, dims ...int32) *relation.Tuple {
+	tu, err := relation.NewTuple(s, 0, dims, make([]float64, s.NumMeasures()))
+	if err != nil {
+		panic(err)
+	}
+	return tu
+}
+
+func TestConstraintFormat(t *testing.T) {
+	s := miniSchema(t)
+	tb := relation.NewTable(s)
+	tu, err := tb.Append([]string{"a1", "b1", "c1"}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FromTuple(tu, 0b011)
+	got := c.Format(s, tb.Dict())
+	if got != "d1=a1 ∧ d2=b1" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := Top(3).Format(s, tb.Dict()); got != "⊤" {
+		t.Errorf("Format(⊤) = %q", got)
+	}
+}

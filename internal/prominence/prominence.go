@@ -1,0 +1,98 @@
+// Package prominence implements §VII of Sultana et al., ICDE 2014: ranking
+// the situational facts S_t of an arriving tuple by the prominence measure
+//
+//	prominence(C, M) = |σ_C(R)| / |λ_M(σ_C(R))|
+//
+// (context cardinality over contextual-skyline cardinality; larger ratios
+// mean rarer, more newsworthy facts), and selecting the PROMINENT facts:
+// those attaining the highest prominence among S_t, provided that value
+// reaches a threshold τ. Because a context must hold at least τ tuples to
+// yield prominence ≥ τ, prominent facts are intrinsically rare.
+package prominence
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/subspace"
+)
+
+// ScoredFact is a fact with its prominence value and the two cardinalities
+// it derives from.
+type ScoredFact struct {
+	core.Fact
+	// ContextSize is |σ_C(R)| including the arriving tuple.
+	ContextSize int64
+	// SkylineSize is |λ_M(σ_C(R))| including the arriving tuple.
+	SkylineSize int
+	// Prominence is ContextSize / SkylineSize.
+	Prominence float64
+}
+
+// ContextSizer supplies |σ_C(R)|; core.ContextCounter implements it.
+type ContextSizer interface {
+	ContextSize(c lattice.Constraint) int64
+}
+
+// Score computes the prominence of every fact and returns them sorted in
+// descending prominence (ties broken by more bound attributes first, then
+// smaller subspace, for stable and intuition-friendly output).
+func Score(facts []core.Fact, ctx ContextSizer, sky core.SkylineSizer) []ScoredFact {
+	out := make([]ScoredFact, 0, len(facts))
+	for _, f := range facts {
+		cs := ctx.ContextSize(f.Constraint)
+		ss := sky.SkylineSize(f.Constraint, f.Subspace)
+		sf := ScoredFact{Fact: f, ContextSize: cs, SkylineSize: ss}
+		if ss > 0 {
+			sf.Prominence = float64(cs) / float64(ss)
+		}
+		out = append(out, sf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prominence != out[j].Prominence {
+			return out[i].Prominence > out[j].Prominence
+		}
+		bi, bj := out[i].Constraint.Bound(), out[j].Constraint.Bound()
+		if bi != bj {
+			return bi > bj
+		}
+		si, sj := subspace.Size(out[i].Subspace), subspace.Size(out[j].Subspace)
+		if si != sj {
+			return si < sj
+		}
+		if out[i].Subspace != out[j].Subspace {
+			return out[i].Subspace < out[j].Subspace
+		}
+		return out[i].Constraint.Key() < out[j].Constraint.Key()
+	})
+	return out
+}
+
+// TopK returns the k highest-prominence facts (all of them if k ≤ 0 or
+// k ≥ len). The input must come from Score (sorted).
+func TopK(scored []ScoredFact, k int) []ScoredFact {
+	if k <= 0 || k >= len(scored) {
+		return scored
+	}
+	return scored[:k]
+}
+
+// Prominent returns the facts whose prominence equals the maximum among
+// the input AND is ≥ tau — the paper's definition of the prominent facts
+// pertinent to one arrival (ties make this a set). The input must come
+// from Score (sorted descending).
+func Prominent(scored []ScoredFact, tau float64) []ScoredFact {
+	if len(scored) == 0 {
+		return nil
+	}
+	best := scored[0].Prominence
+	if best < tau {
+		return nil
+	}
+	i := 0
+	for i < len(scored) && scored[i].Prominence == best {
+		i++
+	}
+	return scored[:i]
+}

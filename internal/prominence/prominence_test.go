@@ -1,0 +1,193 @@
+package prominence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/subspace"
+)
+
+// paperExample reproduces §VII's worked prominence computations on
+// Table I: (month=Feb, {points,assists,rebounds}) has prominence 5/2 and
+// (team=Celtics ∧ opp=Nets, {assists,rebounds}) has 3/2.
+func TestPaperProminenceExample(t *testing.T) {
+	s, err := relation.NewSchema("gamelog",
+		[]relation.DimAttr{{Name: "player"}, {Name: "month"}, {Name: "season"}, {Name: "team"}, {Name: "opp_team"}},
+		[]relation.MeasureAttr{
+			{Name: "points", Direction: relation.LargerBetter},
+			{Name: "assists", Direction: relation.LargerBetter},
+			{Name: "rebounds", Direction: relation.LargerBetter},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := relation.NewTable(s)
+	rows := []struct {
+		d []string
+		m []float64
+	}{
+		{[]string{"Bogues", "Feb", "1991-92", "Hornets", "Hawks"}, []float64{4, 12, 5}},
+		{[]string{"Seikaly", "Feb", "1991-92", "Heat", "Hawks"}, []float64{24, 5, 15}},
+		{[]string{"Sherman", "Dec", "1993-94", "Celtics", "Nets"}, []float64{13, 13, 5}},
+		{[]string{"Wesley", "Feb", "1994-95", "Celtics", "Nets"}, []float64{2, 5, 2}},
+		{[]string{"Wesley", "Feb", "1994-95", "Celtics", "Timberwolves"}, []float64{3, 5, 3}},
+		{[]string{"Strickland", "Jan", "1995-96", "Blazers", "Celtics"}, []float64{27, 18, 8}},
+		{[]string{"Wesley", "Feb", "1995-96", "Celtics", "Nets"}, []float64{12, 13, 5}},
+	}
+	alg, err := core.NewBottomUp(core.Config{Schema: s, MaxBound: -1, MaxMeasure: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := core.NewContextCounter(5, -1)
+	var facts []core.Fact
+	for _, r := range rows {
+		tu, err := tb.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts = alg.Process(tu)
+		cc.Observe(tu)
+	}
+	scored := Score(facts, cc, alg)
+	if len(scored) != 195 {
+		t.Fatalf("t7 has %d scored facts", len(scored))
+	}
+	find := func(c lattice.Constraint, m subspace.Mask) *ScoredFact {
+		for i := range scored {
+			if scored[i].Subspace == m && scored[i].Constraint.Equal(c) {
+				return &scored[i]
+			}
+		}
+		return nil
+	}
+	W := lattice.Wildcard
+	feb, _ := tb.Dict().Lookup(1, "Feb")
+	celtics, _ := tb.Dict().Lookup(3, "Celtics")
+	nets, _ := tb.Dict().Lookup(4, "Nets")
+
+	f1 := find(lattice.Constraint{Vals: []int32{W, feb, W, W, W}}, 0b111)
+	if f1 == nil {
+		t.Fatal("(month=Feb, full) not among scored facts")
+	}
+	if f1.ContextSize != 5 || f1.SkylineSize != 2 || f1.Prominence != 2.5 {
+		t.Errorf("(month=Feb, full): %d/%d = %g, want 5/2 = 2.5", f1.ContextSize, f1.SkylineSize, f1.Prominence)
+	}
+	f2 := find(lattice.Constraint{Vals: []int32{W, W, W, celtics, nets}}, 0b110)
+	if f2 == nil {
+		t.Fatal("(Celtics∧Nets, {assists,rebounds}) not among scored facts")
+	}
+	if f2.ContextSize != 3 || f2.SkylineSize != 2 || f2.Prominence != 1.5 {
+		t.Errorf("(Celtics∧Nets, {a,r}): %d/%d = %g, want 3/2 = 1.5", f2.ContextSize, f2.SkylineSize, f2.Prominence)
+	}
+
+	// §VII claims the highest prominence among S_t7 is 3 — but Table I
+	// itself refutes that: (month=Feb, {assists}) has a 5-tuple context in
+	// which t7 alone (13 assists) is the skyline, i.e. prominence 5. The
+	// paper's two worked examples do attain exactly 3, which we verify
+	// below; the true maximum of 5 is recorded as a paper erratum in
+	// EXPERIMENTS.md.
+	if scored[0].Prominence != 5 {
+		t.Errorf("max prominence = %g, want 5 (see erratum note)", scored[0].Prominence)
+	}
+	febAssists := find(lattice.Constraint{Vals: []int32{W, feb, W, W, W}}, 0b010)
+	if febAssists == nil || febAssists.Prominence != 5 {
+		t.Errorf("(month=Feb, {assists}) should have prominence 5, got %+v", febAssists)
+	}
+	wesley, _ := tb.Dict().Lookup(0, "Wesley")
+	fw := find(lattice.Constraint{Vals: []int32{wesley, W, W, W, W}}, 0b100)
+	if fw == nil || fw.Prominence != 3 {
+		t.Errorf("(player=Wesley, {rebounds}) prominence = %+v, want 3", fw)
+	}
+	fc := find(lattice.Constraint{Vals: []int32{W, feb, W, celtics, W}}, 0b001)
+	if fc == nil || fc.Prominence != 3 {
+		t.Errorf("(month=Feb ∧ team=Celtics, {points}) prominence = %+v, want 3", fc)
+	}
+	// Prominent facts = the max-prominence group when it clears τ.
+	prom := Prominent(scored, 3)
+	if len(prom) == 0 {
+		t.Fatal("no prominent facts at τ=3")
+	}
+	for _, f := range prom {
+		if f.Prominence != 5 {
+			t.Errorf("prominent fact with prominence %g ≠ max 5", f.Prominence)
+		}
+	}
+	// With τ above the max, nothing is prominent.
+	if got := Prominent(scored, 5.5); len(got) != 0 {
+		t.Errorf("Prominent(τ=5.5) = %d facts, want 0", len(got))
+	}
+	// Ordering: descending prominence.
+	for i := 1; i < len(scored); i++ {
+		if scored[i].Prominence > scored[i-1].Prominence {
+			t.Fatal("Score output not sorted by descending prominence")
+		}
+	}
+	// TopK.
+	if got := TopK(scored, 10); len(got) != 10 {
+		t.Errorf("TopK(10) returned %d", len(got))
+	}
+	if got := TopK(scored, 0); len(got) != len(scored) {
+		t.Errorf("TopK(0) should return all")
+	}
+	if got := TopK(scored, 9999); len(got) != len(scored) {
+		t.Errorf("TopK(big) should return all")
+	}
+}
+
+// TestSizerAgreement: the BottomUp and TopDown skyline-size computations
+// must agree on random streams (they implement the same quantity over
+// different storage schemes).
+func TestSizerAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	dims := []relation.DimAttr{{Name: "d1"}, {Name: "d2"}, {Name: "d3"}}
+	measures := []relation.MeasureAttr{{Name: "m1"}, {Name: "m2"}}
+	s, err := relation.NewSchema("r", dims, measures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := relation.NewTable(s)
+	bu, _ := core.NewBottomUp(core.Config{Schema: s, MaxBound: -1, MaxMeasure: -1})
+	td, _ := core.NewTopDown(core.Config{Schema: s, MaxBound: -1, MaxMeasure: -1})
+	cc := core.NewContextCounter(3, -1)
+	for i := 0; i < 60; i++ {
+		tu, err := tb.AppendEncoded(
+			[]int32{int32(rng.Intn(2)), int32(rng.Intn(3)), int32(rng.Intn(2))},
+			[]float64{float64(rng.Intn(5)), float64(rng.Intn(5))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts := bu.Process(tu)
+		td.Process(tu)
+		cc.Observe(tu)
+		sb := Score(facts, cc, bu)
+		st := Score(facts, cc, td)
+		for j := range sb {
+			if sb[j].SkylineSize != st[j].SkylineSize || sb[j].Prominence != st[j].Prominence {
+				t.Fatalf("tuple %d fact %d: BottomUp sizer %d vs TopDown sizer %d",
+					i, j, sb[j].SkylineSize, st[j].SkylineSize)
+			}
+			if sb[j].SkylineSize < 1 {
+				t.Fatalf("skyline size %d < 1 for an emitted fact", sb[j].SkylineSize)
+			}
+			if sb[j].ContextSize < int64(sb[j].SkylineSize) {
+				t.Fatalf("context smaller than its skyline: %d < %d", sb[j].ContextSize, sb[j].SkylineSize)
+			}
+		}
+	}
+}
+
+func TestEmptyScore(t *testing.T) {
+	if got := Score(nil, core.NewContextCounter(2, -1), sizerFunc(func(lattice.Constraint, subspace.Mask) int { return 1 })); len(got) != 0 {
+		t.Errorf("Score(nil) = %v", got)
+	}
+	if got := Prominent(nil, 1); got != nil {
+		t.Errorf("Prominent(nil) = %v", got)
+	}
+}
+
+type sizerFunc func(lattice.Constraint, subspace.Mask) int
+
+func (f sizerFunc) SkylineSize(c lattice.Constraint, m subspace.Mask) int { return f(c, m) }

@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary tuple codec used by the file-backed µ(C,M) store (paper §VI-C:
+// "each non-empty µC,M is stored as a binary file"). The layout is
+// fixed-width given a schema:
+//
+//	int64  ID        (little endian)
+//	int32  Dims[i]   for each dimension
+//	float64 Raw[i]   for each measure
+//
+// Oriented values are recomputed from Raw on decode, so files stay
+// direction-agnostic and re-orientable if a schema is reloaded.
+
+// EncodedSize returns the byte size of one encoded tuple under schema s.
+func EncodedSize(s *Schema) int {
+	return 8 + 4*s.NumDims() + 8*s.NumMeasures()
+}
+
+// EncodeTuple appends the binary encoding of t to dst and returns the
+// extended slice.
+func EncodeTuple(dst []byte, s *Schema, t *Tuple) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.ID))
+	for _, d := range t.Dims {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+	}
+	for _, v := range t.Raw {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from the front of src, returning the tuple
+// and the remaining bytes.
+func DecodeTuple(src []byte, s *Schema) (*Tuple, []byte, error) {
+	need := EncodedSize(s)
+	if len(src) < need {
+		return nil, nil, fmt.Errorf("relation: decode: need %d bytes, have %d", need, len(src))
+	}
+	t := &Tuple{
+		ID:       int64(binary.LittleEndian.Uint64(src)),
+		Dims:     make([]int32, s.NumDims()),
+		Raw:      make([]float64, s.NumMeasures()),
+		Oriented: make([]float64, s.NumMeasures()),
+	}
+	off := 8
+	for i := range t.Dims {
+		t.Dims[i] = int32(binary.LittleEndian.Uint32(src[off:]))
+		off += 4
+	}
+	for i := range t.Raw {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+		t.Raw[i] = v
+		if s.Measure(i).Direction == SmallerBetter {
+			t.Oriented[i] = -v
+		} else {
+			t.Oriented[i] = v
+		}
+	}
+	return t, src[need:], nil
+}
+
+// EncodeTuples encodes a whole cell (slice of tuples) into one buffer.
+func EncodeTuples(s *Schema, ts []*Tuple) []byte {
+	buf := make([]byte, 0, len(ts)*EncodedSize(s))
+	for _, t := range ts {
+		buf = EncodeTuple(buf, s, t)
+	}
+	return buf
+}
+
+// DecodeTuples decodes a whole cell buffer produced by EncodeTuples.
+func DecodeTuples(src []byte, s *Schema) ([]*Tuple, error) {
+	size := EncodedSize(s)
+	if len(src)%size != 0 {
+		return nil, fmt.Errorf("relation: decode: buffer length %d not a multiple of tuple size %d", len(src), size)
+	}
+	out := make([]*Tuple, 0, len(src)/size)
+	for len(src) > 0 {
+		t, rest, err := DecodeTuple(src, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		src = rest
+	}
+	return out, nil
+}

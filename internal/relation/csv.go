@@ -1,0 +1,96 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV import/export for tables. The column layout is: all dimension
+// attributes in schema order, then all measure attributes in schema order.
+// A header row with the attribute names is written on export and verified
+// on import when present.
+
+// WriteCSV writes the table (header + rows) to w.
+func WriteCSV(w io.Writer, tb *Table) error {
+	cw := csv.NewWriter(w)
+	s := tb.Schema()
+	header := make([]string, 0, s.NumDims()+s.NumMeasures())
+	for i := 0; i < s.NumDims(); i++ {
+		header = append(header, s.Dim(i).Name)
+	}
+	for i := 0; i < s.NumMeasures(); i++ {
+		header = append(header, s.Measure(i).Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range tb.Tuples() {
+		for i, c := range t.Dims {
+			row[i] = tb.Dict().Decode(i, c)
+		}
+		for i, v := range t.Raw {
+			row[s.NumDims()+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV appends all rows from r into tb. If the first row equals the
+// schema's attribute names it is treated as a header and skipped.
+// It returns the number of tuples appended.
+func ReadCSV(r io.Reader, tb *Table) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = tb.Schema().NumDims() + tb.Schema().NumMeasures()
+	s := tb.Schema()
+	n := 0
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("relation: read csv: %w", err)
+		}
+		if first {
+			first = false
+			if isHeader(rec, s) {
+				continue
+			}
+		}
+		dims := rec[:s.NumDims()]
+		measures := make([]float64, s.NumMeasures())
+		for i, f := range rec[s.NumDims():] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return n, fmt.Errorf("relation: read csv row %d: bad measure %q: %w", n+1, f, err)
+			}
+			measures[i] = v
+		}
+		if _, err := tb.Append(dims, measures); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func isHeader(rec []string, s *Schema) bool {
+	for i := 0; i < s.NumDims(); i++ {
+		if rec[i] != s.Dim(i).Name {
+			return false
+		}
+	}
+	for i := 0; i < s.NumMeasures(); i++ {
+		if rec[s.NumDims()+i] != s.Measure(i).Name {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+)
+
+// File is the file-backed µ(C,M) store of the paper's §VI-C: "each
+// non-empty µC,M is stored as a binary file. Since the size of µC,M for any
+// particular constraint-measure pair is small, all tuples in the
+// corresponding file are read into a memory buffer when the pair is
+// visited. Insertion and deletion are then performed on the buffer. When an
+// algorithm finishes processing the pair, the file is overwritten by the
+// buffer's content."
+//
+// Files are named by the hex of the constraint key plus the subspace mask
+// and sharded into 256 subdirectories by a simple byte fold, keeping
+// directory sizes manageable for large lattices.
+type File struct {
+	dir    string
+	schema *relation.Schema
+	stats  Stats
+	// cellSizes tracks the entry count of every non-empty cell so that
+	// StoredTuples/Cells stay O(1); it mirrors what is on disk.
+	cellSizes map[CellKey]int
+}
+
+// NewFile creates (or reuses) dir as the store root. The directory and its
+// 256 shard subdirectories are created eagerly, so the Save hot path does
+// no mkdir work. Any pre-existing cell files are ignored (the paper's
+// experiments always start from an empty store); use a fresh directory per
+// run.
+func NewFile(dir string, schema *relation.Schema) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	for i := 0; i < 256; i++ {
+		if err := os.MkdirAll(filepath.Join(dir, fmt.Sprintf("%02x", i)), 0o755); err != nil {
+			return nil, fmt.Errorf("store: create shard dir: %w", err)
+		}
+	}
+	return &File{dir: dir, schema: schema, cellSizes: make(map[CellKey]int)}, nil
+}
+
+func (f *File) path(k CellKey) string {
+	name := hex.EncodeToString([]byte(k.C)) + fmt.Sprintf("-%x.cell", k.M)
+	var shard byte
+	for i := 0; i < len(k.C); i++ {
+		shard ^= k.C[i]
+	}
+	shard ^= byte(k.M)
+	return filepath.Join(f.dir, fmt.Sprintf("%02x", shard), name)
+}
+
+// Load implements Store: reads the cell file into fresh tuples.
+func (f *File) Load(k CellKey) []*relation.Tuple {
+	n, ok := f.cellSizes[k]
+	if !ok || n == 0 {
+		return nil
+	}
+	buf, err := os.ReadFile(f.path(k))
+	if err != nil {
+		// The size index says the file exists; treat loss as corruption.
+		panic(fmt.Sprintf("store: cell %v vanished: %v", k, err))
+	}
+	f.stats.Reads++
+	ts, err := relation.DecodeTuples(buf, f.schema)
+	if err != nil {
+		panic(fmt.Sprintf("store: cell %v corrupt: %v", k, err))
+	}
+	return ts
+}
+
+// Save implements Store: overwrites (or deletes) the cell file.
+func (f *File) Save(k CellKey, ts []*relation.Tuple) {
+	old := f.cellSizes[k]
+	if len(ts) == 0 {
+		if old == 0 {
+			return
+		}
+		if err := os.Remove(f.path(k)); err != nil {
+			panic(fmt.Sprintf("store: remove cell %v: %v", k, err))
+		}
+		delete(f.cellSizes, k)
+		f.stats.Cells--
+		f.stats.StoredTuples -= int64(old)
+		f.stats.Writes++
+		return
+	}
+	p := f.path(k)
+	if err := os.WriteFile(p, relation.EncodeTuples(f.schema, ts), 0o644); err != nil {
+		panic(fmt.Sprintf("store: write cell %v: %v", k, err))
+	}
+	if old == 0 {
+		f.stats.Cells++
+	}
+	f.stats.StoredTuples += int64(len(ts) - old)
+	f.cellSizes[k] = len(ts)
+	f.stats.Writes++
+}
+
+// Stats implements Store.
+func (f *File) Stats() Stats { return f.stats }
+
+// Close implements Store. The cell files are left on disk (they are the
+// persisted state); callers remove the directory when done.
+func (f *File) Close() error { return nil }
+
+// Destroy removes the whole store directory tree.
+func (f *File) Destroy() error { return os.RemoveAll(f.dir) }

@@ -1,0 +1,154 @@
+// Package store implements the µ(C,M) cell store the discovery algorithms
+// maintain: for each constraint–measure-subspace pair, a small set of
+// skyline tuples. Two implementations are provided, matching the paper's
+// two experimental settings:
+//
+//   - Memory: a hash map of cells (paper §VI-B).
+//   - File: one binary file per non-empty cell; a visit reads the whole
+//     cell into a buffer, mutates the buffer, and overwrites the file when
+//     the visit ends (paper §VI-C, verbatim semantics).
+//
+// The Load/Save protocol is shaped by the file implementation: algorithms
+// Load a cell, work on the returned slice, and Save it back if (and only
+// if) they changed it. The memory store returns its live slice, making
+// Save cheap; the file store performs real I/O and counts it.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/subspace"
+)
+
+// CellKey identifies one µ(C,M) cell.
+type CellKey struct {
+	C lattice.Key
+	M subspace.Mask
+}
+
+// Stats reports store-level counters used by the paper's Figures 10 and 12:
+// the number of tuple entries currently stored (Fig 10b) and file I/O
+// operation counts (the cost driver of §VI-C).
+type Stats struct {
+	// StoredTuples is the current total number of tuple entries across all
+	// cells (a tuple stored in k cells counts k times).
+	StoredTuples int64
+	// Cells is the current number of non-empty cells.
+	Cells int64
+	// Reads counts cell loads that had to fetch a non-empty cell
+	// (file reads for the file store).
+	Reads int64
+	// Writes counts cell saves that persisted a change (file writes).
+	Writes int64
+}
+
+// Store is the µ(C,M) abstraction.
+type Store interface {
+	// Load returns the tuples of cell k. The returned slice must be
+	// treated as owned by the caller until the matching Save; the caller
+	// may mutate it in place (append/remove) and must call Save with the
+	// final value if it changed anything.
+	Load(k CellKey) []*relation.Tuple
+	// Save persists the (possibly mutated) cell value.
+	Save(k CellKey, ts []*relation.Tuple)
+	// Stats returns a snapshot of the store counters.
+	Stats() Stats
+	// Close releases resources (files); the store must not be used after.
+	Close() error
+}
+
+// Memory is the in-memory store: a map from cell key to slice.
+type Memory struct {
+	cells map[CellKey][]*relation.Tuple
+	stats Stats
+}
+
+// NewMemory creates an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{cells: make(map[CellKey][]*relation.Tuple)}
+}
+
+// Load implements Store.
+func (m *Memory) Load(k CellKey) []*relation.Tuple {
+	ts := m.cells[k]
+	if len(ts) > 0 {
+		m.stats.Reads++
+	}
+	return ts
+}
+
+// Save implements Store.
+func (m *Memory) Save(k CellKey, ts []*relation.Tuple) {
+	old, existed := m.cells[k]
+	m.stats.StoredTuples += int64(len(ts) - len(old))
+	switch {
+	case len(ts) == 0 && existed:
+		delete(m.cells, k)
+		m.stats.Cells--
+	case len(ts) > 0 && !existed:
+		m.cells[k] = ts
+		m.stats.Cells++
+	case len(ts) > 0:
+		m.cells[k] = ts
+	default:
+		return // empty → empty: nothing happened
+	}
+	m.stats.Writes++
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }
+
+// Walk visits every non-empty cell; used by invariant checkers in tests.
+func (m *Memory) Walk(fn func(CellKey, []*relation.Tuple)) {
+	for k, ts := range m.cells {
+		fn(k, ts)
+	}
+}
+
+// Remove deletes tuple t (by identity) from the slice, returning the
+// shortened slice and whether a removal happened. Order of survivors is
+// preserved. It is the one slice helper every algorithm needs.
+func Remove(ts []*relation.Tuple, t *relation.Tuple) ([]*relation.Tuple, bool) {
+	for i, u := range ts {
+		if u == t {
+			copy(ts[i:], ts[i+1:])
+			ts[len(ts)-1] = nil
+			return ts[:len(ts)-1], true
+		}
+	}
+	return ts, false
+}
+
+// RemoveByID deletes the tuple with the given ID; the file store
+// materialises fresh Tuple values on every load, so identity comparison
+// does not work there and algorithms running over a file store match by ID.
+func RemoveByID(ts []*relation.Tuple, id int64) ([]*relation.Tuple, bool) {
+	for i, u := range ts {
+		if u.ID == id {
+			copy(ts[i:], ts[i+1:])
+			ts[len(ts)-1] = nil
+			return ts[:len(ts)-1], true
+		}
+	}
+	return ts, false
+}
+
+// ContainsID reports whether the cell holds a tuple with the given ID.
+func ContainsID(ts []*relation.Tuple, id int64) bool {
+	for _, u := range ts {
+		if u.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (k CellKey) String() string {
+	return fmt.Sprintf("µ(%x, %b)", string(k.C), k.M)
+}

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/relation"
+)
+
+func storeSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	s, err := relation.NewSchema("r",
+		[]relation.DimAttr{{Name: "d1"}, {Name: "d2"}},
+		[]relation.MeasureAttr{{Name: "m1"}, {Name: "m2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkTuples(t *testing.T, s *relation.Schema, n int) []*relation.Tuple {
+	t.Helper()
+	out := make([]*relation.Tuple, n)
+	for i := range out {
+		tu, err := relation.NewTuple(s, int64(i), []int32{int32(i % 3), int32(i % 2)},
+			[]float64{float64(i), float64(n - i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = tu
+	}
+	return out
+}
+
+func key(t *testing.T, s *relation.Schema, tu *relation.Tuple, cm lattice.Mask, sub uint32) CellKey {
+	t.Helper()
+	return CellKey{C: lattice.KeyFromTuple(tu, cm), M: sub}
+}
+
+func testStoreBasics(t *testing.T, st Store) {
+	s := storeSchema(t)
+	ts := mkTuples(t, s, 5)
+	k1 := key(t, s, ts[0], 0b01, 0b11)
+	k2 := key(t, s, ts[0], 0b11, 0b01)
+
+	if got := st.Load(k1); len(got) != 0 {
+		t.Fatalf("empty cell load = %v", got)
+	}
+	// The store owns saved slices (the memory store keeps them live and the
+	// Load/mutate/Save protocol edits them in place), so hand over copies.
+	st.Save(k1, append([]*relation.Tuple(nil), ts[:3]...))
+	st.Save(k2, append([]*relation.Tuple(nil), ts[3:4]...))
+
+	stats := st.Stats()
+	if stats.StoredTuples != 4 {
+		t.Errorf("StoredTuples = %d, want 4", stats.StoredTuples)
+	}
+	if stats.Cells != 2 {
+		t.Errorf("Cells = %d, want 2", stats.Cells)
+	}
+
+	got := st.Load(k1)
+	if len(got) != 3 {
+		t.Fatalf("loaded %d tuples, want 3", len(got))
+	}
+	for i, u := range got {
+		if u.ID != ts[i].ID || u.Raw[0] != ts[i].Raw[0] || u.Oriented[1] != ts[i].Oriented[1] {
+			t.Errorf("tuple %d mismatch: %+v vs %+v", i, u, ts[i])
+		}
+	}
+
+	// Mutate: drop one, save back.
+	got, removed := RemoveByID(got, ts[1].ID)
+	if !removed {
+		t.Fatal("RemoveByID failed")
+	}
+	st.Save(k1, got)
+	if again := st.Load(k1); len(again) != 2 || ContainsID(again, ts[1].ID) {
+		t.Errorf("after removal: %v", again)
+	}
+	if st.Stats().StoredTuples != 3 {
+		t.Errorf("StoredTuples after removal = %d, want 3", st.Stats().StoredTuples)
+	}
+
+	// Empty a cell: it must disappear.
+	st.Save(k2, nil)
+	if st.Stats().Cells != 1 {
+		t.Errorf("Cells after emptying = %d, want 1", st.Stats().Cells)
+	}
+	if got := st.Load(k2); len(got) != 0 {
+		t.Errorf("emptied cell load = %v", got)
+	}
+
+	// Saving empty to an already-empty cell is a no-op, not a write.
+	w := st.Stats().Writes
+	st.Save(k2, nil)
+	if st.Stats().Writes != w {
+		t.Error("empty→empty save counted as a write")
+	}
+}
+
+func TestMemoryStore(t *testing.T) {
+	testStoreBasics(t, NewMemory())
+}
+
+func TestFileStore(t *testing.T) {
+	s := storeSchema(t)
+	st, err := NewFile(t.TempDir(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	testStoreBasics(t, st)
+}
+
+func TestFileStoreIOCounters(t *testing.T) {
+	s := storeSchema(t)
+	st, err := NewFile(t.TempDir(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := mkTuples(t, s, 3)
+	k := key(t, s, ts[0], 0b11, 0b11)
+
+	// Loads of empty cells must not count as reads (the paper's file-based
+	// cost model: "a file-read operation occurs if µC,M is non-empty").
+	st.Load(k)
+	if st.Stats().Reads != 0 {
+		t.Errorf("empty load counted as read")
+	}
+	st.Save(k, ts)
+	if st.Stats().Writes != 1 {
+		t.Errorf("Writes = %d, want 1", st.Stats().Writes)
+	}
+	st.Load(k)
+	if st.Stats().Reads != 1 {
+		t.Errorf("Reads = %d, want 1", st.Stats().Reads)
+	}
+}
+
+func TestFileStoreFreshTuples(t *testing.T) {
+	// File store materialises new tuple values per load: identity-based
+	// matching would fail, ID-based must work.
+	s := storeSchema(t)
+	st, err := NewFile(t.TempDir(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := mkTuples(t, s, 1)
+	k := key(t, s, ts[0], 0b01, 0b01)
+	st.Save(k, ts)
+	got := st.Load(k)
+	if got[0] == ts[0] {
+		t.Error("file store returned the original pointer (unexpected aliasing)")
+	}
+	if _, ok := RemoveByID(got, ts[0].ID); !ok {
+		t.Error("RemoveByID must match file-loaded tuples")
+	}
+}
+
+func TestMemoryWalk(t *testing.T) {
+	s := storeSchema(t)
+	m := NewMemory()
+	ts := mkTuples(t, s, 4)
+	m.Save(key(t, s, ts[0], 0b01, 0b01), ts[:2])
+	m.Save(key(t, s, ts[0], 0b10, 0b10), ts[2:])
+	cells, entries := 0, 0
+	m.Walk(func(k CellKey, ts []*relation.Tuple) {
+		cells++
+		entries += len(ts)
+	})
+	if cells != 2 || entries != 4 {
+		t.Errorf("Walk saw %d cells / %d entries, want 2 / 4", cells, entries)
+	}
+}
+
+func TestRemoveHelpers(t *testing.T) {
+	s := storeSchema(t)
+	ts := mkTuples(t, s, 3)
+	sl := append([]*relation.Tuple(nil), ts...)
+	sl, ok := Remove(sl, ts[1])
+	if !ok || len(sl) != 2 || sl[0] != ts[0] || sl[1] != ts[2] {
+		t.Errorf("Remove: %v %v", ok, sl)
+	}
+	if _, ok := Remove(sl, ts[1]); ok {
+		t.Error("Remove found an absent tuple")
+	}
+	if ContainsID(sl, ts[1].ID) {
+		t.Error("ContainsID found removed tuple")
+	}
+	if !ContainsID(sl, ts[2].ID) {
+		t.Error("ContainsID missed present tuple")
+	}
+	if _, ok := RemoveByID(sl, 999); ok {
+		t.Error("RemoveByID found an absent ID")
+	}
+}
+
+func TestCellKeyString(t *testing.T) {
+	k := CellKey{C: lattice.Key("\x01\x00\x00\x00"), M: 5}
+	if got := k.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

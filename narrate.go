@@ -1,0 +1,54 @@
+package situfact
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Narrate renders a fact as a newsroom-style sentence — the paper's §VIII
+// "narrating facts in natural-language text" future-work item. subject
+// describes the entity of the new tuple (e.g. a player name); values maps
+// measure names to the tuple's raw values for inclusion in the sentence.
+//
+// Example output:
+//
+//	"Paul George (21 points / 11 rebounds / 5 assists) posts the best
+//	 points/rebounds/assists line ever recorded among team=Pacers ∧
+//	 opp_team=Bulls — 1 of 1 skyline performances out of 312."
+func Narrate(f Fact, subject string, values map[string]float64) string {
+	var b strings.Builder
+	b.WriteString(subject)
+	if len(values) > 0 {
+		parts := make([]string, 0, len(f.Measures))
+		for _, m := range f.Measures {
+			if v, ok := values[m]; ok {
+				parts = append(parts, fmt.Sprintf("%g %s", v, m))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(parts, " / "))
+		}
+	}
+	if f.SkylineSize == 1 {
+		b.WriteString(" posts the single best ")
+	} else {
+		b.WriteString(" posts an undominated ")
+	}
+	b.WriteString(strings.Join(f.Measures, "/"))
+	b.WriteString(" line")
+	if len(f.Conditions) == 0 {
+		b.WriteString(" across the entire history")
+	} else {
+		b.WriteString(" among ")
+		conds := make([]string, len(f.Conditions))
+		for i, c := range f.Conditions {
+			conds[i] = fmt.Sprintf("%s=%s", c.Attr, c.Value)
+		}
+		b.WriteString(strings.Join(conds, " ∧ "))
+	}
+	if f.ContextSize > 0 && f.SkylineSize > 0 {
+		fmt.Fprintf(&b, " — 1 of %d skyline records out of %d", f.SkylineSize, f.ContextSize)
+	}
+	b.WriteString(".")
+	return b.String()
+}

@@ -1,0 +1,418 @@
+// Package situfact is a streaming engine for discovering prominent
+// situational facts, reproducing Sultana, Hassan, Li, Yang & Yu,
+// "Incremental Discovery of Prominent Situational Facts", ICDE 2014.
+//
+// A situational fact is a statement of the form "with measures M, this
+// new tuple stands out against all historical tuples in context C" — e.g.
+// "first Pacers player with a 20/10/5 game against the Bulls". Formally,
+// the engine finds every constraint–measure pair (C, M) that qualifies an
+// arriving tuple as a contextual skyline tuple, and ranks those facts by
+// prominence (|σ_C(R)| / |λ_M(σ_C(R))|).
+//
+// Basic use:
+//
+//	schema, _ := situfact.NewSchemaBuilder("gamelog").
+//		Dimension("player").Dimension("team").Dimension("opp_team").
+//		Measure("points", situfact.LargerBetter).
+//		Measure("rebounds", situfact.LargerBetter).
+//		Build()
+//	eng, _ := situfact.New(schema, situfact.Options{})
+//	arr, _ := eng.Append(
+//		[]string{"Paul George", "Pacers", "Bulls"},
+//		[]float64{21, 11})
+//	for _, f := range arr.Top(3) {
+//		fmt.Println(f)
+//	}
+package situfact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/prominence"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/subspace"
+)
+
+// Direction selects the preferred ordering of a measure attribute.
+type Direction = relation.Direction
+
+// Measure direction values.
+const (
+	LargerBetter  = relation.LargerBetter
+	SmallerBetter = relation.SmallerBetter
+)
+
+// Algorithm names a discovery algorithm from the paper.
+type Algorithm string
+
+// The available algorithms. STopDown and SBottomUp share computation
+// across measure subspaces (§V-C); the baselines exist mainly for
+// benchmarking.
+const (
+	AlgoBruteForce  Algorithm = "bruteforce"
+	AlgoBaselineSeq Algorithm = "baselineseq"
+	AlgoBaselineIdx Algorithm = "baselineidx"
+	AlgoCCSC        Algorithm = "ccsc"
+	AlgoBottomUp    Algorithm = "bottomup"
+	AlgoTopDown     Algorithm = "topdown"
+	AlgoSBottomUp   Algorithm = "sbottomup"
+	AlgoSTopDown    Algorithm = "stopdown"
+)
+
+// Options configures an Engine. The zero value selects SBottomUp (the
+// paper's fastest in-memory algorithm) with prominence tracking, no caps,
+// and in-memory storage.
+type Options struct {
+	// Algorithm selects the discovery algorithm; empty = SBottomUp.
+	Algorithm Algorithm
+	// MaxBoundDims is the paper's d̂: constraints may bind at most this
+	// many dimension attributes. 0 or negative = no cap.
+	MaxBoundDims int
+	// MaxMeasureDims is the paper's m̂: measure subspaces contain at most
+	// this many attributes. 0 or negative = no cap.
+	MaxMeasureDims int
+	// StoreDir, when non-empty, selects the file-backed µ(C,M) store
+	// rooted at this directory (the paper's FS* variants). Only the
+	// lattice algorithms use a store.
+	StoreDir string
+	// DisableProminence turns off context counting and fact scoring;
+	// Arrival.Facts then carries prominence 0. Prominence requires a
+	// lattice algorithm (BottomUp/TopDown family).
+	DisableProminence bool
+	// SkybandK ≥ 2 switches the engine to contextual k-skyband discovery
+	// (a fact needs fewer than k dominators instead of none) — an
+	// extension beyond the paper; see core.Skyband. It overrides
+	// Algorithm and implies DisableProminence.
+	SkybandK int
+}
+
+// Condition is one bound attribute of a fact's context, e.g. team=Celtics.
+type Condition struct {
+	Attr  string
+	Value string
+}
+
+// Fact is one discovered situational fact, decoded for human consumption.
+type Fact struct {
+	// Conditions is the conjunctive context constraint; empty means the
+	// whole table.
+	Conditions []Condition
+	// Measures names the attributes of the measure subspace.
+	Measures []string
+	// ContextSize is |σ_C(R)| including the new tuple (0 when prominence
+	// tracking is disabled).
+	ContextSize int64
+	// SkylineSize is |λ_M(σ_C(R))| including the new tuple (0 when
+	// prominence tracking is disabled).
+	SkylineSize int
+	// Prominence is ContextSize/SkylineSize (0 when tracking is disabled).
+	Prominence float64
+}
+
+// String renders the fact in the paper's notation.
+func (f Fact) String() string {
+	var b strings.Builder
+	if len(f.Conditions) == 0 {
+		b.WriteString("⊤")
+	}
+	for i, c := range f.Conditions {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		fmt.Fprintf(&b, "%s=%s", c.Attr, c.Value)
+	}
+	b.WriteString(" | {")
+	b.WriteString(strings.Join(f.Measures, ", "))
+	b.WriteString("}")
+	if f.SkylineSize > 0 {
+		fmt.Fprintf(&b, " (prominence %.3g = %d/%d)", f.Prominence, f.ContextSize, f.SkylineSize)
+	}
+	return b.String()
+}
+
+// Arrival reports the outcome of appending one tuple.
+type Arrival struct {
+	// TupleID is the arrival position (0-based).
+	TupleID int64
+	// Facts are the situational facts pertinent to this arrival, sorted
+	// by descending prominence when tracking is enabled.
+	Facts []Fact
+}
+
+// Top returns the k highest-prominence facts.
+func (a *Arrival) Top(k int) []Fact {
+	if k <= 0 || k >= len(a.Facts) {
+		return a.Facts
+	}
+	return a.Facts[:k]
+}
+
+// Prominent returns the facts attaining the arrival's maximum prominence,
+// provided it is at least tau — the paper's §VII definition. It returns
+// nil when prominence tracking is disabled.
+func (a *Arrival) Prominent(tau float64) []Fact {
+	if len(a.Facts) == 0 || a.Facts[0].SkylineSize == 0 {
+		return nil
+	}
+	best := a.Facts[0].Prominence
+	if best < tau {
+		return nil
+	}
+	out := make([]Fact, 0, 4)
+	for _, f := range a.Facts {
+		if f.Prominence != best {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Metrics is a snapshot of the engine's work counters.
+type Metrics struct {
+	// Tuples, Comparisons, Traversed, Facts mirror core.Metrics.
+	Tuples, Comparisons, Traversed, Facts int64
+	// StoredTuples and Cells describe the µ store (Fig 10b's quantity).
+	StoredTuples, Cells int64
+	// Reads and Writes count store I/O operations (file store only does
+	// real I/O).
+	Reads, Writes int64
+}
+
+// Engine is the streaming discovery engine. It is not safe for concurrent
+// use; arrivals are inherently ordered.
+type Engine struct {
+	schema  *relation.Schema
+	table   *relation.Table
+	disc    core.Discoverer
+	sizer   core.SkylineSizer
+	counter *core.ContextCounter
+	fileSt  *store.File
+	deleted map[int64]bool
+
+	// construction parameters retained for snapshots
+	algorithm  Algorithm
+	maxBound   int
+	maxMeasure int
+}
+
+// New creates an engine over the schema.
+func New(schema *Schema, opt Options) (*Engine, error) {
+	if schema == nil || schema.rs == nil {
+		return nil, fmt.Errorf("situfact: nil schema")
+	}
+	rs := schema.rs
+	maxBound := opt.MaxBoundDims
+	if maxBound <= 0 {
+		maxBound = -1
+	}
+	maxMeasure := opt.MaxMeasureDims
+	if maxMeasure <= 0 {
+		maxMeasure = -1
+	}
+	cfg := core.Config{Schema: rs, MaxBound: maxBound, MaxMeasure: maxMeasure}
+	var fileSt *store.File
+	if opt.StoreDir != "" {
+		fs, err := store.NewFile(opt.StoreDir, rs)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = fs
+		fileSt = fs
+	}
+	algo := opt.Algorithm
+	if algo == "" {
+		algo = AlgoSBottomUp
+	}
+	var (
+		disc  core.Discoverer
+		sizer core.SkylineSizer
+		err   error
+	)
+	if opt.SkybandK >= 2 {
+		sb, err := core.NewSkyband(cfg, opt.SkybandK)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{schema: rs, table: relation.NewTable(rs), disc: sb, fileSt: fileSt}, nil
+	}
+	switch algo {
+	case AlgoBruteForce:
+		disc, err = core.NewBruteForce(cfg)
+	case AlgoBaselineSeq:
+		disc, err = core.NewBaselineSeq(cfg)
+	case AlgoBaselineIdx:
+		disc, err = core.NewBaselineIdx(cfg)
+	case AlgoCCSC:
+		disc, err = core.NewCCSC(cfg)
+	case AlgoBottomUp:
+		a, e := core.NewBottomUp(cfg)
+		disc, sizer, err = a, a, e
+	case AlgoTopDown:
+		a, e := core.NewTopDown(cfg)
+		disc, sizer, err = a, a, e
+	case AlgoSBottomUp:
+		a, e := core.NewSBottomUp(cfg)
+		disc, sizer, err = a, a, e
+	case AlgoSTopDown:
+		a, e := core.NewSTopDown(cfg)
+		disc, sizer, err = a, a, e
+	default:
+		return nil, fmt.Errorf("situfact: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{
+		schema:     rs,
+		table:      relation.NewTable(rs),
+		disc:       disc,
+		fileSt:     fileSt,
+		algorithm:  algo,
+		maxBound:   maxBound,
+		maxMeasure: maxMeasure,
+	}
+	if !opt.DisableProminence {
+		if sizer == nil {
+			return nil, fmt.Errorf("situfact: prominence tracking requires a lattice algorithm (BottomUp/TopDown family); %q has no µ store", algo)
+		}
+		eng.sizer = sizer
+		eng.counter = core.NewContextCounter(rs.NumDims(), maxBound)
+	}
+	return eng, nil
+}
+
+// Append processes one arriving tuple: dims are the dimension values in
+// schema order, measures the measure values in schema order. It returns
+// the arrival's situational facts.
+func (e *Engine) Append(dims []string, measures []float64) (*Arrival, error) {
+	tu, err := e.table.Append(dims, measures)
+	if err != nil {
+		return nil, err
+	}
+	raw := e.disc.Process(tu)
+	arr := &Arrival{TupleID: tu.ID}
+	if e.counter != nil {
+		e.counter.Observe(tu)
+		scored := prominence.Score(raw, e.counter, e.sizer)
+		arr.Facts = make([]Fact, 0, len(scored))
+		for _, sf := range scored {
+			f := e.decode(sf.Fact)
+			f.ContextSize = sf.ContextSize
+			f.SkylineSize = sf.SkylineSize
+			f.Prominence = sf.Prominence
+			arr.Facts = append(arr.Facts, f)
+		}
+		return arr, nil
+	}
+	arr.Facts = make([]Fact, 0, len(raw))
+	for _, rf := range raw {
+		arr.Facts = append(arr.Facts, e.decode(rf))
+	}
+	sort.Slice(arr.Facts, func(i, j int) bool {
+		return arr.Facts[i].String() < arr.Facts[j].String()
+	})
+	return arr, nil
+}
+
+func (e *Engine) decode(rf core.Fact) Fact {
+	f := Fact{Measures: subspace.Names(rf.Subspace, e.schema)}
+	for i, v := range rf.Constraint.Vals {
+		if v < 0 {
+			continue
+		}
+		f.Conditions = append(f.Conditions, Condition{
+			Attr:  e.schema.Dim(i).Name,
+			Value: e.table.Dict().Decode(i, v),
+		})
+	}
+	return f
+}
+
+// Delete retracts a previously appended tuple by ID — the paper's §VIII
+// "deletion and update of data" extension. The µ store is repaired
+// exactly (tuples that the deleted one was suppressing re-enter their
+// contextual skylines) and prominence counters are decremented.
+//
+// Deletion is supported by the BottomUp family only (Invariant 1 makes
+// local repair possible); engines running other algorithms return an
+// error. An update is a Delete followed by an Append.
+func (e *Engine) Delete(tupleID int64) error {
+	bu, ok := e.disc.(*core.BottomUp)
+	if !ok {
+		return fmt.Errorf("situfact: Delete requires the BottomUp family; engine runs %s", e.disc.Name())
+	}
+	if tupleID < 0 || tupleID >= int64(e.table.Len()) {
+		return fmt.Errorf("situfact: Delete: no tuple %d", tupleID)
+	}
+	if e.deleted[tupleID] {
+		return fmt.Errorf("situfact: Delete: tuple %d already deleted", tupleID)
+	}
+	tu := e.table.At(int(tupleID))
+	bu.Delete(tu, e.alive())
+	if e.counter != nil {
+		e.counter.Unobserve(tu)
+	}
+	if e.deleted == nil {
+		e.deleted = make(map[int64]bool)
+	}
+	e.deleted[tupleID] = true
+	return nil
+}
+
+// Update retracts tuple tupleID and appends its replacement, returning
+// the replacement's arrival. Like Delete it requires the BottomUp family.
+func (e *Engine) Update(tupleID int64, dims []string, measures []float64) (*Arrival, error) {
+	if err := e.Delete(tupleID); err != nil {
+		return nil, err
+	}
+	return e.Append(dims, measures)
+}
+
+// alive returns the non-deleted tuples.
+func (e *Engine) alive() []*relation.Tuple {
+	if len(e.deleted) == 0 {
+		return e.table.Tuples()
+	}
+	out := make([]*relation.Tuple, 0, e.table.Len()-len(e.deleted))
+	for _, tu := range e.table.Tuples() {
+		if !e.deleted[tu.ID] {
+			out = append(out, tu)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live (appended and not deleted) tuples.
+func (e *Engine) Len() int { return e.table.Len() - len(e.deleted) }
+
+// Algorithm returns the name of the underlying algorithm.
+func (e *Engine) Algorithm() string { return e.disc.Name() }
+
+// Metrics returns a snapshot of the work counters.
+func (e *Engine) Metrics() Metrics {
+	m := e.disc.Metrics()
+	s := e.disc.StoreStats()
+	return Metrics{
+		Tuples: m.Tuples, Comparisons: m.Comparisons,
+		Traversed: m.Traversed, Facts: m.Facts,
+		StoredTuples: s.StoredTuples, Cells: s.Cells,
+		Reads: s.Reads, Writes: s.Writes,
+	}
+}
+
+// Close releases the engine's resources (file-store handles).
+func (e *Engine) Close() error { return e.disc.Close() }
+
+// DestroyStore removes the on-disk store directory of a file-backed
+// engine; it is a no-op for in-memory engines.
+func (e *Engine) DestroyStore() error {
+	if e.fileSt == nil {
+		return nil
+	}
+	return e.fileSt.Destroy()
+}

@@ -1,0 +1,186 @@
+package situfact
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/subspace"
+)
+
+// Snapshot persistence: SaveSnapshot serialises an in-memory engine's full
+// state (dictionary, tuples, tombstones, µ-store cells, prominence
+// counters) with encoding/gob so a stream can be resumed later with
+// LoadSnapshot — a production necessity the paper leaves implicit (its
+// file-based variants persist only the cell store, not the bookkeeping).
+//
+// Snapshots are supported for engines running the lattice algorithms
+// (BottomUp/TopDown families) over the default in-memory store; engines
+// with a StoreDir already keep their cells on disk, and baseline engines
+// would need their private histories replayed instead.
+
+type snapshotFile struct {
+	// Magic guards against decoding foreign files.
+	Magic string
+	// Schema identity check.
+	SchemaSig string
+	Algorithm Algorithm
+	MaxBound  int
+	MaxMeas   int
+
+	DictValues [][]string
+	Tuples     []snapTuple
+	Deleted    []int64
+	Counts     map[string]int64 // nil when prominence is disabled
+	Cells      []snapCell
+}
+
+type snapTuple struct {
+	Dims []int32
+	Raw  []float64
+}
+
+type snapCell struct {
+	CKey string
+	M    uint32
+	IDs  []int64
+}
+
+const snapshotMagic = "situfact-snapshot-v1"
+
+func schemaSig(s *relation.Schema) string {
+	return s.String()
+}
+
+// SaveSnapshot writes the engine's state to w. See the package note above
+// for which engines support it.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	mem, ok := memoryStoreOf(e.disc)
+	if !ok {
+		return fmt.Errorf("situfact: snapshots require a lattice algorithm over the in-memory store (engine runs %s)", e.disc.Name())
+	}
+	sf := snapshotFile{
+		Magic:     snapshotMagic,
+		SchemaSig: schemaSig(e.schema),
+		Algorithm: e.algorithm,
+		MaxBound:  e.maxBound,
+		MaxMeas:   e.maxMeasure,
+	}
+	d := e.table.Dict()
+	sf.DictValues = make([][]string, e.schema.NumDims())
+	for i := range sf.DictValues {
+		vals := make([]string, d.Cardinality(i))
+		for c := range vals {
+			vals[c] = d.Decode(i, int32(c))
+		}
+		sf.DictValues[i] = vals
+	}
+	for _, tu := range e.table.Tuples() {
+		sf.Tuples = append(sf.Tuples, snapTuple{Dims: tu.Dims, Raw: tu.Raw})
+	}
+	for id := range e.deleted {
+		sf.Deleted = append(sf.Deleted, id)
+	}
+	if e.counter != nil {
+		sf.Counts = e.counter.Snapshot()
+	}
+	mem.Walk(func(k store.CellKey, ts []*relation.Tuple) {
+		cell := snapCell{CKey: string(k.C), M: k.M, IDs: make([]int64, len(ts))}
+		for i, u := range ts {
+			cell.IDs[i] = u.ID
+		}
+		sf.Cells = append(sf.Cells, cell)
+	})
+	return gob.NewEncoder(w).Encode(&sf)
+}
+
+// LoadSnapshot reconstructs an engine from a snapshot written by
+// SaveSnapshot. The schema must match the one the snapshot was taken
+// under.
+func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
+	if schema == nil || schema.rs == nil {
+		return nil, fmt.Errorf("situfact: nil schema")
+	}
+	var sf snapshotFile
+	if err := gob.NewDecoder(r).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("situfact: decode snapshot: %w", err)
+	}
+	if sf.Magic != snapshotMagic {
+		return nil, fmt.Errorf("situfact: not a snapshot file")
+	}
+	if got := schemaSig(schema.rs); got != sf.SchemaSig {
+		return nil, fmt.Errorf("situfact: snapshot schema %q does not match %q", sf.SchemaSig, got)
+	}
+	eng, err := New(schema, Options{
+		Algorithm:         sf.Algorithm,
+		MaxBoundDims:      sf.MaxBound,
+		MaxMeasureDims:    sf.MaxMeas,
+		DisableProminence: sf.Counts == nil,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mem, ok := memoryStoreOf(eng.disc)
+	if !ok {
+		return nil, fmt.Errorf("situfact: snapshot algorithm %q has no in-memory store", sf.Algorithm)
+	}
+	// Rebuild the dictionary in code order, then the table.
+	d := eng.table.Dict()
+	for dim, vals := range sf.DictValues {
+		for _, v := range vals {
+			d.Encode(dim, v)
+		}
+	}
+	byID := make(map[int64]*relation.Tuple, len(sf.Tuples))
+	for _, st := range sf.Tuples {
+		tu, err := eng.table.AppendEncoded(st.Dims, st.Raw)
+		if err != nil {
+			return nil, fmt.Errorf("situfact: snapshot tuple: %w", err)
+		}
+		byID[tu.ID] = tu
+	}
+	for _, id := range sf.Deleted {
+		if eng.deleted == nil {
+			eng.deleted = make(map[int64]bool)
+		}
+		eng.deleted[id] = true
+	}
+	if sf.Counts != nil {
+		eng.counter.Restore(sf.Counts)
+	}
+	for _, cell := range sf.Cells {
+		ts := make([]*relation.Tuple, 0, len(cell.IDs))
+		for _, id := range cell.IDs {
+			tu, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("situfact: snapshot cell references unknown tuple %d", id)
+			}
+			ts = append(ts, tu)
+		}
+		mem.Save(store.CellKey{C: lattice.Key(cell.CKey), M: subspace.Mask(cell.M)}, ts)
+	}
+	return eng, nil
+}
+
+// memoryStoreOf extracts the in-memory µ store of a lattice discoverer.
+// Baselines embed an (unused) default store too, so the algorithm type is
+// checked explicitly: only the BottomUp/TopDown families keep their whole
+// state in the µ store.
+func memoryStoreOf(d core.Discoverer) (*store.Memory, bool) {
+	switch d.(type) {
+	case *core.BottomUp, *core.TopDown:
+	default:
+		return nil, false
+	}
+	type storer interface{ Store() store.Store }
+	s, ok := d.(storer)
+	if !ok {
+		return nil, false
+	}
+	mem, ok := s.Store().(*store.Memory)
+	return mem, ok
+}

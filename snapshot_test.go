@@ -1,0 +1,139 @@
+package situfact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: continuing a stream from a snapshot must behave
+// exactly like never having stopped, including prominence counters,
+// deletions and the µ store.
+func TestSnapshotRoundTrip(t *testing.T) {
+	mk := func() *Engine {
+		eng, err := New(gamelogSchema(t), Options{Algorithm: AlgoBottomUp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	reference := mk()
+	snapped := mk()
+	for _, r := range table1Rows[:5] {
+		if _, err := reference.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := snapped.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reference.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapped.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := snapped.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(gamelogSchema(t), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != reference.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), reference.Len())
+	}
+
+	// Continue both streams identically; results must agree fact-by-fact.
+	for _, r := range table1Rows[5:] {
+		want, err := reference.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Facts) != len(got.Facts) {
+			t.Fatalf("arrival %d: %d facts vs %d after restore", want.TupleID, len(want.Facts), len(got.Facts))
+		}
+		for i := range want.Facts {
+			if want.Facts[i].String() != got.Facts[i].String() {
+				t.Fatalf("arrival %d fact %d: %q vs %q", want.TupleID, i,
+					want.Facts[i].String(), got.Facts[i].String())
+			}
+		}
+	}
+	// Deletion state must survive too.
+	if err := restored.Delete(3); err == nil {
+		t.Error("tombstone lost: double delete accepted after restore")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	// Baseline engines cannot snapshot.
+	eng, err := New(gamelogSchema(t), Options{Algorithm: AlgoBaselineSeq, DisableProminence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err == nil {
+		t.Error("baseline snapshot accepted")
+	}
+
+	// Garbage input.
+	if _, err := LoadSnapshot(gamelogSchema(t), strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+
+	// Schema mismatch.
+	good, err := New(gamelogSchema(t), Options{Algorithm: AlgoTopDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Append(table1Rows[0].d, table1Rows[0].m)
+	buf.Reset()
+	if err := good.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewSchemaBuilder("other").Dimension("x").Measure("y", LargerBetter).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(other, &buf); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	if _, err := LoadSnapshot(nil, &buf); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestSnapshotWithoutProminence(t *testing.T) {
+	eng, err := New(gamelogSchema(t), Options{Algorithm: AlgoSTopDown, DisableProminence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range table1Rows[:3] {
+		eng.Append(r.d, r.m)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(gamelogSchema(t), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := restored.Append(table1Rows[3].d, table1Rows[3].m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.Facts) == 0 {
+		t.Error("restored prominence-free engine found no facts")
+	}
+	if arr.Facts[0].Prominence != 0 {
+		t.Error("prominence tracked after prominence-free restore")
+	}
+}
