@@ -303,6 +303,61 @@ func BenchmarkTable1Quickstart(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolAppend measures sharded ingest throughput on the NBA feed,
+// partitioned by team: each iteration accounts for one arriving row, fanned
+// to the pool in batches of 64 via AppendBatch. ns/op is the amortised
+// per-row ingest latency — with GOMAXPROCS ≥ the shard count it falls as
+// shards grow, since batches are absorbed by the shards concurrently while
+// per-shard results stay exactly sequential. (On a single-core box the
+// sweep degenerates to measuring fan-out overhead.)
+func BenchmarkPoolAppend(b *testing.B) {
+	const batch = 64
+	const nRows = 4096
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchStream(b, "nba", 5, 7)
+			s.tuple(b, nRows-1) // force generation
+			dict := s.tb.Dict()
+			d := s.tb.Schema().NumDims()
+			rows := make([]Row, nRows)
+			for i := range rows {
+				tu := s.tb.At(i)
+				dims := make([]string, d)
+				for j := 0; j < d; j++ {
+					dims[j] = dict.Decode(j, tu.Dims[j])
+				}
+				rows[i] = Row{Dims: dims, Measures: tu.Raw}
+			}
+			pool, err := NewPool(WrapSchema(s.tb.Schema()), PoolOptions{
+				Shards:   shards,
+				ShardDim: "team",
+				Engine:   Options{MaxBoundDims: 3, MaxMeasureDims: 3},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				n := batch
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				chunk := make([]Row, n)
+				for j := range chunk {
+					chunk[j] = rows[(i+j)%nRows]
+				}
+				if _, err := pool.AppendBatch(chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pool.Metrics().StoredTuples), "stored-entries")
+		})
+	}
+}
+
 // TestMain keeps the benchmark file's imports exercised under plain
 // `go test` as well.
 func TestMain(m *testing.M) {

@@ -10,11 +10,23 @@
 // Usage:
 //
 //	situfact -dims player,team,opp_team -measures points,rebounds,-fouls \
-//	         [-algo sbottomup] [-dhat 3] [-mhat 3] [-tau 100] [-top 3] [input.csv]
+//	         [-algo sbottomup] [-dhat 3] [-mhat 3] [-tau 100] [-top 3] \
+//	         [-shards 4] [-shard-dim team] [-workers 4] [-batch 64] [input.csv]
 //
 // With no input file, rows are read from stdin, enabling live pipelines:
 //
 //	tail -f gamelog.csv | situfact -dims ... -measures ...
+//
+// Concurrency comes in two independent, stackable forms: -shards N
+// partitions the stream by the -shard-dim value across N engines running
+// in parallel (batches of -batch rows are fanned out together), and
+// -workers W with -algo parallel-topdown or parallel-bottomup
+// parallelises each engine internally across measure subspaces.
+//
+// Sharded mode trades latency for throughput: output appears only when a
+// batch fills (or at EOF), so a slow live feed can sit on buffered rows
+// indefinitely. For tail -f–style pipelines use -batch 1 (per-row
+// processing, still sharded) or a single engine.
 package main
 
 import (
@@ -30,18 +42,39 @@ import (
 	situfact "repro"
 )
 
+// config carries every run parameter; flags fill one in main.
+type config struct {
+	dims     string  // comma-separated dimension column names
+	measures string  // comma-separated measure column names ('-' prefix = smaller-is-better)
+	algo     string  // algorithm name (core registry)
+	dhat     int     // max bound dimension attributes (0 = no cap)
+	mhat     int     // max measure subspace size (0 = no cap)
+	tau      float64 // only print arrivals with max prominence ≥ τ
+	top      int     // facts to print per arrival
+	quiet    bool    // summary only
+	shards   int     // engine count; ≤ 1 = single engine
+	shardDim string  // dimension routing rows to shards; "" = first dimension
+	workers  int     // worker count for the parallel-* algorithms
+	batch    int     // rows fanned out per AppendBatch in sharded mode
+}
+
 func main() {
-	dims := flag.String("dims", "", "comma-separated dimension column names (required)")
-	measures := flag.String("measures", "", "comma-separated measure column names; '-' prefix = smaller-is-better (required)")
-	algo := flag.String("algo", "sbottomup", "algorithm: bottomup|topdown|sbottomup|stopdown|baselineseq|baselineidx|ccsc|bruteforce")
-	dhat := flag.Int("dhat", 0, "max bound dimension attributes (0 = no cap)")
-	mhat := flag.Int("mhat", 0, "max measure subspace size (0 = no cap)")
-	tau := flag.Float64("tau", 0, "only print arrivals whose max prominence ≥ τ (0 = print every arrival with facts)")
-	top := flag.Int("top", 3, "facts to print per arrival")
-	quiet := flag.Bool("quiet", false, "suppress per-arrival output; print summary only")
+	var cfg config
+	flag.StringVar(&cfg.dims, "dims", "", "comma-separated dimension column names (required)")
+	flag.StringVar(&cfg.measures, "measures", "", "comma-separated measure column names; '-' prefix = smaller-is-better (required)")
+	flag.StringVar(&cfg.algo, "algo", "sbottomup", "algorithm: "+strings.Join(situfact.Algorithms(), "|"))
+	flag.IntVar(&cfg.dhat, "dhat", 0, "max bound dimension attributes (0 = no cap)")
+	flag.IntVar(&cfg.mhat, "mhat", 0, "max measure subspace size (0 = no cap)")
+	flag.Float64Var(&cfg.tau, "tau", 0, "only print arrivals whose max prominence ≥ τ (0 = print every arrival with facts)")
+	flag.IntVar(&cfg.top, "top", 3, "facts to print per arrival")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress per-arrival output; print summary only")
+	flag.IntVar(&cfg.shards, "shards", 1, "partition the stream across this many engines (≤ 1 = single engine)")
+	flag.StringVar(&cfg.shardDim, "shard-dim", "", "dimension column whose value routes a row to its shard (default: first of -dims)")
+	flag.IntVar(&cfg.workers, "workers", 0, "goroutines per engine for the parallel-* algorithms (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.batch, "batch", 64, "rows fanned out together per batch in sharded mode (output waits for a full batch; use 1 for live feeds)")
 	flag.Parse()
 
-	if *dims == "" || *measures == "" {
+	if cfg.dims == "" || cfg.measures == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -54,19 +87,32 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *dims, *measures, *algo, *dhat, *mhat, *tau, *top, *quiet); err != nil {
+	if err := run(in, os.Stdout, cfg); err != nil {
 		fatal(err)
 	}
 }
 
-func run(in io.Reader, out io.Writer, dims, measures, algo string, dhat, mhat int, tau float64, top int, quiet bool) error {
-	dimNames := strings.Split(dims, ",")
+// sink abstracts the two front-ends (single engine, sharded pool) for the
+// streaming loop. append returns the arrivals that became ready with this
+// row — one per row for the engine, a whole batch at fan-out points for
+// the pool — paired with the dimension values of the rows they belong to;
+// flush drains whatever is still buffered at EOF.
+type sink interface {
+	append(dims []string, measures []float64) ([]*situfact.Arrival, [][]string, error)
+	flush() ([]*situfact.Arrival, [][]string, error)
+	metrics() situfact.Metrics
+	algorithm() string
+	close() error
+}
+
+func run(in io.Reader, out io.Writer, cfg config) error {
+	dimNames := strings.Split(cfg.dims, ",")
 	b := situfact.NewSchemaBuilder("stream")
 	for _, d := range dimNames {
 		b.Dimension(strings.TrimSpace(d))
 	}
 	var measureNames []string
-	for _, m := range strings.Split(measures, ",") {
+	for _, m := range strings.Split(cfg.measures, ",") {
 		m = strings.TrimSpace(m)
 		dir := situfact.LargerBetter
 		if strings.HasPrefix(m, "-") {
@@ -81,20 +127,35 @@ func run(in io.Reader, out io.Writer, dims, measures, algo string, dhat, mhat in
 		return err
 	}
 	opt := situfact.Options{
-		Algorithm:      situfact.Algorithm(algo),
-		MaxBoundDims:   dhat,
-		MaxMeasureDims: mhat,
+		Algorithm:      situfact.Algorithm(cfg.algo),
+		MaxBoundDims:   cfg.dhat,
+		MaxMeasureDims: cfg.mhat,
+		Workers:        cfg.workers,
 	}
 	switch opt.Algorithm {
 	case situfact.AlgoBruteForce, situfact.AlgoBaselineSeq, situfact.AlgoBaselineIdx, situfact.AlgoCCSC:
 		// Baselines have no µ store, so prominence cannot be computed.
 		opt.DisableProminence = true
 	}
-	eng, err := situfact.New(schema, opt)
-	if err != nil {
-		return err
+	var snk sink
+	if cfg.shards > 1 {
+		pool, err := situfact.NewPool(schema, situfact.PoolOptions{
+			Shards:   cfg.shards,
+			ShardDim: strings.TrimSpace(cfg.shardDim),
+			Engine:   opt,
+		})
+		if err != nil {
+			return err
+		}
+		snk = &poolSink{pool: pool, batch: max(cfg.batch, 1)}
+	} else {
+		eng, err := situfact.New(schema, opt)
+		if err != nil {
+			return err
+		}
+		snk = &engineSink{eng: eng}
 	}
-	defer eng.Close()
+	defer snk.close()
 
 	r := csv.NewReader(bufio.NewReader(in))
 	header, err := r.Read()
@@ -119,6 +180,12 @@ func run(in io.Reader, out io.Writer, dims, measures, algo string, dhat, mhat in
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	arrivals, printed := 0, 0
+	sharded := cfg.shards > 1
+	emit := func(arr *situfact.Arrival, dv []string) {
+		if n := printArrival(w, arr, dv, cfg, sharded); n > 0 {
+			printed++
+		}
+	}
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {
@@ -139,46 +206,113 @@ func run(in io.Reader, out io.Writer, dims, measures, algo string, dhat, mhat in
 			}
 			mv[i] = v
 		}
-		arr, err := eng.Append(dv, mv)
+		arrs, dims, err := snk.append(dv, mv)
 		if err != nil {
 			return err
 		}
 		arrivals++
-		if quiet || len(arr.Facts) == 0 {
-			continue
+		for i, arr := range arrs {
+			emit(arr, dims[i])
 		}
-		if tau > 0 {
-			prom := arr.Prominent(tau)
-			if len(prom) == 0 {
-				continue
-			}
-			fmt.Fprintf(w, "tuple %d (%s):\n", arr.TupleID, strings.Join(dv, ","))
-			for _, f := range prom[:minInt(top, len(prom))] {
-				fmt.Fprintf(w, "  PROMINENT %s\n", f)
-			}
-			printed++
-			continue
-		}
-		fmt.Fprintf(w, "tuple %d (%s): %d facts\n", arr.TupleID, strings.Join(dv, ","), len(arr.Facts))
-		for _, f := range arr.Top(top) {
-			fmt.Fprintf(w, "  %s\n", f)
-		}
-		printed++
 	}
-	m := eng.Metrics()
-	fmt.Fprintf(w, "# %d arrivals, %d printed; algorithm %s; %d facts total; %d comparisons; %d stored entries\n",
-		arrivals, printed, eng.Algorithm(), m.Facts, m.Comparisons, m.StoredTuples)
+	arrs, dims, err := snk.flush()
+	if err != nil {
+		return err
+	}
+	for i, arr := range arrs {
+		emit(arr, dims[i])
+	}
+	m := snk.metrics()
+	fmt.Fprintf(w, "# %d arrivals, %d printed; algorithm %s", arrivals, printed, snk.algorithm())
+	if sharded {
+		fmt.Fprintf(w, "; %d shards", cfg.shards)
+	}
+	fmt.Fprintf(w, "; %d facts total; %d comparisons; %d stored entries\n",
+		m.Facts, m.Comparisons, m.StoredTuples)
 	return nil
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// printArrival writes one arrival's facts subject to the quiet/τ/top
+// settings, returning the number of lines a caller should count as
+// "printed" (0 or 1 arrivals).
+func printArrival(w io.Writer, arr *situfact.Arrival, dv []string, cfg config, sharded bool) int {
+	if cfg.quiet || len(arr.Facts) == 0 {
+		return 0
 	}
-	return b
+	prefix := fmt.Sprintf("tuple %d", arr.TupleID)
+	if sharded {
+		prefix = fmt.Sprintf("shard %d %s", arr.Shard, prefix)
+	}
+	if cfg.tau > 0 {
+		prom := arr.Prominent(cfg.tau)
+		if len(prom) == 0 {
+			return 0
+		}
+		fmt.Fprintf(w, "%s (%s):\n", prefix, strings.Join(dv, ","))
+		for _, f := range prom[:min(cfg.top, len(prom))] {
+			fmt.Fprintf(w, "  PROMINENT %s\n", f)
+		}
+		return 1
+	}
+	fmt.Fprintf(w, "%s (%s): %d facts\n", prefix, strings.Join(dv, ","), len(arr.Facts))
+	for _, f := range arr.Top(cfg.top) {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
+	return 1
 }
 
+// engineSink feeds a single engine; every append returns its arrival.
+type engineSink struct {
+	eng *situfact.Engine
+}
+
+func (s *engineSink) append(dv []string, mv []float64) ([]*situfact.Arrival, [][]string, error) {
+	arr, err := s.eng.Append(dv, mv)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []*situfact.Arrival{arr}, [][]string{dv}, nil
+}
+func (s *engineSink) flush() ([]*situfact.Arrival, [][]string, error) { return nil, nil, nil }
+func (s *engineSink) metrics() situfact.Metrics                       { return s.eng.Metrics() }
+func (s *engineSink) algorithm() string                               { return s.eng.Algorithm() }
+func (s *engineSink) close() error                                    { return s.eng.Close() }
+
+// poolSink buffers rows and fans each full batch across the pool's shards
+// concurrently; arrivals surface at flush points in input order.
+type poolSink struct {
+	pool  *situfact.Pool
+	batch int
+	rows  []situfact.Row
+	dims  [][]string
+}
+
+func (s *poolSink) append(dv []string, mv []float64) ([]*situfact.Arrival, [][]string, error) {
+	s.rows = append(s.rows, situfact.Row{Dims: dv, Measures: mv})
+	s.dims = append(s.dims, dv)
+	if len(s.rows) < s.batch {
+		return nil, nil, nil
+	}
+	return s.flush()
+}
+
+func (s *poolSink) flush() ([]*situfact.Arrival, [][]string, error) {
+	if len(s.rows) == 0 {
+		return nil, nil, nil
+	}
+	arrs, err := s.pool.AppendBatch(s.rows)
+	dims := s.dims
+	s.rows, s.dims = nil, nil
+	return arrs, dims, err
+}
+
+func (s *poolSink) metrics() situfact.Metrics { return s.pool.Metrics() }
+func (s *poolSink) algorithm() string         { return s.pool.Algorithm() }
+func (s *poolSink) close() error              { return s.pool.Close() }
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "situfact:", err)
+	// The library prefixes its own errors with the package name; avoid
+	// "situfact: situfact: …" stutter under the binary-name prefix.
+	fmt.Fprintln(os.Stderr, "situfact:", strings.TrimPrefix(err.Error(), "situfact: "))
 	os.Exit(1)
 }

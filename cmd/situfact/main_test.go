@@ -16,12 +16,17 @@ Strickland,Jan,1995-96,Blazers,Celtics,27,18,8,5
 Wesley,Feb,1995-96,Celtics,Nets,12,13,5,0
 `
 
+// base returns the shared flag defaults; tests override fields as needed.
+func base() config {
+	return config{algo: "sbottomup", top: 3, shards: 1, batch: 64}
+}
+
 func TestRunBasic(t *testing.T) {
 	var out bytes.Buffer
-	err := run(strings.NewReader(gamelogCSV), &out,
-		"player,month,season,team,opp_team", "points,assists,rebounds",
-		"sbottomup", 0, 0, 0, 3, false)
-	if err != nil {
+	cfg := base()
+	cfg.dims = "player,month,season,team,opp_team"
+	cfg.measures = "points,assists,rebounds"
+	if err := run(strings.NewReader(gamelogCSV), &out, cfg); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -38,10 +43,10 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunSmallerBetterAndTau(t *testing.T) {
 	var out bytes.Buffer
-	err := run(strings.NewReader(gamelogCSV), &out,
-		"player,team", "points,-fouls",
-		"bottomup", 2, 2, 2.0, 1, false)
-	if err != nil {
+	cfg := base()
+	cfg.dims, cfg.measures = "player,team", "points,-fouls"
+	cfg.algo, cfg.dhat, cfg.mhat, cfg.tau, cfg.top = "bottomup", 2, 2, 2.0, 1
+	if err := run(strings.NewReader(gamelogCSV), &out, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "PROMINENT") {
@@ -51,9 +56,10 @@ func TestRunSmallerBetterAndTau(t *testing.T) {
 
 func TestRunQuiet(t *testing.T) {
 	var out bytes.Buffer
-	err := run(strings.NewReader(gamelogCSV), &out,
-		"player,team", "points", "stopdown", 0, 0, 0, 3, true)
-	if err != nil {
+	cfg := base()
+	cfg.dims, cfg.measures = "player,team", "points"
+	cfg.algo, cfg.quiet = "stopdown", true
+	if err := run(strings.NewReader(gamelogCSV), &out, cfg); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -64,9 +70,10 @@ func TestRunQuiet(t *testing.T) {
 
 func TestRunBaselineDisablesProminence(t *testing.T) {
 	var out bytes.Buffer
-	err := run(strings.NewReader(gamelogCSV), &out,
-		"player,team", "points,assists", "baselineseq", 0, 0, 0, 2, false)
-	if err != nil {
+	cfg := base()
+	cfg.dims, cfg.measures = "player,team", "points,assists"
+	cfg.algo, cfg.top = "baselineseq", 2
+	if err := run(strings.NewReader(gamelogCSV), &out, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "BaselineSeq") {
@@ -74,26 +81,78 @@ func TestRunBaselineDisablesProminence(t *testing.T) {
 	}
 }
 
+func TestRunSharded(t *testing.T) {
+	// The sharded front-end must see all rows and report per-shard tuples.
+	for _, batch := range []int{1, 3, 64} {
+		var out bytes.Buffer
+		cfg := base()
+		cfg.dims = "player,month,season,team,opp_team"
+		cfg.measures = "points,assists,rebounds"
+		cfg.shards, cfg.shardDim, cfg.batch = 3, "team", batch
+		if err := run(strings.NewReader(gamelogCSV), &out, cfg); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "# 7 arrivals") {
+			t.Errorf("batch=%d: summary missing arrivals:\n%s", batch, s)
+		}
+		if !strings.Contains(s, "3 shards") {
+			t.Errorf("batch=%d: summary missing shard count:\n%s", batch, s)
+		}
+		if !strings.Contains(s, "shard ") {
+			t.Errorf("batch=%d: no per-shard arrival lines:\n%s", batch, s)
+		}
+	}
+}
+
+func TestRunShardedParallelWorkers(t *testing.T) {
+	// Both concurrency layers stacked: sharded pool of parallel engines.
+	var out bytes.Buffer
+	cfg := base()
+	cfg.dims = "player,month,season,team,opp_team"
+	cfg.measures = "points,assists,rebounds"
+	cfg.algo, cfg.workers = "parallel-bottomup", 2
+	cfg.shards, cfg.shardDim = 2, "team"
+	if err := run(strings.NewReader(gamelogCSV), &out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Parallel(BottomUp") {
+		t.Errorf("summary missing parallel algorithm name:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(gamelogCSV), &out,
-		"nope", "points", "sbottomup", 0, 0, 0, 3, false); err == nil {
+	mk := func(dims, measures, algo string) config {
+		cfg := base()
+		cfg.dims, cfg.measures, cfg.algo = dims, measures, algo
+		return cfg
+	}
+	if err := run(strings.NewReader(gamelogCSV), &out, mk("nope", "points", "sbottomup")); err == nil {
 		t.Error("unknown dimension column accepted")
 	}
-	if err := run(strings.NewReader(gamelogCSV), &out,
-		"player", "nope", "sbottomup", 0, 0, 0, 3, false); err == nil {
+	if err := run(strings.NewReader(gamelogCSV), &out, mk("player", "nope", "sbottomup")); err == nil {
 		t.Error("unknown measure column accepted")
 	}
-	if err := run(strings.NewReader(gamelogCSV), &out,
-		"player", "points", "bogus-algo", 0, 0, 0, 3, false); err == nil {
+	if err := run(strings.NewReader(gamelogCSV), &out, mk("player", "points", "bogus-algo")); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(strings.NewReader("a,b\nx,notanumber\n"), &out,
-		"a", "b", "sbottomup", 0, 0, 0, 3, false); err == nil {
+	if err := run(strings.NewReader("a,b\nx,notanumber\n"), &out, mk("a", "b", "sbottomup")); err == nil {
 		t.Error("non-numeric measure accepted")
 	}
-	if err := run(strings.NewReader(""), &out,
-		"a", "b", "sbottomup", 0, 0, 0, 3, false); err == nil {
+	if err := run(strings.NewReader(""), &out, mk("a", "b", "sbottomup")); err == nil {
 		t.Error("empty input accepted")
+	}
+	// Sharded-mode errors surface too: unknown shard dimension and unknown
+	// algorithm inside the pool.
+	cfg := mk("player,team", "points", "sbottomup")
+	cfg.shards, cfg.shardDim = 2, "nope"
+	if err := run(strings.NewReader(gamelogCSV), &out, cfg); err == nil {
+		t.Error("unknown shard dimension accepted")
+	}
+	cfg = mk("player,team", "points", "bogus-algo")
+	cfg.shards = 2
+	if err := run(strings.NewReader(gamelogCSV), &out, cfg); err == nil {
+		t.Error("unknown algorithm accepted in sharded mode")
 	}
 }

@@ -71,6 +71,48 @@ func ExampleNarrate() {
 	// Paul George (21 points / 11 rebounds / 5 assists) posts the single best points/rebounds/assists line among team=Pacers ∧ opp_team=Bulls — 1 of 1 skyline records out of 312.
 }
 
+// A Pool partitions a feed by one dimension across independent engines —
+// here, per-team shards of a game log. Facts within a shard are exactly
+// those a standalone engine would report over that team's substream.
+func ExamplePool() {
+	schema, err := situfact.NewSchemaBuilder("gamelog").
+		Dimension("team").Dimension("player").
+		Measure("points", situfact.LargerBetter).
+		Measure("rebounds", situfact.LargerBetter).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := situfact.NewPool(schema, situfact.PoolOptions{
+		Shards:   2,
+		ShardDim: "team",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	// A batch fans out across the shards concurrently; rows of one team
+	// always meet the same engine, in input order.
+	arrs, err := pool.AppendBatch([]situfact.Row{
+		{Dims: []string{"Celtics", "Sherman"}, Measures: []float64{13, 5}},
+		{Dims: []string{"Pacers", "George"}, Measures: []float64{21, 11}},
+		{Dims: []string{"Celtics", "Wesley"}, Measures: []float64{12, 13}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, arr := range arrs {
+		fmt.Printf("shard %d tuple %d: %d facts\n", arr.Shard, arr.TupleID, len(arr.Facts))
+	}
+	fmt.Printf("total tuples: %d\n", pool.Metrics().Tuples)
+	// Output:
+	// shard 0 tuple 0: 12 facts
+	// shard 1 tuple 0: 12 facts
+	// shard 0 tuple 1: 10 facts
+	// total tuples: 3
+}
+
 // Engines support exact retraction of earlier rows (the paper's §VIII
 // future-work item) when running the BottomUp family.
 func ExampleEngine_Delete() {

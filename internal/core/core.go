@@ -90,6 +90,9 @@ type Config struct {
 	// Used by the Parallel driver to partition subspaces across workers;
 	// each mask must be non-empty and within the schema's measure space.
 	Subspaces []subspace.Mask
+	// Workers is the goroutine count of the parallel drivers (≤ 0 selects
+	// GOMAXPROCS); the sequential algorithms ignore it.
+	Workers int
 }
 
 func (c Config) validate() error {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/lattice"
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/subspace"
@@ -15,28 +17,33 @@ import (
 // observation is that discovery decomposes perfectly by measure subspace:
 // µ cells are keyed by (C, M), so passes for different subspaces touch
 // disjoint state. Parallel therefore partitions the subspace set across W
-// independent TopDown or BottomUp instances (each with its own store and
-// lattice scratch) and runs them concurrently for every arrival.
+// independent TopDown or BottomUp instances and runs them concurrently for
+// every arrival. The workers share one striped-lock store.Sharded, so the
+// cell population and its Stats are a single coherent view rather than a
+// sum over private stores; disjointness of the subspace partition is what
+// makes the sharing safe (no two workers ever visit the same cell).
 //
 // Sharing (S*) and parallelism trade off: the S* root pass creates a
 // cross-subspace dependency, so workers run the non-shared algorithms.
 // With enough cores, Parallel(TopDown) still beats single-threaded
-// STopDown on wall-clock per tuple while storing exactly the same cells
-// (union over workers).
+// STopDown on wall-clock per tuple while storing exactly the same cells.
 type Parallel struct {
 	schema  *relation.Schema
 	workers []Discoverer
+	owner   map[subspace.Mask]Discoverer // subspace → the worker that owns it
+	st      *store.Sharded
 	facts   [][]Fact
 	wg      sync.WaitGroup
+	deletes bool // workers are BottomUp (deletion-capable)
 }
 
 // NewParallel creates a parallel discoverer over the given base algorithm
 // ("topdown" or "bottomup") with the given worker count (≤ 0 selects
-// GOMAXPROCS). cfg.Store and cfg.Subspaces must be unset: each worker owns
-// a fresh in-memory store and its slice of the subspace partition.
+// GOMAXPROCS). cfg.Store and cfg.Subspaces must be unset: Parallel owns a
+// shared sharded store and the subspace partition itself.
 func NewParallel(cfg Config, algorithm string, workers int) (*Parallel, error) {
 	if cfg.Store != nil {
-		return nil, fmt.Errorf("core: parallel workers own their stores; Config.Store must be nil")
+		return nil, fmt.Errorf("core: parallel owns a shared sharded store; Config.Store must be nil")
 	}
 	if cfg.Subspaces != nil {
 		return nil, fmt.Errorf("core: parallel partitions subspaces itself; Config.Subspaces must be nil")
@@ -60,10 +67,16 @@ func NewParallel(cfg Config, algorithm string, workers int) (*Parallel, error) {
 	for i, s := range subs {
 		parts[i%workers] = append(parts[i%workers], s)
 	}
-	p := &Parallel{schema: cfg.Schema, facts: make([][]Fact, workers)}
+	p := &Parallel{
+		schema: cfg.Schema,
+		owner:  make(map[subspace.Mask]Discoverer, len(subs)),
+		st:     store.NewSharded(0),
+		facts:  make([][]Fact, workers),
+	}
 	for _, part := range parts {
 		wcfg := cfg
 		wcfg.Subspaces = part
+		wcfg.Store = p.st
 		var (
 			d   Discoverer
 			err error
@@ -73,6 +86,7 @@ func NewParallel(cfg Config, algorithm string, workers int) (*Parallel, error) {
 			d, err = NewTopDown(wcfg)
 		case "bottomup":
 			d, err = NewBottomUp(wcfg)
+			p.deletes = true
 		default:
 			return nil, fmt.Errorf("core: parallel base algorithm %q (want topdown or bottomup)", algorithm)
 		}
@@ -80,6 +94,9 @@ func NewParallel(cfg Config, algorithm string, workers int) (*Parallel, error) {
 			return nil, err
 		}
 		p.workers = append(p.workers, d)
+		for _, s := range part {
+			p.owner[s] = d
+		}
 	}
 	return p, nil
 }
@@ -115,7 +132,44 @@ func (p *Parallel) Process(t *relation.Tuple) []Fact {
 	return out
 }
 
-// Metrics implements Discoverer (sums over workers).
+// SkylineSize implements SkylineSizer by routing to the worker that owns
+// the subspace — both worker families implement it, so prominence scoring
+// works over a parallel driver exactly as over a sequential one. Unowned
+// subspaces (beyond m̂) report 0.
+func (p *Parallel) SkylineSize(c lattice.Constraint, m subspace.Mask) int {
+	w, ok := p.owner[m]
+	if !ok {
+		return 0
+	}
+	return w.(SkylineSizer).SkylineSize(c, m)
+}
+
+// CanDelete reports whether the base algorithm supports deletion (the
+// BottomUp family does; see BottomUp.Delete).
+func (p *Parallel) CanDelete() bool { return p.deletes }
+
+// Delete removes tuple u from every worker's subspace partition,
+// repairing Invariant 1 per cell. The workers run concurrently — their
+// cells are disjoint by subspace even in the shared store. It must only
+// be called when CanDelete reports true.
+func (p *Parallel) Delete(u *relation.Tuple, alive []*relation.Tuple) {
+	if !p.deletes {
+		panic("core: Parallel.Delete on a TopDown-based driver")
+	}
+	p.wg.Add(len(p.workers))
+	for _, w := range p.workers {
+		go func(bu *BottomUp) {
+			defer p.wg.Done()
+			bu.Delete(u, alive)
+		}(w.(*BottomUp))
+	}
+	p.wg.Wait()
+}
+
+// Metrics implements Discoverer. Comparisons, Traversed and Facts are work
+// counters and sum over workers; Tuples is a stream position, identical in
+// every worker, so the maximum is reported (coherent even if a snapshot
+// races a Process fan-out).
 func (p *Parallel) Metrics() Metrics {
 	var m Metrics
 	for _, w := range p.workers {
@@ -123,33 +177,33 @@ func (p *Parallel) Metrics() Metrics {
 		m.Comparisons += wm.Comparisons
 		m.Traversed += wm.Traversed
 		m.Facts += wm.Facts
+		if wm.Tuples > m.Tuples {
+			m.Tuples = wm.Tuples
+		}
 	}
-	m.Tuples = p.workers[0].Metrics().Tuples
 	return m
 }
 
-// StoreStats implements Discoverer (sums over workers).
-func (p *Parallel) StoreStats() store.Stats {
-	var s store.Stats
-	for _, w := range p.workers {
-		ws := w.StoreStats()
-		s.StoredTuples += ws.StoredTuples
-		s.Cells += ws.Cells
-		s.Reads += ws.Reads
-		s.Writes += ws.Writes
-	}
-	return s
-}
+// StoreStats implements Discoverer: the stats of the single shared store
+// (not a per-worker sum, which would multiply-count a shared view).
+func (p *Parallel) StoreStats() store.Stats { return p.st.Stats() }
 
-// Close implements Discoverer.
+// Store exposes the shared µ(C,M) store (symmetric with base.Store).
+func (p *Parallel) Store() store.Store { return p.st }
+
+// Close implements Discoverer. Worker failures are joined, each prefixed
+// with the failing worker's Name.
 func (p *Parallel) Close() error {
-	var first error
+	var errs []error
 	for _, w := range p.workers {
-		if err := w.Close(); err != nil && first == nil {
-			first = err
+		if err := w.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("core: parallel worker %s: %w", w.Name(), err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
-var _ Discoverer = (*Parallel)(nil)
+var (
+	_ Discoverer   = (*Parallel)(nil)
+	_ SkylineSizer = (*Parallel)(nil)
+)

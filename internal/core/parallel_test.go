@@ -3,6 +3,9 @@ package core
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 func TestParallelValidation(t *testing.T) {
@@ -63,10 +66,108 @@ func TestParallelEquivalence(t *testing.T) {
 		if p.StoreStats().StoredTuples == 0 {
 			t.Errorf("%s stored nothing", p.Name())
 		}
+		// Tuples is a stream position, not worker-summed work: after n
+		// arrivals it must read n regardless of the worker count.
+		if got := p.Metrics().Tuples; got != int64(tb.Len()) {
+			t.Errorf("%s: Metrics.Tuples = %d, want %d", p.Name(), got, tb.Len())
+		}
 		if err := p.Close(); err != nil {
 			t.Errorf("%s: Close: %v", p.Name(), err)
 		}
 	}
+}
+
+// TestParallelSkylineSize: the parallel driver routes SkylineSize to the
+// worker owning the subspace, so prominence denominators must match the
+// equivalent sequential algorithm's for every discovered fact.
+func TestParallelSkylineSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tb := randomTable(t, rng, 50, 3, 3, 2, 3)
+	cfg := Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1}
+	for _, algo := range []string{"topdown", "bottomup"} {
+		var seq interface {
+			Discoverer
+			SkylineSizer
+		}
+		var err error
+		if algo == "topdown" {
+			seq, err = NewTopDown(cfg)
+		} else {
+			seq, err = NewBottomUp(cfg)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewParallel(cfg, algo, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range tb.Tuples() {
+			facts := seq.Process(tu)
+			par.Process(tu)
+			for _, f := range facts {
+				want := seq.SkylineSize(f.Constraint, f.Subspace)
+				if got := par.SkylineSize(f.Constraint, f.Subspace); got != want {
+					t.Fatalf("%s tuple %d: parallel SkylineSize = %d, sequential %d",
+						algo, tu.ID, got, want)
+				}
+			}
+		}
+		seq.Close()
+		par.Close()
+	}
+}
+
+// TestParallelDelete: deletion fans out across workers (disjoint cells in
+// the shared store) and must leave the same post-deletion fact sets as the
+// Oracle over the shrunken history.
+func TestParallelDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	tb := randomTable(t, rng, 40, 3, 3, 2, 3)
+	cfg := Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1}
+	oracle, err := NewOracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParallel(cfg, "bottomup", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CanDelete() {
+		t.Fatal("Parallel(bottomup) must report CanDelete")
+	}
+	pt, err := NewParallel(cfg, "topdown", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CanDelete() {
+		t.Error("Parallel(topdown) must not report CanDelete")
+	}
+	pt.Close()
+	warm := tb.Tuples()[:30]
+	for _, tu := range warm {
+		oracle.Process(tu)
+		p.Process(tu)
+	}
+	// Delete a few scattered tuples from both.
+	alive := append([]*relation.Tuple(nil), warm...)
+	for _, victim := range []int{3, 11, 27} {
+		u := tb.At(victim)
+		alive, _ = store.Remove(alive, u)
+		oracle.Delete(u)
+		p.Delete(u, alive)
+	}
+	// Post-deletion arrivals must agree exactly.
+	for _, tu := range tb.Tuples()[30:] {
+		want := oracle.Process(tu)
+		got := p.Process(tu)
+		if ok, why := sameFacts(want, got); !ok {
+			t.Fatalf("tuple %d after deletions: %s", tu.ID, why)
+		}
+		alive = append(alive, tu)
+	}
+	p.Close()
+	oracle.Close()
 }
 
 // TestSubspacesConfig covers the explicit-subspace restriction directly.

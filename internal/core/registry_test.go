@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Algorithms()
+	for _, want := range []string{
+		"bruteforce", "baselineseq", "baselineidx", "ccsc",
+		"bottomup", "topdown", "sbottomup", "stopdown",
+		"parallel-topdown", "parallel-bottomup",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+	tb := table4(t)
+	cfg := Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1}
+	for _, n := range names {
+		d, err := NewDiscoverer(n, cfg)
+		if err != nil {
+			t.Errorf("NewDiscoverer(%q): %v", n, err)
+			continue
+		}
+		if d.Name() == "" {
+			t.Errorf("%q built a nameless discoverer", n)
+		}
+		d.Close()
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	tb := table4(t)
+	_, err := NewDiscoverer("nope", Config{Schema: tb.Schema()})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// The error must teach: it lists what IS registered.
+	if !strings.Contains(err.Error(), "sbottomup") {
+		t.Errorf("unknown-algorithm error does not list alternatives: %v", err)
+	}
+}
+
+func TestRegistryWorkersKnob(t *testing.T) {
+	tb := table4(t) // m=2 → 3 subspaces
+	cfg := Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Workers: 2}
+	d, err := NewDiscoverer("parallel-topdown", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	p, ok := d.(*Parallel)
+	if !ok {
+		t.Fatalf("parallel-topdown built a %T", d)
+	}
+	if p.Workers() != 2 {
+		t.Errorf("Workers = %d, want 2 (Config.Workers)", p.Workers())
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	f := func(cfg Config) (Discoverer, error) { return NewTopDown(cfg) }
+	expectPanic("empty name", func() { Register("", f) })
+	expectPanic("upper-case name", func() { Register("TopDown", f) })
+	expectPanic("nil factory", func() { Register("fresh-name", nil) })
+	expectPanic("duplicate", func() { Register("topdown", f) })
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Sharded is a concurrency-safe in-memory store: cells are split across
+// power-of-two lock stripes selected by a hash of the cell key, each
+// stripe a private Memory store guarded by its own mutex, so loads and
+// saves from many goroutines never race on the maps or on the Stats
+// counters (every Memory counter update happens under its stripe lock).
+//
+// The locks guard the stripe stores, NOT the cell slices: like Memory,
+// Load returns the live slice and the caller owns it until the matching
+// Save. Concurrent users must therefore never work on the same cell at
+// the same time. The parallel discovery driver guarantees this
+// structurally — cells are keyed by (C, M) and each measure subspace M
+// belongs to exactly one worker — which is what makes a single shared
+// Sharded store safe there.
+type Sharded struct {
+	mask    uint64
+	seed    maphash.Seed
+	stripes []shardStripe
+}
+
+type shardStripe struct {
+	mu  sync.Mutex
+	mem *Memory
+}
+
+// DefaultStripes is the stripe count NewSharded uses when given n ≤ 0.
+const DefaultStripes = 32
+
+// NewSharded creates an empty sharded store with at least n lock stripes
+// (rounded up to a power of two; n ≤ 0 selects DefaultStripes).
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Sharded{
+		mask:    uint64(size - 1),
+		seed:    maphash.MakeSeed(),
+		stripes: make([]shardStripe, size),
+	}
+	for i := range s.stripes {
+		s.stripes[i].mem = NewMemory()
+	}
+	return s
+}
+
+func (s *Sharded) stripe(k CellKey) *shardStripe {
+	var h maphash.Hash
+	h.SetSeed(s.seed)
+	h.WriteString(string(k.C))
+	h.WriteByte(byte(k.M))
+	h.WriteByte(byte(k.M >> 8))
+	h.WriteByte(byte(k.M >> 16))
+	h.WriteByte(byte(k.M >> 24))
+	return &s.stripes[h.Sum64()&s.mask]
+}
+
+// Load implements Store.
+func (s *Sharded) Load(k CellKey) []*relation.Tuple {
+	st := s.stripe(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.mem.Load(k)
+}
+
+// Save implements Store.
+func (s *Sharded) Save(k CellKey, ts []*relation.Tuple) {
+	st := s.stripe(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.mem.Save(k, ts)
+}
+
+// Stats implements Store: the sum of the per-stripe counters, each read
+// under its stripe lock. The result is a consistent total when no
+// operations are in flight, and a safe approximation otherwise.
+func (s *Sharded) Stats() Stats {
+	var total Stats
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		m := st.mem.Stats()
+		st.mu.Unlock()
+		total.StoredTuples += m.StoredTuples
+		total.Cells += m.Cells
+		total.Reads += m.Reads
+		total.Writes += m.Writes
+	}
+	return total
+}
+
+// Close implements Store.
+func (s *Sharded) Close() error { return nil }
+
+// Walk visits every non-empty cell, holding one stripe lock at a time;
+// used by invariant checkers in tests. The callback must not re-enter the
+// store.
+func (s *Sharded) Walk(fn func(CellKey, []*relation.Tuple)) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.mem.Walk(fn)
+		st.mu.Unlock()
+	}
+}
+
+var _ Store = (*Sharded)(nil)

@@ -1,0 +1,253 @@
+package situfact
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Pool is a sharded front-end over N independent Engines, for workloads
+// that are naturally partitioned by one dimension attribute — per-league
+// game feeds, per-station weather streams, per-symbol tick streams. Every
+// arriving row is routed to the shard owning its partition value (a hash
+// of the ShardDim value), so all rows sharing that value meet the same
+// engine in arrival order.
+//
+// Semantics guarantee: discovery never compares tuples with different
+// values of a bound attribute, so as long as callers only interpret facts
+// whose context binds the shard dimension (or treat each shard as its own
+// relation), the facts a shard reports are EXACTLY those a standalone
+// Engine reports over that shard's substream. The unit of truth is the
+// substream, not the union: a fact with an unbound shard dimension speaks
+// about the shard's relation, not the global one. TestPoolShardEquivalence
+// asserts the per-substream identity.
+//
+// Pool is safe for concurrent use: each shard serialises its own arrivals
+// with a per-shard lock, and different shards proceed in parallel.
+type Pool struct {
+	schema   *Schema
+	shardDim int
+	shards   []poolShard
+}
+
+type poolShard struct {
+	mu  sync.Mutex
+	eng *Engine
+}
+
+// Row is one arrival for Pool.AppendBatch: dimension values and measure
+// values in schema order.
+type Row struct {
+	Dims     []string
+	Measures []float64
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Shards is the number of engines; ≤ 0 selects GOMAXPROCS.
+	Shards int
+	// ShardDim names the dimension attribute whose value routes a row to
+	// its shard; empty selects the schema's first dimension.
+	ShardDim string
+	// Engine configures every shard's engine identically. When
+	// Engine.StoreDir is non-empty, shard i stores its cells under
+	// <StoreDir>/shard-<i>; the parallel-* algorithms reject StoreDir
+	// (their workers share an in-memory store).
+	Engine Options
+}
+
+// NewPool creates a pool of engines over the schema.
+func NewPool(schema *Schema, opt PoolOptions) (*Pool, error) {
+	if schema == nil || schema.rs == nil {
+		return nil, fmt.Errorf("situfact: nil schema")
+	}
+	n := opt.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	shardDim := 0
+	if opt.ShardDim != "" {
+		shardDim = -1
+		for i := 0; i < schema.rs.NumDims(); i++ {
+			if schema.rs.Dim(i).Name == opt.ShardDim {
+				shardDim = i
+				break
+			}
+		}
+		if shardDim < 0 {
+			return nil, fmt.Errorf("situfact: pool shard dimension %q not in schema %s",
+				opt.ShardDim, schema.rs)
+		}
+	}
+	p := &Pool{schema: schema, shardDim: shardDim, shards: make([]poolShard, n)}
+	for i := range p.shards {
+		eopt := opt.Engine
+		if eopt.StoreDir != "" {
+			eopt.StoreDir = filepath.Join(eopt.StoreDir, fmt.Sprintf("shard-%d", i))
+		}
+		eng, err := New(schema, eopt)
+		if err != nil {
+			p.Close()
+			// New's errors are already "situfact: "-prefixed; strip it so
+			// the pool wrap doesn't stutter.
+			return nil, fmt.Errorf("situfact: pool shard %d: %s", i,
+				strings.TrimPrefix(err.Error(), "situfact: "))
+		}
+		p.shards[i].eng = eng
+	}
+	return p, nil
+}
+
+// Shards returns the number of shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// ShardDim returns the name of the dimension attribute rows are routed by.
+func (p *Pool) ShardDim() string { return p.schema.rs.Dim(p.shardDim).Name }
+
+// ShardFor returns the shard index owning the given shard-dimension value.
+// The mapping is a pure function of the value and the shard count (FNV-1a),
+// so routing is deterministic across runs and processes.
+func (p *Pool) ShardFor(value string) int {
+	h := fnv.New32a()
+	h.Write([]byte(value))
+	return int(h.Sum32() % uint32(len(p.shards)))
+}
+
+// Append routes one arriving row to the shard owning its partition value
+// and processes it there. It may be called from any number of goroutines;
+// arrivals racing for one shard are serialised in lock-acquisition order.
+func (p *Pool) Append(dims []string, measures []float64) (*Arrival, error) {
+	if len(dims) != p.schema.rs.NumDims() {
+		return nil, fmt.Errorf("situfact: pool: %d dimension values for %d attributes",
+			len(dims), p.schema.rs.NumDims())
+	}
+	shard := p.ShardFor(dims[p.shardDim])
+	s := &p.shards[shard]
+	s.mu.Lock()
+	arr, err := s.eng.Append(dims, measures)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	arr.Shard = shard
+	return arr, nil
+}
+
+// AppendBatch routes a batch of rows across the shards and processes the
+// shards concurrently. Within a shard, rows are processed in input order;
+// the returned arrivals are in input order (arrival i belongs to row i).
+//
+// The batch is pre-validated: a malformed row fails the whole call before
+// any row is processed. An engine error mid-batch stops that shard and is
+// reported after the remaining shards finish; arrivals already produced
+// (including later rows of unaffected shards) are returned alongside the
+// error, with the failed shard's unprocessed entries left nil.
+func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
+	d, m := p.schema.rs.NumDims(), p.schema.rs.NumMeasures()
+	for i, r := range rows {
+		if len(r.Dims) != d || len(r.Measures) != m {
+			return nil, fmt.Errorf("situfact: pool: row %d has %d/%d values for a %d/%d schema",
+				i, len(r.Dims), len(r.Measures), d, m)
+		}
+	}
+	perShard := make([][]int, len(p.shards))
+	for i, r := range rows {
+		s := p.ShardFor(r.Dims[p.shardDim])
+		perShard[s] = append(perShard[s], i)
+	}
+	out := make([]*Arrival, len(rows))
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for s, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			sh := &p.shards[s]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for _, i := range idxs {
+				arr, err := sh.eng.Append(rows[i].Dims, rows[i].Measures)
+				if err != nil {
+					errs[s] = fmt.Errorf("situfact: pool shard %d, row %d: %w", s, i, err)
+					return
+				}
+				arr.Shard = s
+				out[i] = arr
+			}
+		}(s, idxs)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// Algorithm returns the name of the algorithm the shard engines run.
+func (p *Pool) Algorithm() string { return p.shards[0].eng.Algorithm() }
+
+// Len returns the total number of live tuples across all shards.
+func (p *Pool) Len() int {
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total += s.eng.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Metrics returns the work counters merged over all shards.
+func (p *Pool) Metrics() Metrics {
+	var total Metrics
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		m := s.eng.Metrics()
+		s.mu.Unlock()
+		total.Tuples += m.Tuples
+		total.Comparisons += m.Comparisons
+		total.Traversed += m.Traversed
+		total.Facts += m.Facts
+		total.StoredTuples += m.StoredTuples
+		total.Cells += m.Cells
+		total.Reads += m.Reads
+		total.Writes += m.Writes
+	}
+	return total
+}
+
+// Close releases every shard's resources; all shards are closed even if
+// some fail, and the failures are joined.
+func (p *Pool) Close() error {
+	var errs []error
+	for i := range p.shards {
+		if p.shards[i].eng == nil {
+			continue // NewPool failed before this shard existed
+		}
+		if err := p.shards[i].eng.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("situfact: pool shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// DestroyStore removes the on-disk store directories of file-backed
+// shards; it is a no-op for in-memory pools.
+func (p *Pool) DestroyStore() error {
+	var errs []error
+	for i := range p.shards {
+		if p.shards[i].eng == nil {
+			continue
+		}
+		if err := p.shards[i].eng.DestroyStore(); err != nil {
+			errs = append(errs, fmt.Errorf("situfact: pool shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}

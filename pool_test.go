@@ -1,0 +1,290 @@
+package situfact
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func poolSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchemaBuilder("feed").
+		Dimension("team").Dimension("player").Dimension("month").
+		Measure("points", LargerBetter).
+		Measure("assists", LargerBetter).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var poolTeams = []string{"Celtics", "Lakers", "Bulls", "Heat", "Pacers", "Suns"}
+
+// poolRows builds a deterministic multi-team feed.
+func poolRows(n int) []Row {
+	rng := rand.New(rand.NewSource(7))
+	players := []string{"p1", "p2", "p3", "p4", "p5"}
+	months := []string{"Jan", "Feb", "Mar"}
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Dims: []string{
+				poolTeams[rng.Intn(len(poolTeams))],
+				players[rng.Intn(len(players))],
+				months[rng.Intn(len(months))],
+			},
+			Measures: []float64{float64(rng.Intn(40)), float64(rng.Intn(20))},
+		}
+	}
+	return rows
+}
+
+func factsEqual(t *testing.T, label string, want, got *Arrival) {
+	t.Helper()
+	if want.TupleID != got.TupleID {
+		t.Fatalf("%s: TupleID %d != solo %d", label, got.TupleID, want.TupleID)
+	}
+	if len(want.Facts) != len(got.Facts) {
+		t.Fatalf("%s: %d facts, solo engine has %d", label, len(got.Facts), len(want.Facts))
+	}
+	for i := range want.Facts {
+		w, g := want.Facts[i], got.Facts[i]
+		if w.String() != g.String() || w.ContextSize != g.ContextSize ||
+			w.SkylineSize != g.SkylineSize || w.Prominence != g.Prominence {
+			t.Fatalf("%s: fact %d differs: %s vs solo %s", label, i, g, w)
+		}
+	}
+}
+
+// soloArrivals replays each shard's substream through a standalone engine
+// and returns the arrival each row would produce there.
+func soloArrivals(t *testing.T, p *Pool, rows []Row) []*Arrival {
+	t.Helper()
+	out := make([]*Arrival, len(rows))
+	for s := 0; s < p.Shards(); s++ {
+		eng, err := New(poolSchema(t), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		for i, r := range rows {
+			if p.ShardFor(r.Dims[0]) != s {
+				continue
+			}
+			arr, err := eng.Append(r.Dims, r.Measures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = arr
+		}
+	}
+	return out
+}
+
+// TestPoolShardEquivalence is the acceptance property of the sharded
+// front-end: for every shard's substream, the pool produces the exact
+// facts (conditions, measures, prominence numerator and denominator) a
+// standalone Engine produces over that substream — via both Append and
+// AppendBatch.
+func TestPoolShardEquivalence(t *testing.T) {
+	rows := poolRows(150)
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	solo := soloArrivals(t, p, rows)
+
+	for i, r := range rows {
+		arr, err := p.Append(r.Dims, r.Measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.ShardFor(r.Dims[0]); arr.Shard != want {
+			t.Fatalf("row %d routed to shard %d, want %d", i, arr.Shard, want)
+		}
+		factsEqual(t, fmt.Sprintf("row %d (Append)", i), solo[i], arr)
+	}
+	if p.Len() != len(rows) {
+		t.Errorf("Len = %d, want %d", p.Len(), len(rows))
+	}
+
+	pb, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	var batched []*Arrival
+	for lo := 0; lo < len(rows); lo += 32 {
+		hi := min(lo+32, len(rows))
+		arrs, err := pb.AppendBatch(rows[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched = append(batched, arrs...)
+	}
+	for i := range rows {
+		factsEqual(t, fmt.Sprintf("row %d (AppendBatch)", i), solo[i], batched[i])
+	}
+}
+
+// TestPoolRoutingDeterminism pins the routing function: same key → same
+// shard within a pool, across pools, and across runs/processes (FNV-1a is
+// specified, so the expected indices are hard-coded).
+func TestPoolRoutingDeterminism(t *testing.T) {
+	p1, err := NewPool(poolSchema(t), PoolOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := NewPool(poolSchema(t), PoolOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for _, v := range poolTeams {
+		if p1.ShardFor(v) != p2.ShardFor(v) {
+			t.Errorf("%s routes to %d and %d in twin pools", v, p1.ShardFor(v), p2.ShardFor(v))
+		}
+	}
+	// FNV-1a(32) of the team names, mod 3: stable across runs by spec.
+	want := map[string]int{"Celtics": 2, "Lakers": 1, "Bulls": 2, "Heat": 2, "Pacers": 1, "Suns": 2}
+	for v, s := range want {
+		if got := p1.ShardFor(v); got != s {
+			t.Errorf("ShardFor(%s) = %d, want %d", v, got, s)
+		}
+	}
+	// Arrivals must carry the routing decision.
+	arr, err := p1.Append([]string{"Lakers", "p1", "Jan"}, []float64{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Shard != 1 {
+		t.Errorf("Lakers arrival on shard %d, want 1", arr.Shard)
+	}
+}
+
+// TestPoolConcurrentAppend drives one pool from many goroutines; under
+// -race this exercises the per-shard locking. Totals must be exact.
+func TestPoolConcurrentAppend(t *testing.T) {
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 4, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rows := poolRows(200)
+	const writers = 8
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(rows); i += writers {
+				if _, err := p.Append(rows[i].Dims, rows[i].Measures); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.Len() != len(rows) {
+		t.Errorf("Len = %d, want %d", p.Len(), len(rows))
+	}
+	m := p.Metrics()
+	if m.Tuples != int64(len(rows)) {
+		t.Errorf("merged Tuples = %d, want %d", m.Tuples, len(rows))
+	}
+	if m.Facts == 0 || m.StoredTuples == 0 {
+		t.Errorf("implausible merged metrics: %+v", m)
+	}
+}
+
+func TestPoolOptionErrors(t *testing.T) {
+	if _, err := NewPool(nil, PoolOptions{}); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := NewPool(poolSchema(t), PoolOptions{ShardDim: "nope"}); err == nil {
+		t.Error("unknown shard dimension accepted")
+	}
+	if _, err := NewPool(poolSchema(t), PoolOptions{Engine: Options{Algorithm: "nope"}}); err == nil {
+		t.Error("unknown engine algorithm accepted")
+	}
+	p, err := NewPool(poolSchema(t), PoolOptions{}) // defaults: GOMAXPROCS shards, first dim
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Shards() < 1 {
+		t.Errorf("default Shards = %d", p.Shards())
+	}
+	if p.ShardDim() != "team" {
+		t.Errorf("default ShardDim = %q, want first dimension", p.ShardDim())
+	}
+	if _, err := p.Append([]string{"too", "few"}, []float64{1, 2}); err == nil {
+		t.Error("bad dimension arity accepted")
+	}
+	if _, err := p.AppendBatch([]Row{{Dims: []string{"a", "b", "c"}, Measures: []float64{1}}}); err == nil {
+		t.Error("bad batch row arity accepted")
+	}
+	if err := p.DestroyStore(); err != nil {
+		t.Errorf("in-memory DestroyStore: %v", err)
+	}
+}
+
+// TestPoolFileStore exercises the per-shard StoreDir fan-out.
+func TestPoolFileStore(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPool(poolSchema(t), PoolOptions{
+		Shards:   2,
+		ShardDim: "team",
+		Engine:   Options{Algorithm: AlgoSTopDown, StoreDir: dir + "/cells"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AppendBatch(poolRows(20)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics().Writes == 0 {
+		t.Error("file-backed pool did no writes")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DestroyStore(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolParallelEngines stacks both concurrency layers: a sharded pool
+// whose engines are themselves parallel drivers.
+func TestPoolParallelEngines(t *testing.T) {
+	p, err := NewPool(poolSchema(t), PoolOptions{
+		Shards:   2,
+		ShardDim: "team",
+		Engine:   Options{Algorithm: AlgoParallelBottomUp, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rows := poolRows(60)
+	arrs, err := p.AppendBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := soloArrivals(t, p, rows)
+	for i := range rows {
+		if len(arrs[i].Facts) != len(solo[i].Facts) {
+			t.Fatalf("row %d: %d facts via parallel engines, solo has %d",
+				i, len(arrs[i].Facts), len(solo[i].Facts))
+		}
+	}
+	if !strings.Contains(p.Algorithm(), "Parallel") {
+		t.Errorf("pool algorithm = %q", p.Algorithm())
+	}
+}

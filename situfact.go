@@ -23,6 +23,14 @@
 //	for _, f := range arr.Top(3) {
 //		fmt.Println(f)
 //	}
+//
+// An Engine is single-stream (arrivals are inherently ordered) and not
+// safe for concurrent use. For partitioned feeds — per-team game logs,
+// per-station weather streams — Pool shards one logical stream across
+// many engines by a chosen dimension and drives them concurrently; see
+// Pool and ExamplePool. Within one engine, the parallel-* algorithms
+// (AlgoParallelTopDown, AlgoParallelBottomUp) split discovery itself
+// across Options.Workers goroutines, one measure-subspace partition each.
 package situfact
 
 import (
@@ -51,17 +59,27 @@ type Algorithm string
 
 // The available algorithms. STopDown and SBottomUp share computation
 // across measure subspaces (§V-C); the baselines exist mainly for
-// benchmarking.
+// benchmarking. The Parallel* drivers partition the measure subspaces
+// across Options.Workers goroutines running the non-shared lattice
+// algorithms over one shared striped-lock store — an engineering
+// extension beyond the single-threaded paper. Algorithm names resolve
+// through the core registry (core.Register), so extensions register
+// themselves without touching this package.
 const (
-	AlgoBruteForce  Algorithm = "bruteforce"
-	AlgoBaselineSeq Algorithm = "baselineseq"
-	AlgoBaselineIdx Algorithm = "baselineidx"
-	AlgoCCSC        Algorithm = "ccsc"
-	AlgoBottomUp    Algorithm = "bottomup"
-	AlgoTopDown     Algorithm = "topdown"
-	AlgoSBottomUp   Algorithm = "sbottomup"
-	AlgoSTopDown    Algorithm = "stopdown"
+	AlgoBruteForce       Algorithm = "bruteforce"
+	AlgoBaselineSeq      Algorithm = "baselineseq"
+	AlgoBaselineIdx      Algorithm = "baselineidx"
+	AlgoCCSC             Algorithm = "ccsc"
+	AlgoBottomUp         Algorithm = "bottomup"
+	AlgoTopDown          Algorithm = "topdown"
+	AlgoSBottomUp        Algorithm = "sbottomup"
+	AlgoSTopDown         Algorithm = "stopdown"
+	AlgoParallelTopDown  Algorithm = "parallel-topdown"
+	AlgoParallelBottomUp Algorithm = "parallel-bottomup"
 )
+
+// Algorithms returns the names of every registered algorithm, sorted.
+func Algorithms() []string { return core.Algorithms() }
 
 // Options configures an Engine. The zero value selects SBottomUp (the
 // paper's fastest in-memory algorithm) with prominence tracking, no caps,
@@ -88,6 +106,9 @@ type Options struct {
 	// extension beyond the paper; see core.Skyband. It overrides
 	// Algorithm and implies DisableProminence.
 	SkybandK int
+	// Workers is the goroutine count of the Parallel* algorithms; 0 or
+	// negative selects GOMAXPROCS. Sequential algorithms ignore it.
+	Workers int
 }
 
 // Condition is one bound attribute of a fact's context, e.g. team=Celtics.
@@ -136,8 +157,12 @@ func (f Fact) String() string {
 
 // Arrival reports the outcome of appending one tuple.
 type Arrival struct {
-	// TupleID is the arrival position (0-based).
+	// TupleID is the arrival position (0-based). For Pool arrivals it is
+	// the position within the owning shard's substream.
 	TupleID int64
+	// Shard is the index of the pool shard that processed the arrival; 0
+	// for a standalone Engine.
+	Shard int
 	// Facts are the situational facts pertinent to this arrival, sorted
 	// by descending prominence when tracking is enabled.
 	Facts []Fact
@@ -215,6 +240,15 @@ func New(schema *Schema, opt Options) (*Engine, error) {
 		maxMeasure = -1
 	}
 	cfg := core.Config{Schema: rs, MaxBound: maxBound, MaxMeasure: maxMeasure}
+	algo := opt.Algorithm
+	if algo == "" {
+		algo = AlgoSBottomUp
+	}
+	if opt.StoreDir != "" && (algo == AlgoParallelTopDown || algo == AlgoParallelBottomUp) {
+		// The parallel drivers own a shared in-memory sharded store; fail
+		// before creating the on-disk directory.
+		return nil, fmt.Errorf("situfact: %s does not support StoreDir (parallel workers share an in-memory store)", algo)
+	}
 	var fileSt *store.File
 	if opt.StoreDir != "" {
 		fs, err := store.NewFile(opt.StoreDir, rs)
@@ -224,49 +258,30 @@ func New(schema *Schema, opt Options) (*Engine, error) {
 		cfg.Store = fs
 		fileSt = fs
 	}
-	algo := opt.Algorithm
-	if algo == "" {
-		algo = AlgoSBottomUp
+	// Every error return below this point must release the file store.
+	fail := func(err error) (*Engine, error) {
+		if fileSt != nil {
+			fileSt.Close()
+		}
+		return nil, err
 	}
-	var (
-		disc  core.Discoverer
-		sizer core.SkylineSizer
-		err   error
-	)
+	cfg.Workers = opt.Workers
 	if opt.SkybandK >= 2 {
 		sb, err := core.NewSkyband(cfg, opt.SkybandK)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		return &Engine{schema: rs, table: relation.NewTable(rs), disc: sb, fileSt: fileSt}, nil
 	}
-	switch algo {
-	case AlgoBruteForce:
-		disc, err = core.NewBruteForce(cfg)
-	case AlgoBaselineSeq:
-		disc, err = core.NewBaselineSeq(cfg)
-	case AlgoBaselineIdx:
-		disc, err = core.NewBaselineIdx(cfg)
-	case AlgoCCSC:
-		disc, err = core.NewCCSC(cfg)
-	case AlgoBottomUp:
-		a, e := core.NewBottomUp(cfg)
-		disc, sizer, err = a, a, e
-	case AlgoTopDown:
-		a, e := core.NewTopDown(cfg)
-		disc, sizer, err = a, a, e
-	case AlgoSBottomUp:
-		a, e := core.NewSBottomUp(cfg)
-		disc, sizer, err = a, a, e
-	case AlgoSTopDown:
-		a, e := core.NewSTopDown(cfg)
-		disc, sizer, err = a, a, e
-	default:
-		return nil, fmt.Errorf("situfact: unknown algorithm %q", algo)
-	}
+	disc, err := core.NewDiscoverer(string(algo), cfg)
 	if err != nil {
-		return nil, err
+		// The registry error is re-prefixed here; drop its internal
+		// package prefix so callers see one coherent message.
+		return fail(fmt.Errorf("situfact: %s", strings.TrimPrefix(err.Error(), "core: ")))
 	}
+	// The lattice families (and the parallel drivers over them) can size
+	// contextual skylines; the baselines cannot.
+	sizer, _ := disc.(core.SkylineSizer)
 	eng := &Engine{
 		schema:     rs,
 		table:      relation.NewTable(rs),
@@ -278,7 +293,7 @@ func New(schema *Schema, opt Options) (*Engine, error) {
 	}
 	if !opt.DisableProminence {
 		if sizer == nil {
-			return nil, fmt.Errorf("situfact: prominence tracking requires a lattice algorithm (BottomUp/TopDown family); %q has no µ store", algo)
+			return fail(fmt.Errorf("situfact: prominence tracking requires a lattice algorithm (BottomUp/TopDown family); %q has no µ store", algo))
 		}
 		eng.sizer = sizer
 		eng.counter = core.NewContextCounter(rs.NumDims(), maxBound)
@@ -338,12 +353,13 @@ func (e *Engine) decode(rf core.Fact) Fact {
 // exactly (tuples that the deleted one was suppressing re-enter their
 // contextual skylines) and prominence counters are decremented.
 //
-// Deletion is supported by the BottomUp family only (Invariant 1 makes
-// local repair possible); engines running other algorithms return an
-// error. An update is a Delete followed by an Append.
+// Deletion is supported by the BottomUp family — including the parallel
+// driver over BottomUp workers — only (Invariant 1 makes local repair
+// possible); engines running other algorithms return an error. An update
+// is a Delete followed by an Append.
 func (e *Engine) Delete(tupleID int64) error {
-	bu, ok := e.disc.(*core.BottomUp)
-	if !ok {
+	bu, ok := e.disc.(deleter)
+	if !ok || !bu.CanDelete() {
 		return fmt.Errorf("situfact: Delete requires the BottomUp family; engine runs %s", e.disc.Name())
 	}
 	if tupleID < 0 || tupleID >= int64(e.table.Len()) {
@@ -371,6 +387,14 @@ func (e *Engine) Update(tupleID int64, dims []string, measures []float64) (*Arri
 		return nil, err
 	}
 	return e.Append(dims, measures)
+}
+
+// deleter is the deletion capability the engine discovers on its
+// algorithm: core.BottomUp and core.Parallel both satisfy it, the latter
+// reporting CanDelete only over BottomUp workers.
+type deleter interface {
+	CanDelete() bool
+	Delete(u *relation.Tuple, alive []*relation.Tuple)
 }
 
 // alive returns the non-deleted tuples.
