@@ -1,0 +1,217 @@
+package main
+
+// HTTP load generator against a running situfactd: situbench -serve-url
+// drives the daemon's ingest path end-to-end (JSON decode, pool routing,
+// discovery, JSON encode) and reports throughput and tail latency, turning
+// the ROADMAP's "fast as the hardware allows" claim into a number.
+//
+// The generator discovers the daemon's schema via GET /v1/schema, then has
+// -load-conns workers each POST random rows (dimension values drawn from a
+// -load-card-sized domain per attribute, uniform measures) until
+// -load-duration elapses. -load-batch > 1 switches to /v1/tuples:batch
+// with that many rows per request.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadParams configures one load run.
+type loadParams struct {
+	URL      string        // daemon base URL (e.g. http://localhost:8080)
+	Conns    int           // concurrent connections
+	Duration time.Duration // wall-clock run length
+	Batch    int           // rows per request; 1 = POST /v1/tuples
+	Card     int           // distinct values per dimension attribute
+	Seed     int64         // workload seed
+}
+
+// loadSchema is the subset of the daemon's GET /v1/schema response the
+// generator needs.
+type loadSchema struct {
+	Dimensions []string `json:"dimensions"`
+	Measures   []struct {
+		Name string `json:"name"`
+	} `json:"measures"`
+}
+
+// loadRow mirrors the daemon's row wire type.
+type loadRow struct {
+	Dims     []string  `json:"dims"`
+	Measures []float64 `json:"measures"`
+}
+
+type loadBatchBody struct {
+	Rows []loadRow `json:"rows"`
+}
+
+// workerResult accumulates one worker's observations.
+type workerResult struct {
+	rows      int64
+	requests  int64
+	errors    int64
+	latencies []time.Duration // per successful request
+}
+
+// runLoad executes the load run and writes the report to w.
+func runLoad(w io.Writer, p loadParams) error {
+	if p.Conns <= 0 {
+		p.Conns = 8
+	}
+	if p.Duration <= 0 {
+		p.Duration = 10 * time.Second
+	}
+	if p.Batch <= 0 {
+		p.Batch = 1
+	}
+	if p.Card <= 0 {
+		p.Card = 50
+	}
+	base := strings.TrimRight(p.URL, "/")
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        p.Conns,
+			MaxIdleConnsPerHost: p.Conns,
+		},
+		Timeout: 30 * time.Second,
+	}
+
+	resp, err := client.Get(base + "/v1/schema")
+	if err != nil {
+		return fmt.Errorf("fetch schema: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return fmt.Errorf("fetch schema: %s returned %s: %s",
+			base+"/v1/schema", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var schema loadSchema
+	err = json.NewDecoder(resp.Body).Decode(&schema)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode schema: %w", err)
+	}
+	if len(schema.Dimensions) == 0 || len(schema.Measures) == 0 {
+		return fmt.Errorf("daemon reported an empty schema")
+	}
+
+	endpoint := base + "/v1/tuples"
+	if p.Batch > 1 {
+		endpoint = base + "/v1/tuples:batch"
+	}
+	results := make([]workerResult, p.Conns)
+	deadline := time.Now().Add(p.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < p.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(i)))
+			res := &results[i]
+			for time.Now().Before(deadline) {
+				body, rows := buildBody(rng, schema, p.Batch, p.Card)
+				t0 := time.Now()
+				ok := post(client, endpoint, body)
+				res.requests++
+				if !ok {
+					res.errors++
+					continue
+				}
+				res.latencies = append(res.latencies, time.Since(t0))
+				res.rows += int64(rows)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerResult
+	for _, r := range results {
+		total.rows += r.rows
+		total.requests += r.requests
+		total.errors += r.errors
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+
+	fmt.Fprintf(w, "load: %s batch=%d conns=%d duration=%s\n", endpoint, p.Batch, p.Conns, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "ingested %d rows in %d requests (%d errors) — %.1f rows/s, %.1f req/s\n",
+		total.rows, total.requests, total.errors,
+		float64(total.rows)/elapsed.Seconds(), float64(total.requests)/elapsed.Seconds())
+	if len(total.latencies) > 0 {
+		fmt.Fprintf(w, "request latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			percentile(total.latencies, 0.50).Round(time.Microsecond),
+			percentile(total.latencies, 0.90).Round(time.Microsecond),
+			percentile(total.latencies, 0.99).Round(time.Microsecond),
+			total.latencies[len(total.latencies)-1].Round(time.Microsecond))
+	}
+	if total.errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", total.errors, total.requests)
+	}
+	return nil
+}
+
+// buildBody renders one request body of batch random rows, returning the
+// row count it carries.
+func buildBody(rng *rand.Rand, schema loadSchema, batch, card int) ([]byte, int) {
+	row := func() loadRow {
+		r := loadRow{
+			Dims:     make([]string, len(schema.Dimensions)),
+			Measures: make([]float64, len(schema.Measures)),
+		}
+		for i, d := range schema.Dimensions {
+			r.Dims[i] = fmt.Sprintf("%s-%d", d, rng.Intn(card))
+		}
+		for i := range r.Measures {
+			r.Measures[i] = float64(rng.Intn(1000))
+		}
+		return r
+	}
+	if batch == 1 {
+		b, _ := json.Marshal(row())
+		return b, 1
+	}
+	body := loadBatchBody{Rows: make([]loadRow, batch)}
+	for i := range body.Rows {
+		body.Rows[i] = row()
+	}
+	b, _ := json.Marshal(body)
+	return b, batch
+}
+
+// post sends one request, draining the response so connections are reused.
+func post(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// percentile returns the p-quantile (0 < p ≤ 1) of ascending-sorted
+// latencies by nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

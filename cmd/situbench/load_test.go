@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubDaemon mimics the situfactd surface the load generator touches.
+func stubDaemon(t *testing.T, rows *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/schema", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"dimensions":["team","player"],"measures":[{"name":"points"},{"name":"rebounds"}]}`))
+	})
+	mux.HandleFunc("POST /v1/tuples", func(w http.ResponseWriter, r *http.Request) {
+		var row loadRow
+		if err := json.NewDecoder(r.Body).Decode(&row); err != nil ||
+			len(row.Dims) != 2 || len(row.Measures) != 2 {
+			http.Error(w, "bad row", http.StatusBadRequest)
+			return
+		}
+		rows.Add(1)
+		w.Write([]byte(`{"id":"0:0","fact_count":0}`))
+	})
+	mux.HandleFunc("POST /v1/tuples:batch", func(w http.ResponseWriter, r *http.Request) {
+		var body loadBatchBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || len(body.Rows) == 0 {
+			http.Error(w, "bad batch", http.StatusBadRequest)
+			return
+		}
+		rows.Add(int64(len(body.Rows)))
+		w.Write([]byte(`{"arrivals":[]}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunLoadSingle(t *testing.T) {
+	var rows atomic.Int64
+	ts := stubDaemon(t, &rows)
+	var out bytes.Buffer
+	err := runLoad(&out, loadParams{
+		URL: ts.URL, Conns: 2, Duration: 150 * time.Millisecond, Batch: 1, Card: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if rows.Load() == 0 {
+		t.Error("no rows reached the stub daemon")
+	}
+	report := out.String()
+	for _, want := range []string{"rows/s", "p50", "p99", "0 errors"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunLoadBatch(t *testing.T) {
+	var rows atomic.Int64
+	ts := stubDaemon(t, &rows)
+	var out bytes.Buffer
+	err := runLoad(&out, loadParams{
+		URL: ts.URL, Conns: 2, Duration: 150 * time.Millisecond, Batch: 16, Card: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if got := rows.Load(); got == 0 || got%16 != 0 {
+		t.Errorf("stub saw %d rows, want a positive multiple of 16", got)
+	}
+	if !strings.Contains(out.String(), "tuples:batch") {
+		t.Errorf("report does not mention the batch endpoint:\n%s", out.String())
+	}
+}
+
+func TestRunLoadErrors(t *testing.T) {
+	// No daemon at all.
+	var out bytes.Buffer
+	if err := runLoad(&out, loadParams{URL: "http://127.0.0.1:1", Duration: time.Millisecond}); err == nil {
+		t.Error("unreachable daemon accepted")
+	}
+	// Daemon that rejects every append must surface a failure.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/schema", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"dimensions":["d"],"measures":[{"name":"m"}]}`))
+	})
+	mux.HandleFunc("POST /v1/tuples", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	out.Reset()
+	err := runLoad(&out, loadParams{URL: ts.URL, Conns: 1, Duration: 50 * time.Millisecond})
+	if err == nil {
+		t.Error("all-failing daemon reported success")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{{0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10}} {
+		if got := percentile(lat, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %d, want 0", got)
+	}
+}

@@ -106,25 +106,14 @@ type sink interface {
 }
 
 func run(in io.Reader, out io.Writer, cfg config) error {
-	dimNames := strings.Split(cfg.dims, ",")
-	b := situfact.NewSchemaBuilder("stream")
-	for _, d := range dimNames {
-		b.Dimension(strings.TrimSpace(d))
-	}
-	var measureNames []string
-	for _, m := range strings.Split(cfg.measures, ",") {
-		m = strings.TrimSpace(m)
-		dir := situfact.LargerBetter
-		if strings.HasPrefix(m, "-") {
-			dir = situfact.SmallerBetter
-			m = m[1:]
-		}
-		measureNames = append(measureNames, m)
-		b.Measure(m, dir)
-	}
-	schema, err := b.Build()
+	schema, specs, err := situfact.ParseSchema("stream", cfg.dims, cfg.measures)
 	if err != nil {
 		return err
+	}
+	dimNames := schema.DimensionNames()
+	measureNames := make([]string, len(specs))
+	for i, sp := range specs {
+		measureNames[i] = sp.Name
 	}
 	opt := situfact.Options{
 		Algorithm:      situfact.Algorithm(cfg.algo),

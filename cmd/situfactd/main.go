@@ -1,0 +1,125 @@
+// Command situfactd serves situational-fact discovery over HTTP — the
+// paper's online setting as a long-running daemon: tuples are POSTed as
+// they occur in the real world, and the response carries the facts the
+// arrival just made true. A situfact.Pool shards the stream across engines
+// by one dimension attribute; the daemon adds the wire format, a
+// prominence leaderboard, and snapshot-based persistence.
+//
+// Usage:
+//
+//	situfactd -dims player,team,opp_team -measures points,rebounds,-fouls \
+//	          [-addr :8080] [-algo sbottomup] [-shards 4] [-shard-dim team] \
+//	          [-dhat 0] [-mhat 0] [-workers 0] [-state-dir /var/lib/situfactd] \
+//	          [-topk 128] [-relation stream]
+//
+// Endpoints (wire format in docs/API.md):
+//
+//	POST   /v1/tuples        one arrival → its ranked facts (optional narration)
+//	POST   /v1/tuples:batch  many arrivals, fanned across shards concurrently
+//	DELETE /v1/tuples/{id}   retract an arrival by its "<shard>:<tuple_id>" handle
+//	GET    /v1/facts/top?k=  highest-prominence facts since startup
+//	GET    /v1/metrics       merged work counters + per-shard breakdown
+//	GET    /v1/schema        the relation schema the daemon was started with
+//	GET    /healthz          liveness
+//
+// With -state-dir, SIGINT/SIGTERM triggers a graceful shutdown: in-flight
+// requests drain, then every shard's state is snapshotted into the
+// directory, and the next start with the same schema restores it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	situfact "repro"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.relation, "relation", "stream", "relation name (part of the schema signature snapshots validate)")
+	flag.StringVar(&cfg.dims, "dims", "", "comma-separated dimension attribute names (required)")
+	flag.StringVar(&cfg.measures, "measures", "", "comma-separated measure attribute names; '-' prefix = smaller-is-better (required)")
+	flag.StringVar(&cfg.algo, "algo", "sbottomup", "algorithm: "+strings.Join(situfact.Algorithms(), "|"))
+	flag.IntVar(&cfg.dhat, "dhat", 0, "max bound dimension attributes (0 = no cap)")
+	flag.IntVar(&cfg.mhat, "mhat", 0, "max measure subspace size (0 = no cap)")
+	flag.IntVar(&cfg.shards, "shards", 0, "pool shard count (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.shardDim, "shard-dim", "", "dimension attribute whose value routes a row to its shard (default: first of -dims)")
+	flag.IntVar(&cfg.workers, "workers", 0, "goroutines per engine for the parallel-* algorithms (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.stateDir, "state-dir", "", "snapshot directory: restore on start, save on graceful shutdown (empty = no persistence)")
+	flag.IntVar(&cfg.boardCap, "topk", 128, "capacity of the GET /v1/facts/top leaderboard")
+	flag.Parse()
+	log.SetPrefix("situfactd: ")
+	log.SetFlags(log.LstdFlags)
+
+	if cfg.dims == "" || cfg.measures == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := serve(cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains in-flight
+// requests, snapshots the pool, and closes it.
+func serve(cfg config) error {
+	s, err := newServer(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%s over %d shards by %s)",
+			cfg.addr, s.pool.Algorithm(), s.pool.Shards(), s.pool.ShardDim())
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		s.close()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var errs []error
+	drainErr := srv.Shutdown(shutdownCtx)
+	if drainErr != nil {
+		errs = append(errs, fmt.Errorf("drain: %w", drainErr))
+	}
+	if cfg.stateDir != "" {
+		if drainErr != nil {
+			// Handlers may still be appending: a snapshot taken now could
+			// omit writes already acked 200. The previous snapshot
+			// generation stays valid, so refusing loses nothing committed.
+			log.Printf("drain incomplete; NOT snapshotting to %s (previous snapshot untouched)", cfg.stateDir)
+		} else if err := s.saveState(); err != nil {
+			errs = append(errs, err)
+		} else {
+			log.Printf("snapshotted %d tuples to %s", s.pool.Len(), cfg.stateDir)
+		}
+	}
+	if err := s.close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

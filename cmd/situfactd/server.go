@@ -1,0 +1,447 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	situfact "repro"
+)
+
+// config carries every run parameter; flags fill one in main.
+type config struct {
+	addr     string // listen address
+	relation string // relation name (cosmetic, part of the schema signature)
+	dims     string // comma-separated dimension column names
+	measures string // comma-separated measure names ('-' prefix = smaller-is-better)
+	algo     string // algorithm name (core registry)
+	dhat     int    // max bound dimension attributes (0 = no cap)
+	mhat     int    // max measure subspace size (0 = no cap)
+	shards   int    // pool shard count
+	shardDim string // dimension routing rows to shards; "" = first dimension
+	workers  int    // worker count for the parallel-* algorithms
+	stateDir string // snapshot directory; "" disables persistence
+	boardCap int    // leaderboard capacity for GET /v1/facts/top
+}
+
+// server owns the pool and the leaderboard. Append/Delete handlers rely on
+// the Pool's own per-shard locking for safety — the server adds no request
+// serialization of its own, so arrivals racing for one shard are ordered by
+// lock acquisition and different shards proceed in parallel (see
+// docs/ARCHITECTURE.md for why that ordering is sound).
+type server struct {
+	cfg      config
+	schema   *situfact.Schema
+	measures []measureWire
+	pool     *situfact.Pool
+	board    *leaderboard
+	started  time.Time
+}
+
+// buildSchema parses the -dims/-measures flags into a schema, returning
+// the measure descriptions for GET /v1/schema alongside.
+func buildSchema(cfg config) (*situfact.Schema, []measureWire, error) {
+	schema, specs, err := situfact.ParseSchema(cfg.relation, cfg.dims, cfg.measures)
+	if err != nil {
+		return nil, nil, err
+	}
+	wires := make([]measureWire, len(specs))
+	for i, sp := range specs {
+		dir := "larger-better"
+		if sp.Direction == situfact.SmallerBetter {
+			dir = "smaller-better"
+		}
+		wires[i] = measureWire{Name: sp.Name, Direction: dir}
+	}
+	return schema, wires, nil
+}
+
+// newServer builds the pool — restoring it from cfg.stateDir when a
+// snapshot is present there — and the server around it.
+func newServer(cfg config) (*server, error) {
+	schema, wires, err := buildSchema(cfg)
+	if err != nil {
+		return nil, err
+	}
+	algo := cfg.algo
+	if algo == "" {
+		algo = string(situfact.AlgoSBottomUp)
+	}
+	var pool *situfact.Pool
+	if cfg.stateDir != "" {
+		pool, err = situfact.LoadPoolSnapshot(schema, cfg.stateDir)
+		switch {
+		case errors.Is(err, situfact.ErrNoSnapshot):
+			pool = nil // fresh start below
+		case err != nil:
+			// A corrupt or mismatched snapshot must fail startup loudly —
+			// starting empty over existing state would be silent data loss.
+			return nil, fmt.Errorf("situfactd: restore %s: %w", cfg.stateDir, err)
+		default:
+			log.Printf("restored %d shards (%d tuples) from %s",
+				pool.Shards(), pool.Len(), cfg.stateDir)
+			// A snapshot pins shard count, routing, algorithm and caps;
+			// flags that ask for something else are overridden — say so.
+			if cfg.shards > 0 && cfg.shards != pool.Shards() {
+				log.Printf("warning: -shards %d ignored, snapshot has %d shards", cfg.shards, pool.Shards())
+			}
+			if d := strings.TrimSpace(cfg.shardDim); d != "" && d != pool.ShardDim() {
+				log.Printf("warning: -shard-dim %s ignored, snapshot routes by %s", d, pool.ShardDim())
+			}
+			if !strings.EqualFold(pool.Algorithm(), algo) {
+				log.Printf("warning: -algo %s ignored, snapshot was taken under %s", algo, pool.Algorithm())
+			}
+			if cfg.dhat != 0 || cfg.mhat != 0 || cfg.workers != 0 {
+				log.Printf("warning: -dhat/-mhat/-workers are pinned by the snapshot; flag values ignored")
+			}
+		}
+	}
+	if pool == nil {
+		pool, err = situfact.NewPool(schema, situfact.PoolOptions{
+			Shards:   cfg.shards,
+			ShardDim: strings.TrimSpace(cfg.shardDim),
+			Engine: situfact.Options{
+				Algorithm:      situfact.Algorithm(algo),
+				MaxBoundDims:   cfg.dhat,
+				MaxMeasureDims: cfg.mhat,
+				Workers:        cfg.workers,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Refuse -state-dir with an engine snapshots cannot serialise now,
+	// not at the first SIGTERM.
+	if cfg.stateDir != "" && !pool.CanSnapshot() {
+		pool.Close()
+		return nil, fmt.Errorf("situfactd: -state-dir requires a snapshot-capable algorithm (lattice family over the in-memory store), not %q", algo)
+	}
+	bcap := cfg.boardCap
+	if bcap <= 0 {
+		bcap = 128
+	}
+	return &server{
+		cfg:      cfg,
+		schema:   schema,
+		measures: wires,
+		pool:     pool,
+		board:    &leaderboard{cap: bcap},
+		started:  time.Now(),
+	}, nil
+}
+
+// handler routes the API.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/facts/top", s.handleTopFacts)
+	mux.HandleFunc("POST /v1/tuples", s.handleAppend)
+	mux.HandleFunc("POST /v1/tuples:batch", s.handleBatch)
+	mux.HandleFunc("DELETE /v1/tuples/{id}", s.handleDelete)
+	return mux
+}
+
+// saveState writes the pool snapshot; a no-op without -state-dir.
+func (s *server) saveState() error {
+	if s.cfg.stateDir == "" {
+		return nil
+	}
+	return s.pool.SaveSnapshot(s.cfg.stateDir)
+}
+
+func (s *server) close() error { return s.pool.Close() }
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Tuples: s.pool.Len()})
+}
+
+func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, schemaResponse{
+		Relation:   s.cfg.relation,
+		Dimensions: s.schema.DimensionNames(),
+		Measures:   s.measures,
+		ShardDim:   s.pool.ShardDim(),
+		Shards:     s.pool.Shards(),
+		Algorithm:  s.pool.Algorithm(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// One ShardStats sweep supplies both views, so per_shard always sums
+	// to merged even under concurrent ingest (Pool.Metrics would re-take
+	// the shard locks in a second pass that could disagree).
+	stats := s.pool.ShardStats()
+	resp := metricsResponse{
+		Algorithm:     s.pool.Algorithm(),
+		ShardDim:      s.pool.ShardDim(),
+		Shards:        s.pool.Shards(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		PerShard:      make([]shardWire, len(stats)),
+	}
+	var merged situfact.Metrics
+	for i, st := range stats {
+		resp.Len += st.Len
+		resp.PerShard[i] = shardWire{Shard: st.Shard, Len: st.Len, Metrics: toWireMetrics(st.Metrics)}
+		merged.Add(st.Metrics)
+	}
+	resp.Merged = toWireMetrics(merged)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleTopFacts(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad k %q", q))
+			return
+		}
+		k = n
+	}
+	writeJSON(w, http.StatusOK, topFactsResponse{Facts: s.board.top(k)})
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req tupleRequest
+	if !decodeBody(w, r, 1<<20, &req) {
+		return
+	}
+	arr, err := s.pool.Append(req.Dims, req.Measures)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := s.toArrival(arr, req.Top, true)
+	if req.Narrate != nil {
+		values := make(map[string]float64, len(s.measures))
+		for i, m := range s.measures {
+			values[m.Name] = req.Measures[i]
+		}
+		for i := range resp.Facts {
+			f := arr.Facts[i]
+			resp.Facts[i].Narration = situfact.Narrate(f, req.Narrate.Subject, values)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, 32<<20, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	rows := make([]situfact.Row, len(req.Rows))
+	for i, rw := range req.Rows {
+		rows[i] = situfact.Row{Dims: rw.Dims, Measures: rw.Measures}
+	}
+	arrs, batchErr := s.pool.AppendBatch(rows)
+	if batchErr != nil && arrs == nil {
+		// Pre-validation failure: nothing was processed.
+		writeErr(w, http.StatusBadRequest, batchErr.Error())
+		return
+	}
+	resp := batchResponse{Arrivals: make([]*arrivalResponse, len(arrs))}
+	for i, arr := range arrs {
+		if arr == nil {
+			continue // unprocessed row of a failed shard
+		}
+		a := s.toArrival(arr, req.Top, req.Top > 0)
+		resp.Arrivals[i] = &a
+	}
+	if batchErr != nil {
+		// Mid-batch engine failure: the arrivals present above DID commit;
+		// report them with the error so the client can reconcile.
+		resp.Error = strings.TrimPrefix(batchErr.Error(), "situfact: ")
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !strings.Contains(id, ":") && s.pool.Shards() > 1 {
+		// A bare number would silently target shard 0 — on a multi-shard
+		// pool that could retract the wrong tuple, so refuse it loudly.
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("bare tuple id %q is ambiguous with %d shards: use <shard>:<tuple_id>", id, s.pool.Shards()))
+		return
+	}
+	shard, tupleID, err := parseTupleID(id)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.pool.Delete(shard, tupleID); err != nil {
+		writeErr(w, deleteStatus(err), err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// toArrival converts an arrival, caps the returned facts at top (0 = all
+// when includeFacts), and feeds the leaderboard with every scored fact.
+func (s *server) toArrival(arr *situfact.Arrival, top int, includeFacts bool) arrivalResponse {
+	id := fmt.Sprintf("%d:%d", arr.Shard, arr.TupleID)
+	// Pre-filter against the board's floor before paying for wire
+	// conversion: after warmup almost no fact clears a full board. The
+	// floor only rises, so a stale read can only admit extra candidates —
+	// offerAll rechecks under its own lock.
+	floor, full := s.board.floor()
+	var scored []boardEntry
+	for _, f := range arr.Facts {
+		if f.Prominence > 0 && (!full || f.Prominence > floor) {
+			scored = append(scored, boardEntry{ID: id, Prominence: f.Prominence, Fact: toWireFact(f)})
+		}
+	}
+	s.board.offerAll(scored)
+	resp := arrivalResponse{
+		ID:        id,
+		Shard:     arr.Shard,
+		TupleID:   arr.TupleID,
+		FactCount: len(arr.Facts),
+	}
+	if includeFacts {
+		facts := arr.Facts
+		if top > 0 {
+			facts = arr.Top(top)
+		}
+		resp.Facts = make([]factWire, len(facts))
+		for i, f := range facts {
+			resp.Facts[i] = toWireFact(f)
+		}
+	}
+	return resp
+}
+
+// parseTupleID parses the "<shard>:<tuple_id>" handle; a bare number is
+// accepted as shard 0 for single-shard deployments.
+func parseTupleID(id string) (shard int, tupleID int64, err error) {
+	shardStr, tupleStr, found := strings.Cut(id, ":")
+	if !found {
+		shardStr, tupleStr = "0", id
+	}
+	shard, err = strconv.Atoi(shardStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad tuple id %q: want <shard>:<tuple_id>", id)
+	}
+	tupleID, err = strconv.ParseInt(tupleStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad tuple id %q: want <shard>:<tuple_id>", id)
+	}
+	return shard, tupleID, nil
+}
+
+// deleteStatus maps Pool.Delete errors onto HTTP statuses.
+func deleteStatus(err error) int {
+	switch {
+	case errors.Is(err, situfact.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, situfact.ErrAlreadyDeleted):
+		return http.StatusConflict
+	default: // e.g. the algorithm does not support deletion
+		return http.StatusBadRequest
+	}
+}
+
+// decodeBody decodes a size-capped JSON body, writing the error response
+// itself when decoding fails.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, err.Error())
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: strings.TrimPrefix(msg, "situfact: ")})
+}
+
+// leaderboard retains the highest-prominence facts seen since startup for
+// GET /v1/facts/top. It is a monitoring view, not part of the discovery
+// semantics: entries are not retracted when their tuple is deleted.
+type leaderboard struct {
+	mu      sync.Mutex
+	cap     int
+	entries []boardEntry
+}
+
+// offerAll inserts the entries in descending-prominence order (stable for
+// ties: earlier arrivals rank first), dropping whatever falls beyond the
+// capacity. One lock acquisition covers the whole batch — an arrival can
+// carry hundreds of scored facts, and the board is shared by all shards.
+func (b *leaderboard) offerAll(entries []boardEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range entries {
+		if len(b.entries) == b.cap && e.Prominence <= b.entries[len(b.entries)-1].Prominence {
+			continue
+		}
+		i := sort.Search(len(b.entries), func(i int) bool {
+			return b.entries[i].Prominence < e.Prominence
+		})
+		b.entries = append(b.entries, boardEntry{})
+		copy(b.entries[i+1:], b.entries[i:])
+		b.entries[i] = e
+		if len(b.entries) > b.cap {
+			b.entries = b.entries[:b.cap]
+		}
+	}
+}
+
+// floor returns the prominence of the board's weakest entry and whether
+// the board is at capacity (only then is the floor a rejection threshold).
+func (b *leaderboard) floor() (float64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) < b.cap {
+		return 0, false
+	}
+	return b.entries[len(b.entries)-1].Prominence, true
+}
+
+// top returns the k highest-prominence entries.
+func (b *leaderboard) top(k int) []boardEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if k > len(b.entries) {
+		k = len(b.entries)
+	}
+	out := make([]boardEntry, k)
+	copy(out, b.entries[:k])
+	return out
+}

@@ -1,0 +1,338 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// table1 is the paper's Table I mini-world, identical to the root
+// package's example_test.go: after the first six rows, David Wesley's
+// 12/13/5 game must yield 195 facts, topped by
+// "month=Feb | {assists} (prominence 5 = 5/1)".
+var table1 = []rowWire{
+	{Dims: []string{"Bogues", "Feb", "1991-92", "Hornets", "Hawks"}, Measures: []float64{4, 12, 5}},
+	{Dims: []string{"Seikaly", "Feb", "1991-92", "Heat", "Hawks"}, Measures: []float64{24, 5, 15}},
+	{Dims: []string{"Sherman", "Dec", "1993-94", "Celtics", "Nets"}, Measures: []float64{13, 13, 5}},
+	{Dims: []string{"Wesley", "Feb", "1994-95", "Celtics", "Nets"}, Measures: []float64{2, 5, 2}},
+	{Dims: []string{"Wesley", "Feb", "1994-95", "Celtics", "Timberwolves"}, Measures: []float64{3, 5, 3}},
+	{Dims: []string{"Strickland", "Jan", "1995-96", "Blazers", "Celtics"}, Measures: []float64{27, 18, 8}},
+}
+
+var wesley = rowWire{
+	Dims:     []string{"Wesley", "Feb", "1995-96", "Celtics", "Nets"},
+	Measures: []float64{12, 13, 5},
+}
+
+func reqOf(r rowWire) tupleRequest { return tupleRequest{Dims: r.Dims, Measures: r.Measures} }
+
+func gamelogConfig(shards int, stateDir string) config {
+	return config{
+		relation: "gamelog",
+		dims:     "player,month,season,team,opp_team",
+		measures: "points,assists,rebounds",
+		shards:   shards,
+		shardDim: "team",
+		stateDir: stateDir,
+		boardCap: 128,
+	}
+}
+
+// startServer builds the app and serves it on a random port.
+func startServer(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body, out any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// TestServerTableI is the end-to-end acceptance test: stream the Table I
+// mini-world over HTTP on a single shard (the whole relation is one
+// substream, so the facts must match example_test.go exactly), shut down
+// writing snapshots, restart, and observe identical state.
+func TestServerTableI(t *testing.T) {
+	stateDir := t.TempDir()
+	s, ts := startServer(t, gamelogConfig(1, stateDir))
+
+	for i, row := range table1 {
+		var arr arrivalResponse
+		if resp := doJSON(t, "POST", ts.URL+"/v1/tuples", reqOf(row), &arr); resp.StatusCode != 200 {
+			t.Fatalf("row %d: status %d", i, resp.StatusCode)
+		}
+	}
+	var arr arrivalResponse
+	req := tupleRequest{
+		Dims: wesley.Dims, Measures: wesley.Measures,
+		Top: 1, Narrate: &narrateRequest{Subject: "David Wesley"},
+	}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/tuples", req, &arr); resp.StatusCode != 200 {
+		t.Fatalf("wesley: status %d", resp.StatusCode)
+	}
+	if arr.FactCount != 195 {
+		t.Errorf("fact_count = %d, want 195", arr.FactCount)
+	}
+	if len(arr.Facts) != 1 {
+		t.Fatalf("got %d facts, want 1 (top=1)", len(arr.Facts))
+	}
+	const wantTop = "month=Feb | {assists} (prominence 5 = 5/1)"
+	if arr.Facts[0].Text != wantTop {
+		t.Errorf("top fact %q, want %q", arr.Facts[0].Text, wantTop)
+	}
+	if !strings.Contains(arr.Facts[0].Narration, "David Wesley") {
+		t.Errorf("narration %q does not mention the subject", arr.Facts[0].Narration)
+	}
+	if arr.ID != "0:6" {
+		t.Errorf("arrival id = %q, want 0:6", arr.ID)
+	}
+
+	var health healthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, &health)
+	if health.Status != "ok" || health.Tuples != 7 {
+		t.Errorf("healthz = %+v, want ok/7", health)
+	}
+	var beforeStop metricsResponse
+	doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &beforeStop)
+	if beforeStop.Merged.Tuples != 7 || beforeStop.Len != 7 || len(beforeStop.PerShard) != 1 {
+		t.Errorf("metrics before shutdown = %+v", beforeStop)
+	}
+
+	// SIGTERM-equivalent shutdown: stop accepting, drain, snapshot, close —
+	// the same sequence serve() runs on a signal.
+	ts.Close()
+	if err := s.saveState(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the state directory: tuple count and metrics survive.
+	s2, ts2 := startServer(t, gamelogConfig(1, stateDir))
+	defer s2.close()
+	if got := s2.pool.Len(); got != 7 {
+		t.Fatalf("restored Len = %d, want 7", got)
+	}
+	var restored metricsResponse
+	doJSON(t, "GET", ts2.URL+"/v1/metrics", nil, &restored)
+	if restored.Merged != beforeStop.Merged {
+		t.Errorf("restored merged metrics = %+v, want %+v", restored.Merged, beforeStop.Merged)
+	}
+	if restored.Len != 7 {
+		t.Errorf("restored len = %d, want 7", restored.Len)
+	}
+
+	// The restored stream continues: deleting the Wesley arrival works.
+	req2, _ := http.NewRequest("DELETE", ts2.URL+"/v1/tuples/0:6", nil)
+	resp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE after restore: status %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestServerBatchDeleteAndErrors(t *testing.T) {
+	_, ts := startServer(t, gamelogConfig(3, ""))
+
+	var batch batchResponse
+	req := batchRequest{Rows: append(append([]rowWire{}, table1...), wesley), Top: 2}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/tuples:batch", req, &batch); resp.StatusCode != 200 {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(batch.Arrivals) != 7 {
+		t.Fatalf("got %d arrivals, want 7", len(batch.Arrivals))
+	}
+	for i, arr := range batch.Arrivals {
+		if want := fmt.Sprintf("%d:%d", arr.Shard, arr.TupleID); arr.ID != want {
+			t.Errorf("arrival %d id = %q, want %q", i, arr.ID, want)
+		}
+		if len(arr.Facts) > 2 {
+			t.Errorf("arrival %d returned %d facts, want ≤ 2 (top=2)", i, len(arr.Facts))
+		}
+	}
+
+	// Rows of one team share a shard: the three Celtics home rows agree.
+	if batch.Arrivals[2].Shard != batch.Arrivals[3].Shard ||
+		batch.Arrivals[3].Shard != batch.Arrivals[4].Shard {
+		t.Errorf("Celtics rows scattered: shards %d/%d/%d",
+			batch.Arrivals[2].Shard, batch.Arrivals[3].Shard, batch.Arrivals[4].Shard)
+	}
+
+	var schema schemaResponse
+	doJSON(t, "GET", ts.URL+"/v1/schema", nil, &schema)
+	if schema.ShardDim != "team" || schema.Shards != 3 || len(schema.Dimensions) != 5 ||
+		len(schema.Measures) != 3 || schema.Algorithm == "" {
+		t.Errorf("schema = %+v", schema)
+	}
+
+	del := func(id string) int {
+		r, _ := http.NewRequest("DELETE", ts.URL+"/v1/tuples/"+id, nil)
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	target := batch.Arrivals[0].ID
+	if got := del(target); got != http.StatusNoContent {
+		t.Errorf("DELETE %s: status %d, want 204", target, got)
+	}
+	if got := del(target); got != http.StatusConflict {
+		t.Errorf("double DELETE %s: status %d, want 409", target, got)
+	}
+	if got := del("9:0"); got != http.StatusNotFound {
+		t.Errorf("DELETE unknown shard: status %d, want 404", got)
+	}
+	if got := del("0:999"); got != http.StatusNotFound {
+		t.Errorf("DELETE unknown tuple: status %d, want 404", got)
+	}
+	if got := del("bogus"); got != http.StatusBadRequest {
+		t.Errorf("DELETE malformed id: status %d, want 400", got)
+	}
+	// A bare id is ambiguous on a multi-shard pool — it must not silently
+	// target shard 0.
+	if got := del("1"); got != http.StatusBadRequest {
+		t.Errorf("DELETE bare id on 3 shards: status %d, want 400", got)
+	}
+
+	// Malformed appends are rejected before touching the pool.
+	if resp := doJSON(t, "POST", ts.URL+"/v1/tuples",
+		tupleRequest{Dims: []string{"only", "two"}, Measures: []float64{1, 2, 3}}, nil); resp.StatusCode != 400 {
+		t.Errorf("short row: status %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/tuples:batch", batchRequest{}, nil); resp.StatusCode != 400 {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerTopFacts(t *testing.T) {
+	_, ts := startServer(t, gamelogConfig(1, ""))
+	for _, row := range append(append([]rowWire{}, table1...), wesley) {
+		doJSON(t, "POST", ts.URL+"/v1/tuples", reqOf(row), nil)
+	}
+	var top topFactsResponse
+	doJSON(t, "GET", ts.URL+"/v1/facts/top?k=5", nil, &top)
+	if len(top.Facts) != 5 {
+		t.Fatalf("got %d leaderboard entries, want 5", len(top.Facts))
+	}
+	for i := 1; i < len(top.Facts); i++ {
+		if top.Facts[i].Prominence > top.Facts[i-1].Prominence {
+			t.Errorf("leaderboard out of order at %d: %g > %g",
+				i, top.Facts[i].Prominence, top.Facts[i-1].Prominence)
+		}
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/v1/facts/top?k=-1", nil, nil); resp.StatusCode != 400 {
+		t.Errorf("negative k: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLeaderboard(t *testing.T) {
+	b := &leaderboard{cap: 3}
+	b.offerAll([]boardEntry{{ID: "0", Prominence: 1}, {ID: "1", Prominence: 5}, {ID: "2", Prominence: 3}})
+	b.offerAll([]boardEntry{{ID: "3", Prominence: 4}, {ID: "4", Prominence: 2}, {ID: "5", Prominence: 6}})
+	got := b.top(10)
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3 (capacity)", len(got))
+	}
+	for i, want := range []float64{6, 5, 4} {
+		if got[i].Prominence != want {
+			t.Errorf("entry %d prominence = %g, want %g", i, got[i].Prominence, want)
+		}
+	}
+}
+
+func TestParseTupleID(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		shard   int
+		tuple   int64
+		wantErr bool
+	}{
+		{"2:17", 2, 17, false},
+		{"0:0", 0, 0, false},
+		{"5", 0, 5, false}, // bare id = shard 0
+		{"a:b", 0, 0, true},
+		{"1:", 0, 0, true},
+		{"", 0, 0, true},
+	} {
+		shard, tuple, err := parseTupleID(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseTupleID(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && (shard != tc.shard || tuple != tc.tuple) {
+			t.Errorf("parseTupleID(%q) = %d,%d, want %d,%d", tc.in, shard, tuple, tc.shard, tc.tuple)
+		}
+	}
+}
+
+// TestServerStateDirValidation: algorithms that cannot snapshot are
+// rejected at startup, not at the first shutdown.
+func TestServerStateDirValidation(t *testing.T) {
+	cfg := gamelogConfig(1, t.TempDir())
+	// parallel-bottomup builds a working pool (prominence included) but
+	// cannot snapshot — the capability check, not pool construction, must
+	// reject it.
+	cfg.algo = "parallel-bottomup"
+	if _, err := newServer(cfg); err == nil {
+		t.Error("parallel-bottomup with -state-dir accepted")
+	}
+	// A corrupt manifest must fail startup, not silently start empty.
+	corrupt := t.TempDir()
+	if err := os.WriteFile(filepath.Join(corrupt, "pool.manifest"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = gamelogConfig(1, corrupt)
+	if _, err := newServer(cfg); err == nil {
+		t.Error("corrupt manifest accepted as fresh start")
+	}
+
+	cfg.stateDir = ""
+	cfg.algo = ""
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	if err := s.saveState(); err != nil {
+		t.Errorf("saveState without state-dir must be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import situfact "repro"
+
+// Wire types of the situfactd JSON API, documented in docs/API.md. Field
+// names are the contract; keep them in sync with the curl examples there.
+
+// tupleRequest is the body of POST /v1/tuples: one arriving row, in schema
+// order, plus response shaping.
+type tupleRequest struct {
+	Dims     []string  `json:"dims"`
+	Measures []float64 `json:"measures"`
+	// Top caps the facts returned (0 = all facts of the arrival).
+	Top int `json:"top,omitempty"`
+	// Narrate, when present, adds a newsroom-style sentence to each
+	// returned fact, speaking about Subject (e.g. a player name).
+	Narrate *narrateRequest `json:"narrate,omitempty"`
+}
+
+type narrateRequest struct {
+	Subject string `json:"subject"`
+}
+
+// rowWire is one row of POST /v1/tuples:batch.
+type rowWire struct {
+	Dims     []string  `json:"dims"`
+	Measures []float64 `json:"measures"`
+}
+
+// batchRequest is the body of POST /v1/tuples:batch.
+type batchRequest struct {
+	Rows []rowWire `json:"rows"`
+	// Top caps the facts returned per arrival (0 = counts only, the
+	// default for batches — a batch can surface thousands of facts).
+	Top int `json:"top,omitempty"`
+}
+
+// conditionWire is one bound attribute of a fact's context.
+type conditionWire struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// factWire is one discovered situational fact.
+type factWire struct {
+	Conditions  []conditionWire `json:"conditions"`
+	Measures    []string        `json:"measures"`
+	ContextSize int64           `json:"context_size,omitempty"`
+	SkylineSize int             `json:"skyline_size,omitempty"`
+	Prominence  float64         `json:"prominence,omitempty"`
+	// Text is the paper-notation rendering (Fact.String).
+	Text string `json:"text"`
+	// Narration is the newsroom sentence; only set when requested.
+	Narration string `json:"narration,omitempty"`
+}
+
+// arrivalResponse reports the outcome of one appended row.
+type arrivalResponse struct {
+	// ID is "<shard>:<tuple_id>", the handle DELETE /v1/tuples/{id} takes.
+	ID        string     `json:"id"`
+	Shard     int        `json:"shard"`
+	TupleID   int64      `json:"tuple_id"`
+	FactCount int        `json:"fact_count"`
+	Facts     []factWire `json:"facts,omitempty"`
+}
+
+// batchResponse is the body of a POST /v1/tuples:batch response; arrival i
+// belongs to row i. On a mid-batch engine failure (HTTP 500) Error is set
+// and the arrivals that did commit are still present, with the failed
+// shard's unprocessed rows null — Pool.AppendBatch's partial-result
+// contract, passed through so clients can reconcile instead of
+// blind-retrying committed rows.
+type batchResponse struct {
+	Arrivals []*arrivalResponse `json:"arrivals"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// measureWire describes one measure attribute of GET /v1/schema.
+type measureWire struct {
+	Name      string `json:"name"`
+	Direction string `json:"direction"` // "larger-better" | "smaller-better"
+}
+
+// schemaResponse is the body of GET /v1/schema.
+type schemaResponse struct {
+	Relation   string        `json:"relation"`
+	Dimensions []string      `json:"dimensions"`
+	Measures   []measureWire `json:"measures"`
+	ShardDim   string        `json:"shard_dim"`
+	Shards     int           `json:"shards"`
+	Algorithm  string        `json:"algorithm"`
+}
+
+// metricsWire mirrors situfact.Metrics.
+type metricsWire struct {
+	Tuples       int64 `json:"tuples"`
+	Comparisons  int64 `json:"comparisons"`
+	Traversed    int64 `json:"traversed"`
+	Facts        int64 `json:"facts"`
+	StoredTuples int64 `json:"stored_tuples"`
+	Cells        int64 `json:"cells"`
+	Reads        int64 `json:"reads"`
+	Writes       int64 `json:"writes"`
+}
+
+// shardWire is one shard's row of GET /v1/metrics.
+type shardWire struct {
+	Shard   int         `json:"shard"`
+	Len     int         `json:"len"`
+	Metrics metricsWire `json:"metrics"`
+}
+
+// metricsResponse is the body of GET /v1/metrics.
+type metricsResponse struct {
+	Algorithm     string      `json:"algorithm"`
+	ShardDim      string      `json:"shard_dim"`
+	Shards        int         `json:"shards"`
+	Len           int         `json:"len"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Merged        metricsWire `json:"merged"`
+	PerShard      []shardWire `json:"per_shard"`
+}
+
+// boardEntry is one leaderboard row of GET /v1/facts/top.
+type boardEntry struct {
+	// ID names the arrival the fact belongs to ("<shard>:<tuple_id>").
+	ID         string   `json:"id"`
+	Prominence float64  `json:"prominence"`
+	Fact       factWire `json:"fact"`
+}
+
+// topFactsResponse is the body of GET /v1/facts/top.
+type topFactsResponse struct {
+	Facts []boardEntry `json:"facts"`
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status string `json:"status"`
+	Tuples int    `json:"tuples"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func toWireFact(f situfact.Fact) factWire {
+	w := factWire{
+		Measures:    f.Measures,
+		ContextSize: f.ContextSize,
+		SkylineSize: f.SkylineSize,
+		Prominence:  f.Prominence,
+		Text:        f.String(),
+	}
+	for _, c := range f.Conditions {
+		w.Conditions = append(w.Conditions, conditionWire{Attr: c.Attr, Value: c.Value})
+	}
+	return w
+}
+
+func toWireMetrics(m situfact.Metrics) metricsWire {
+	return metricsWire{
+		Tuples: m.Tuples, Comparisons: m.Comparisons,
+		Traversed: m.Traversed, Facts: m.Facts,
+		StoredTuples: m.StoredTuples, Cells: m.Cells,
+		Reads: m.Reads, Writes: m.Writes,
+	}
+}

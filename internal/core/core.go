@@ -1,21 +1,3 @@
-// Package core implements the situational-fact discovery algorithms of
-// Sultana et al., ICDE 2014: given an append-only relation and a newly
-// arrived tuple t, find every constraint–measure pair (C, M) such that t
-// is a contextual skyline tuple of λ_M(σ_C(R)).
-//
-// Seven algorithms are provided, mirroring the paper's §IV–V:
-//
-//	BruteForce   Alg. 2 — compare with every tuple, per constraint, per subspace
-//	BaselineSeq  Alg. 3 — sequential scan + Proposition-3 pruning
-//	BaselineIdx  k-d tree one-sided range queries + Proposition-3 pruning
-//	CCSC         per-context compressed skycube (§II adaptation)
-//	BottomUp     Alg. 4 — µ stores all skyline tuples; bottom-up lattice BFS
-//	TopDown      Alg. 5 — µ stores maximal skyline constraints; top-down BFS
-//	SBottomUp    §V-C — BottomUp + sharing across measure subspaces
-//	STopDown     Alg. 6 — TopDown + sharing across measure subspaces
-//
-// All algorithms produce identical fact sets; they differ in time, memory
-// and I/O profiles (the subject of the paper's evaluation).
 package core
 
 import (
@@ -294,6 +276,10 @@ func (b *base) allBottomsPruned() bool {
 
 // Metrics implements Discoverer.
 func (b *base) Metrics() Metrics { return b.met }
+
+// RestoreMetrics overwrites the work counters, so an engine resumed from a
+// snapshot reports the same cumulative work as one that never stopped.
+func (b *base) RestoreMetrics(m Metrics) { b.met = m }
 
 // Store exposes the µ(C,M) store (engine snapshot support).
 func (b *base) Store() store.Store { return b.st }

@@ -1,0 +1,31 @@
+// Package core implements the situational-fact discovery algorithms of
+// Sultana et al., ICDE 2014: given an append-only relation and a newly
+// arrived tuple t, find every constraint–measure pair (C, M) such that t
+// is a contextual skyline tuple of λ_M(σ_C(R)).
+//
+// Eight sequential algorithms are provided, mirroring the paper's §IV–V:
+//
+//	BruteForce   Alg. 2 — compare with every tuple, per constraint, per subspace
+//	BaselineSeq  Alg. 3 — sequential scan + Proposition-3 pruning
+//	BaselineIdx  k-d tree one-sided range queries + Proposition-3 pruning
+//	CCSC         per-context compressed skycube (§II adaptation)
+//	BottomUp     Alg. 4 — µ stores all skyline tuples; bottom-up lattice BFS
+//	TopDown      Alg. 5 — µ stores maximal skyline constraints; top-down BFS
+//	SBottomUp    §V-C — BottomUp + sharing across measure subspaces
+//	STopDown     Alg. 6 — TopDown + sharing across measure subspaces
+//
+// plus two engineering extensions beyond the paper: Parallel partitions
+// the measure subspaces across workers running BottomUp or TopDown over
+// one shared striped-lock store, and Skyband generalises discovery to
+// contextual k-skybands. All discovery algorithms produce identical fact
+// sets; they differ in time, memory and I/O profiles (the subject of the
+// paper's evaluation).
+//
+// Algorithms are constructed through a registry (Register/NewDiscoverer)
+// keyed by lower-case name, so extensions plug in without touching the
+// public API layer. Every Discoverer reports Metrics (comparisons,
+// traversed constraints, facts) and its store's I/O counters; the
+// BottomUp family additionally supports exact deletion (Delete), and the
+// lattice families expose contextual skyline sizes (SkylineSizer) for
+// prominence scoring.
+package core

@@ -1,0 +1,22 @@
+// Package lattice implements the constraint lattice of Sultana et al.,
+// ICDE 2014 (Section IV): conjunctive constraints over dimension
+// attributes, their subsumption partial order, the per-tuple lattice C^t of
+// tuple-satisfied constraints, and lattice intersections C^{t,t'}.
+//
+// Two representations coexist:
+//
+//   - Constraint: a concrete value vector with wildcards, used at API
+//     boundaries, in the µ(C,M) store keys, and for display.
+//   - Mask: within one tuple's lattice C^t a constraint is fully determined
+//     by WHICH attributes are bound (always to t's values), so the hot
+//     per-tuple algorithms manipulate uint32 bitmasks instead: bit i set ⇔
+//     d_i bound. ⊤ = 0, ⊥(C^t) = all-ones. Parents clear one bit, children
+//     set one bit, and the intersection lattice C^{t,t'} is exactly the set
+//     of submasks of the "shared mask" (attributes where t and t' agree).
+//
+// A d-dimensional relation induces a lattice of 2^d constraint templates
+// (which attributes are bound); enumeration order and the paper's
+// Algorithm 1 dedup discipline live in enumerate.go, and the d̂ cap
+// (MaxBound) truncates the lattice from above. Keys (Key) give every
+// concrete constraint a compact byte-string identity used by the µ store.
+package lattice

@@ -1,0 +1,18 @@
+// Package store implements the µ(C,M) cell store the discovery algorithms
+// maintain: for each constraint–measure-subspace pair, a small set of
+// skyline tuples. Three implementations cover the system's settings:
+//
+//   - Memory: a hash map of cells (paper §VI-B) — the default, and the
+//     only store snapshots serialise.
+//   - File: one binary file per non-empty cell; a visit reads the whole
+//     cell into a buffer, mutates the buffer, and overwrites the file when
+//     the visit ends (paper §VI-C, verbatim semantics).
+//   - Sharded: a striped-lock in-memory store shared by the parallel
+//     drivers' workers — an extension beyond the single-threaded paper.
+//
+// The Load/Save protocol is shaped by the file implementation: algorithms
+// Load a cell, work on the returned slice, and Save it back if (and only
+// if) they changed it. The memory store returns its live slice, making
+// Save cheap; the file store performs real I/O and counts it in Stats
+// (the cost driver of the paper's Figures 10 and 12).
+package store

@@ -1,17 +1,3 @@
-// Package store implements the µ(C,M) cell store the discovery algorithms
-// maintain: for each constraint–measure-subspace pair, a small set of
-// skyline tuples. Two implementations are provided, matching the paper's
-// two experimental settings:
-//
-//   - Memory: a hash map of cells (paper §VI-B).
-//   - File: one binary file per non-empty cell; a visit reads the whole
-//     cell into a buffer, mutates the buffer, and overwrites the file when
-//     the visit ends (paper §VI-C, verbatim semantics).
-//
-// The Load/Save protocol is shaped by the file implementation: algorithms
-// Load a cell, work on the returned slice, and Save it back if (and only
-// if) they changed it. The memory store returns its live slice, making
-// Save cheap; the file store performs real I/O and counts it.
 package store
 
 import (
@@ -100,6 +86,11 @@ func (m *Memory) Save(k CellKey, ts []*relation.Tuple) {
 
 // Stats implements Store.
 func (m *Memory) Stats() Stats { return m.stats }
+
+// RestoreStats overwrites the counters after a snapshot restore has
+// replayed the cells, so the store reports the cumulative I/O of the
+// original run rather than the replay.
+func (m *Memory) RestoreStats(s Stats) { m.stats = s }
 
 // Close implements Store.
 func (m *Memory) Close() error { return nil }

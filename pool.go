@@ -71,13 +71,7 @@ func NewPool(schema *Schema, opt PoolOptions) (*Pool, error) {
 	}
 	shardDim := 0
 	if opt.ShardDim != "" {
-		shardDim = -1
-		for i := 0; i < schema.rs.NumDims(); i++ {
-			if schema.rs.Dim(i).Name == opt.ShardDim {
-				shardDim = i
-				break
-			}
-		}
+		shardDim = schema.rs.DimIndex(opt.ShardDim)
 		if shardDim < 0 {
 			return nil, fmt.Errorf("situfact: pool shard dimension %q not in schema %s",
 				opt.ShardDim, schema.rs)
@@ -187,8 +181,47 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 	return out, errors.Join(errs...)
 }
 
+// Delete retracts tuple tupleID of the given shard — TupleIDs are
+// per-shard substream positions, so the pair (shard, tupleID) from an
+// Arrival names a tuple uniquely. Like Engine.Delete it requires the
+// BottomUp family.
+func (p *Pool) Delete(shard int, tupleID int64) error {
+	if shard < 0 || shard >= len(p.shards) {
+		return fmt.Errorf("situfact: pool: shard %d of %d: %w", shard, len(p.shards), ErrNotFound)
+	}
+	s := &p.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Delete(tupleID)
+}
+
 // Algorithm returns the name of the algorithm the shard engines run.
 func (p *Pool) Algorithm() string { return p.shards[0].eng.Algorithm() }
+
+// ShardStat describes one shard of a pool for monitoring.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Len is the shard's live (appended and not deleted) tuple count.
+	Len int
+	// Metrics is the shard engine's work counters.
+	Metrics Metrics
+}
+
+// ShardStats returns a per-shard monitoring snapshot. Each shard is read
+// under its own lock; the slice is not a cross-shard consistent cut (an
+// append may land between two reads), which is fine for monitoring —
+// shards are independent substreams.
+func (p *Pool) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(p.shards))
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Shard: i, Len: s.eng.Len(), Metrics: s.eng.Metrics()}
+		s.mu.Unlock()
+	}
+	return out
+}
 
 // Len returns the total number of live tuples across all shards.
 func (p *Pool) Len() int {
@@ -210,14 +243,7 @@ func (p *Pool) Metrics() Metrics {
 		s.mu.Lock()
 		m := s.eng.Metrics()
 		s.mu.Unlock()
-		total.Tuples += m.Tuples
-		total.Comparisons += m.Comparisons
-		total.Traversed += m.Traversed
-		total.Facts += m.Facts
-		total.StoredTuples += m.StoredTuples
-		total.Cells += m.Cells
-		total.Reads += m.Reads
-		total.Writes += m.Writes
+		total.Add(m)
 	}
 	return total
 }

@@ -1,6 +1,9 @@
 package situfact
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/relation"
 )
 
@@ -69,3 +72,42 @@ func (b *SchemaBuilder) Build() (*Schema, error) {
 // WrapSchema adapts an internal schema; used by the harness and examples
 // that obtain schemas from the workload generators.
 func WrapSchema(rs *relation.Schema) *Schema { return &Schema{rs: rs} }
+
+// MeasureSpec is one measure attribute as parsed by ParseSchema.
+type MeasureSpec struct {
+	Name      string
+	Direction Direction
+}
+
+// ParseSchema builds a schema from the comma-separated attribute lists the
+// command-line tools (cmd/situfact, cmd/situfactd) share: dims names the
+// dimension columns; measures names the measure columns, a '-' prefix
+// selecting smaller-is-better (e.g. "points,assists,-fouls"). Whitespace
+// around names is trimmed. The parsed measure specs are returned alongside
+// for callers that need per-measure directions (wire formats, CSV column
+// mapping).
+func ParseSchema(relation, dims, measures string) (*Schema, []MeasureSpec, error) {
+	if dims == "" || measures == "" {
+		return nil, nil, fmt.Errorf("situfact: dimension and measure lists are both required")
+	}
+	b := NewSchemaBuilder(relation)
+	for _, d := range strings.Split(dims, ",") {
+		b.Dimension(strings.TrimSpace(d))
+	}
+	var specs []MeasureSpec
+	for _, m := range strings.Split(measures, ",") {
+		m = strings.TrimSpace(m)
+		dir := LargerBetter
+		if strings.HasPrefix(m, "-") {
+			dir = SmallerBetter
+			m = strings.TrimSpace(m[1:])
+		}
+		b.Measure(m, dir)
+		specs = append(specs, MeasureSpec{Name: m, Direction: dir})
+	}
+	schema, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, specs, nil
+}

@@ -1,39 +1,7 @@
-// Package situfact is a streaming engine for discovering prominent
-// situational facts, reproducing Sultana, Hassan, Li, Yang & Yu,
-// "Incremental Discovery of Prominent Situational Facts", ICDE 2014.
-//
-// A situational fact is a statement of the form "with measures M, this
-// new tuple stands out against all historical tuples in context C" — e.g.
-// "first Pacers player with a 20/10/5 game against the Bulls". Formally,
-// the engine finds every constraint–measure pair (C, M) that qualifies an
-// arriving tuple as a contextual skyline tuple, and ranks those facts by
-// prominence (|σ_C(R)| / |λ_M(σ_C(R))|).
-//
-// Basic use:
-//
-//	schema, _ := situfact.NewSchemaBuilder("gamelog").
-//		Dimension("player").Dimension("team").Dimension("opp_team").
-//		Measure("points", situfact.LargerBetter).
-//		Measure("rebounds", situfact.LargerBetter).
-//		Build()
-//	eng, _ := situfact.New(schema, situfact.Options{})
-//	arr, _ := eng.Append(
-//		[]string{"Paul George", "Pacers", "Bulls"},
-//		[]float64{21, 11})
-//	for _, f := range arr.Top(3) {
-//		fmt.Println(f)
-//	}
-//
-// An Engine is single-stream (arrivals are inherently ordered) and not
-// safe for concurrent use. For partitioned feeds — per-team game logs,
-// per-station weather streams — Pool shards one logical stream across
-// many engines by a chosen dimension and drives them concurrently; see
-// Pool and ExamplePool. Within one engine, the parallel-* algorithms
-// (AlgoParallelTopDown, AlgoParallelBottomUp) split discovery itself
-// across Options.Workers goroutines, one measure-subspace partition each.
 package situfact
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,6 +11,15 @@ import (
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/subspace"
+)
+
+// Sentinel errors for Delete/Update outcomes; test with errors.Is. The
+// returned errors wrap these with the offending shard/tuple in the text.
+var (
+	// ErrNotFound reports a shard or tuple id that does not exist.
+	ErrNotFound = errors.New("not found")
+	// ErrAlreadyDeleted reports a tuple that was already retracted.
+	ErrAlreadyDeleted = errors.New("already deleted")
 )
 
 // Direction selects the preferred ordering of a measure attribute.
@@ -208,6 +185,19 @@ type Metrics struct {
 	Reads, Writes int64
 }
 
+// Add accumulates o into m field-by-field; the one place the counter list
+// is spelled out for merging (Pool.Metrics, per-shard monitoring views).
+func (m *Metrics) Add(o Metrics) {
+	m.Tuples += o.Tuples
+	m.Comparisons += o.Comparisons
+	m.Traversed += o.Traversed
+	m.Facts += o.Facts
+	m.StoredTuples += o.StoredTuples
+	m.Cells += o.Cells
+	m.Reads += o.Reads
+	m.Writes += o.Writes
+}
+
 // Engine is the streaming discovery engine. It is not safe for concurrent
 // use; arrivals are inherently ordered.
 type Engine struct {
@@ -363,10 +353,10 @@ func (e *Engine) Delete(tupleID int64) error {
 		return fmt.Errorf("situfact: Delete requires the BottomUp family; engine runs %s", e.disc.Name())
 	}
 	if tupleID < 0 || tupleID >= int64(e.table.Len()) {
-		return fmt.Errorf("situfact: Delete: no tuple %d", tupleID)
+		return fmt.Errorf("situfact: Delete: tuple %d: %w", tupleID, ErrNotFound)
 	}
 	if e.deleted[tupleID] {
-		return fmt.Errorf("situfact: Delete: tuple %d already deleted", tupleID)
+		return fmt.Errorf("situfact: Delete: tuple %d: %w", tupleID, ErrAlreadyDeleted)
 	}
 	tu := e.table.At(int(tupleID))
 	bu.Delete(tu, e.alive())

@@ -2,8 +2,11 @@ package situfact
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/lattice"
@@ -37,6 +40,15 @@ type snapshotFile struct {
 	Deleted    []int64
 	Counts     map[string]int64 // nil when prominence is disabled
 	Cells      []snapCell
+	// Counters preserves the cumulative work metrics, so a restored
+	// engine's Metrics match an uninterrupted run's. Snapshots written
+	// before this field decode it as zero (gob tolerates missing fields).
+	Counters snapCounters
+}
+
+type snapCounters struct {
+	Tuples, Comparisons, Traversed, Facts int64
+	StoredTuples, Cells, Reads, Writes    int64
 }
 
 type snapTuple struct {
@@ -55,6 +67,23 @@ const snapshotMagic = "situfact-snapshot-v1"
 func schemaSig(s *relation.Schema) string {
 	return s.String()
 }
+
+// CanSnapshot reports whether SaveSnapshot supports this engine: a
+// lattice algorithm (BottomUp/TopDown family) over the in-memory store.
+func (e *Engine) CanSnapshot() bool {
+	_, ok := memoryStoreOf(e.disc)
+	return ok
+}
+
+// CanSnapshot reports whether SaveSnapshot supports this pool's engines.
+func (p *Pool) CanSnapshot() bool { return p.shards[0].eng.CanSnapshot() }
+
+// ErrNoSnapshot reports that a directory holds no pool snapshot at all —
+// as opposed to holding a corrupt or mismatched one, which is a distinct
+// error. Daemons restore-or-start-fresh with errors.Is(err, ErrNoSnapshot);
+// any other LoadPoolSnapshot error should fail startup loudly rather than
+// silently serving an empty relation over existing state.
+var ErrNoSnapshot = errors.New("no pool snapshot")
 
 // SaveSnapshot writes the engine's state to w. See the package note above
 // for which engines support it.
@@ -87,6 +116,13 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	}
 	if e.counter != nil {
 		sf.Counts = e.counter.Snapshot()
+	}
+	met := e.Metrics()
+	sf.Counters = snapCounters{
+		Tuples: met.Tuples, Comparisons: met.Comparisons,
+		Traversed: met.Traversed, Facts: met.Facts,
+		StoredTuples: met.StoredTuples, Cells: met.Cells,
+		Reads: met.Reads, Writes: met.Writes,
 	}
 	mem.Walk(func(k store.CellKey, ts []*relation.Tuple) {
 		cell := snapCell{CKey: string(k.C), M: k.M, IDs: make([]int64, len(ts))}
@@ -163,7 +199,204 @@ func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
 		}
 		mem.Save(store.CellKey{C: lattice.Key(cell.CKey), M: subspace.Mask(cell.M)}, ts)
 	}
+	// Replaying the cells above recomputed StoredTuples/Cells but counted
+	// the replay itself as I/O; overwrite all counters with the saved ones.
+	// Snapshots written before Counters existed decode it as all-zero —
+	// leave the replay-derived store stats in place for those rather than
+	// zeroing live gauges.
+	if sf.Counters != (snapCounters{}) {
+		if rm, ok := eng.disc.(interface{ RestoreMetrics(core.Metrics) }); ok {
+			rm.RestoreMetrics(core.Metrics{
+				Tuples:      sf.Counters.Tuples,
+				Comparisons: sf.Counters.Comparisons,
+				Traversed:   sf.Counters.Traversed,
+				Facts:       sf.Counters.Facts,
+			})
+		}
+		mem.RestoreStats(store.Stats{
+			StoredTuples: sf.Counters.StoredTuples,
+			Cells:        sf.Counters.Cells,
+			Reads:        sf.Counters.Reads,
+			Writes:       sf.Counters.Writes,
+		})
+	}
 	return eng, nil
+}
+
+// Pool snapshots: one snapshot file per shard plus a manifest recording
+// the routing parameters, so a restored pool routes identically (ShardFor
+// is a pure function of the value and the shard count).
+//
+// Saves are generational: shard files carry a generation number, and the
+// manifest — written last, atomically — is the commit record naming the
+// generation it covers. A save that dies partway leaves either no manifest
+// (fresh directory: the next start begins clean) or the previous
+// manifest still pointing at the previous generation's complete file set;
+// mixed-generation restores are impossible. Files of superseded
+// generations are removed after a successful commit.
+
+type poolManifest struct {
+	Magic      string
+	SchemaSig  string
+	ShardDim   string
+	Shards     int
+	Generation uint64
+}
+
+const (
+	poolManifestMagic = "situfact-pool-snapshot-v1"
+	poolManifestName  = "pool.manifest"
+)
+
+func shardSnapshotName(i int, gen uint64) string {
+	return fmt.Sprintf("shard-%d.g%d.snap", i, gen)
+}
+
+// readPoolManifest loads dir's manifest; ok is false when none exists.
+func readPoolManifest(dir string) (man poolManifest, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, poolManifestName))
+	if os.IsNotExist(err) {
+		return poolManifest{}, false, nil
+	}
+	if err != nil {
+		return poolManifest{}, false, err
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(&man); err != nil {
+		return poolManifest{}, false, fmt.Errorf("decode manifest: %w", err)
+	}
+	if man.Magic != poolManifestMagic {
+		return poolManifest{}, false, fmt.Errorf("%s is not a pool snapshot manifest", dir)
+	}
+	return man, true, nil
+}
+
+// writeFileAtomic writes data produced by write to path via a temp file,
+// fsync and rename, then syncs the directory — so neither a crash mid-save
+// nor a power loss shortly after can leave a renamed-but-unflushed file
+// behind the commit point.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveSnapshot writes the pool's state into dir: a manifest plus one
+// engine snapshot per shard (shard-<i>.snap). Each shard is saved under
+// its own lock; as shards are independent substreams, per-shard
+// consistency is the meaningful unit and no cross-shard barrier is taken.
+// It requires the same engines Engine.SaveSnapshot does (lattice
+// algorithms over the in-memory store).
+func (p *Pool) SaveSnapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("situfact: pool snapshot: %w", err)
+	}
+	prev, havePrev, err := readPoolManifest(dir)
+	if err != nil {
+		return fmt.Errorf("situfact: pool snapshot: %w", err)
+	}
+	gen := uint64(1)
+	if havePrev {
+		gen = prev.Generation + 1
+	}
+	// New generation's shard files first; the manifest commit comes last.
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		err := writeFileAtomic(filepath.Join(dir, shardSnapshotName(i, gen)), s.eng.SaveSnapshot)
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("situfact: pool snapshot: shard %d: %w", i, err)
+		}
+	}
+	man := poolManifest{
+		Magic:      poolManifestMagic,
+		SchemaSig:  schemaSig(p.schema.rs),
+		ShardDim:   p.ShardDim(),
+		Shards:     len(p.shards),
+		Generation: gen,
+	}
+	err = writeFileAtomic(filepath.Join(dir, poolManifestName), func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(&man)
+	})
+	if err != nil {
+		return fmt.Errorf("situfact: pool snapshot: manifest: %w", err)
+	}
+	// Committed; the superseded generation is garbage now. Best-effort:
+	// leftover files cannot be restored once the manifest moved on.
+	if havePrev {
+		for i := 0; i < prev.Shards; i++ {
+			os.Remove(filepath.Join(dir, shardSnapshotName(i, prev.Generation)))
+		}
+	}
+	return nil
+}
+
+// LoadPoolSnapshot reconstructs a pool from a directory written by
+// Pool.SaveSnapshot. The schema must match the one the snapshot was taken
+// under; shard count, routing dimension, algorithm and caps are restored
+// from the snapshot itself.
+func LoadPoolSnapshot(schema *Schema, dir string) (*Pool, error) {
+	if schema == nil || schema.rs == nil {
+		return nil, fmt.Errorf("situfact: nil schema")
+	}
+	man, ok, err := readPoolManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("situfact: pool snapshot: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("situfact: %w in %s", ErrNoSnapshot, dir)
+	}
+	if got := schemaSig(schema.rs); got != man.SchemaSig {
+		return nil, fmt.Errorf("situfact: pool snapshot schema %q does not match %q", man.SchemaSig, got)
+	}
+	if man.Shards <= 0 {
+		return nil, fmt.Errorf("situfact: pool snapshot: manifest has %d shards", man.Shards)
+	}
+	shardDim := schema.rs.DimIndex(man.ShardDim)
+	if shardDim < 0 {
+		return nil, fmt.Errorf("situfact: pool snapshot shard dimension %q not in schema %s",
+			man.ShardDim, schema.rs)
+	}
+	p := &Pool{schema: schema, shardDim: shardDim, shards: make([]poolShard, man.Shards)}
+	for i := range p.shards {
+		f, err := os.Open(filepath.Join(dir, shardSnapshotName(i, man.Generation)))
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("situfact: pool snapshot: %w", err)
+		}
+		eng, err := LoadSnapshot(schema, f)
+		f.Close()
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("situfact: pool snapshot: shard %d: %w", i, err)
+		}
+		p.shards[i].eng = eng
+	}
+	return p, nil
 }
 
 // memoryStoreOf extracts the in-memory µ store of a lattice discoverer.

@@ -72,6 +72,131 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPoolSnapshotRoundTrip: a pool restored from SaveSnapshot must be
+// indistinguishable from one that never stopped — merged metrics, live
+// tuple count, routing, tombstones, and the facts of every subsequent
+// arrival.
+func TestPoolSnapshotRoundTrip(t *testing.T) {
+	mk := func() *Pool {
+		p, err := NewPool(gamelogSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	reference := mk()
+	defer reference.Close()
+	snapped := mk()
+	feed := func(p *Pool, rows []struct {
+		d []string
+		m []float64
+	}) []*Arrival {
+		var out []*Arrival
+		for _, r := range rows {
+			arr, err := p.Append(r.d, r.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, arr)
+		}
+		return out
+	}
+	refArrs := feed(reference, table1Rows[:5])
+	snapArrs := feed(snapped, table1Rows[:5])
+	// Retract row 3 from both pools via its (shard, tupleID) pair.
+	if err := reference.Delete(refArrs[3].Shard, refArrs[3].TupleID); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapped.Delete(snapArrs[3].Shard, snapArrs[3].TupleID); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := snapped.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadPoolSnapshot(gamelogSchema(t), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	if restored.Shards() != reference.Shards() {
+		t.Fatalf("restored Shards = %d, want %d", restored.Shards(), reference.Shards())
+	}
+	if restored.ShardDim() != "team" {
+		t.Fatalf("restored ShardDim = %q, want team", restored.ShardDim())
+	}
+	if restored.Len() != reference.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), reference.Len())
+	}
+	if got, want := restored.Metrics(), reference.Metrics(); got != want {
+		t.Fatalf("restored Metrics = %+v, want %+v", got, want)
+	}
+
+	// Continue both pools identically; every arrival must agree.
+	for _, r := range table1Rows[5:] {
+		want, err := reference.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Shard != got.Shard || want.TupleID != got.TupleID {
+			t.Fatalf("routing diverged: shard %d tuple %d vs shard %d tuple %d after restore",
+				want.Shard, want.TupleID, got.Shard, got.TupleID)
+		}
+		if len(want.Facts) != len(got.Facts) {
+			t.Fatalf("tuple %d: %d facts vs %d after restore", want.TupleID, len(want.Facts), len(got.Facts))
+		}
+		for i := range want.Facts {
+			if want.Facts[i].String() != got.Facts[i].String() {
+				t.Fatalf("tuple %d fact %d: %q vs %q", want.TupleID, i,
+					want.Facts[i].String(), got.Facts[i].String())
+			}
+		}
+	}
+	// Tombstones survive the round trip.
+	if err := restored.Delete(snapArrs[3].Shard, snapArrs[3].TupleID); err == nil {
+		t.Error("tombstone lost: double delete accepted after pool restore")
+	}
+}
+
+func TestPoolSnapshotErrors(t *testing.T) {
+	if _, err := LoadPoolSnapshot(gamelogSchema(t), t.TempDir()); err == nil {
+		t.Error("empty directory accepted as pool snapshot")
+	}
+	if _, err := LoadPoolSnapshot(nil, t.TempDir()); err == nil {
+		t.Error("nil schema accepted")
+	}
+
+	// A snapshot taken under one schema must not load under another.
+	pool, err := NewPool(gamelogSchema(t), PoolOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Append(table1Rows[0].d, table1Rows[0].m); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := pool.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewSchemaBuilder("other").Dimension("x").Measure("y", LargerBetter).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPoolSnapshot(other, dir); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
 func TestSnapshotErrors(t *testing.T) {
 	// Baseline engines cannot snapshot.
 	eng, err := New(gamelogSchema(t), Options{Algorithm: AlgoBaselineSeq, DisableProminence: true})
