@@ -10,6 +10,12 @@ package main
 // -load-card-sized domain per attribute, uniform measures) until
 // -load-duration elapses. -load-batch > 1 switches to /v1/tuples:batch
 // with that many rows per request.
+//
+// -load-dist zipf skews the daemon's shard dimension zipfianly (tunable
+// exponent -load-zipf-s > 1): a few hot partition values dominate, so a
+// handful of shards absorb most of the stream and the reported tail
+// latency reflects hot-shard contention instead of an idealised uniform
+// spread. Other dimensions stay uniform.
 
 import (
 	"bytes"
@@ -31,6 +37,8 @@ type loadParams struct {
 	Duration time.Duration // wall-clock run length
 	Batch    int           // rows per request; 1 = POST /v1/tuples
 	Card     int           // distinct values per dimension attribute
+	Dist     string        // shard-dim value distribution: "uniform" (default) | "zipf"
+	ZipfS    float64       // zipf exponent s > 1; 0 = 1.2
 	Seed     int64         // workload seed
 }
 
@@ -41,6 +49,7 @@ type loadSchema struct {
 	Measures   []struct {
 		Name string `json:"name"`
 	} `json:"measures"`
+	ShardDim string `json:"shard_dim"`
 }
 
 // loadRow mirrors the daemon's row wire type.
@@ -74,6 +83,20 @@ func runLoad(w io.Writer, p loadParams) error {
 	}
 	if p.Card <= 0 {
 		p.Card = 50
+	}
+	if p.Dist == "" {
+		p.Dist = "uniform"
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.2
+	}
+	switch p.Dist {
+	case "uniform", "zipf":
+	default:
+		return fmt.Errorf("unknown -load-dist %q (want uniform or zipf)", p.Dist)
+	}
+	if p.Dist == "zipf" && p.ZipfS <= 1 {
+		return fmt.Errorf("-load-zipf-s must be > 1, got %g", p.ZipfS)
 	}
 	base := strings.TrimRight(p.URL, "/")
 	client := &http.Client{
@@ -116,10 +139,10 @@ func runLoad(w io.Writer, p loadParams) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(p.Seed + int64(i)))
+			gen := newRowGen(rand.New(rand.NewSource(p.Seed+int64(i))), schema, p)
 			res := &results[i]
 			for time.Now().Before(deadline) {
-				body, rows := buildBody(rng, schema, p.Batch, p.Card)
+				body, rows := buildBody(gen, p.Batch)
 				t0 := time.Now()
 				ok := post(client, endpoint, body)
 				res.requests++
@@ -144,7 +167,12 @@ func runLoad(w io.Writer, p loadParams) error {
 	}
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 
-	fmt.Fprintf(w, "load: %s batch=%d conns=%d duration=%s\n", endpoint, p.Batch, p.Conns, elapsed.Round(time.Millisecond))
+	dist := p.Dist
+	if dist == "zipf" {
+		dist = fmt.Sprintf("zipf(s=%g, shard-dim %q)", p.ZipfS, schema.ShardDim)
+	}
+	fmt.Fprintf(w, "load: %s batch=%d conns=%d dist=%s duration=%s\n",
+		endpoint, p.Batch, p.Conns, dist, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "ingested %d rows in %d requests (%d errors) — %.1f rows/s, %.1f req/s\n",
 		total.rows, total.requests, total.errors,
 		float64(total.rows)/elapsed.Seconds(), float64(total.requests)/elapsed.Seconds())
@@ -161,29 +189,53 @@ func runLoad(w io.Writer, p loadParams) error {
 	return nil
 }
 
-// buildBody renders one request body of batch random rows, returning the
-// row count it carries.
-func buildBody(rng *rand.Rand, schema loadSchema, batch, card int) ([]byte, int) {
-	row := func() loadRow {
+// newRowGen returns a generator of random rows under p's distribution.
+// Uniform mode draws every dimension from [0, card) uniformly. Zipf mode
+// draws the daemon's shard dimension from a zipfian over the same domain
+// (value 0 hottest, exponent p.ZipfS) and leaves the rest uniform, so the
+// pool's hash routing concentrates the stream on a few hot shards. A
+// daemon whose /v1/schema predates shard_dim skews the first dimension.
+func newRowGen(rng *rand.Rand, schema loadSchema, p loadParams) func() loadRow {
+	shardIdx := 0
+	for i, d := range schema.Dimensions {
+		if d == schema.ShardDim {
+			shardIdx = i
+			break
+		}
+	}
+	var zipf *rand.Zipf
+	if p.Dist == "zipf" {
+		zipf = rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Card-1))
+	}
+	return func() loadRow {
 		r := loadRow{
 			Dims:     make([]string, len(schema.Dimensions)),
 			Measures: make([]float64, len(schema.Measures)),
 		}
 		for i, d := range schema.Dimensions {
-			r.Dims[i] = fmt.Sprintf("%s-%d", d, rng.Intn(card))
+			v := rng.Intn(p.Card)
+			if zipf != nil && i == shardIdx {
+				v = int(zipf.Uint64())
+			}
+			r.Dims[i] = fmt.Sprintf("%s-%d", d, v)
 		}
 		for i := range r.Measures {
 			r.Measures[i] = float64(rng.Intn(1000))
 		}
 		return r
 	}
+}
+
+// buildBody renders one request body of batch rows from gen, returning
+// the row count it carries.
+func buildBody(gen func() loadRow, batch int) ([]byte, int) {
 	if batch == 1 {
-		b, _ := json.Marshal(row())
+		b, _ := json.Marshal(gen())
 		return b, 1
 	}
 	body := loadBatchBody{Rows: make([]loadRow, batch)}
 	for i := range body.Rows {
-		body.Rows[i] = row()
+		body.Rows[i] = gen()
 	}
 	b, _ := json.Marshal(body)
 	return b, batch

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -117,5 +118,67 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := percentile(nil, 0.5); got != 0 {
 		t.Errorf("percentile(empty) = %d, want 0", got)
+	}
+}
+
+// TestRowGenZipf: zipf mode must skew exactly the shard dimension —
+// value 0 far above its uniform share — and leave other dims uniform-ish.
+func TestRowGenZipf(t *testing.T) {
+	schema := loadSchema{
+		Dimensions: []string{"player", "team"},
+		Measures: []struct {
+			Name string `json:"name"`
+		}{{Name: "points"}},
+		ShardDim: "team",
+	}
+	const card, n = 50, 5000
+	gen := newRowGen(rand.New(rand.NewSource(7)), schema, loadParams{
+		Card: card, Dist: "zipf", ZipfS: 1.5,
+	})
+	teamHot, playerHot := 0, 0
+	for i := 0; i < n; i++ {
+		r := gen()
+		if r.Dims[1] == "team-0" {
+			teamHot++
+		}
+		if r.Dims[0] == "player-0" {
+			playerHot++
+		}
+	}
+	uniformShare := n / card // 100
+	if teamHot < 5*uniformShare {
+		t.Errorf("zipf shard dim: team-0 drawn %d/%d times, want ≫ uniform share %d", teamHot, n, uniformShare)
+	}
+	if playerHot > 3*uniformShare {
+		t.Errorf("non-shard dim skewed: player-0 drawn %d/%d times, want ≈ uniform share %d", playerHot, n, uniformShare)
+	}
+}
+
+// TestRunLoadZipf drives the whole load path in zipf mode against the
+// stub (whose schema carries no shard_dim — the generator falls back to
+// skewing the first dimension) and checks parameter validation.
+func TestRunLoadZipf(t *testing.T) {
+	var rows atomic.Int64
+	ts := stubDaemon(t, &rows)
+	var out bytes.Buffer
+	err := runLoad(&out, loadParams{
+		URL: ts.URL, Conns: 2, Duration: 150 * time.Millisecond, Batch: 4, Card: 5,
+		Dist: "zipf", ZipfS: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("runLoad zipf: %v\n%s", err, out.String())
+	}
+	if rows.Load() == 0 {
+		t.Error("no rows reached the stub daemon")
+	}
+	if !strings.Contains(out.String(), "zipf") {
+		t.Errorf("report does not mention the distribution:\n%s", out.String())
+	}
+
+	if err := runLoad(&out, loadParams{URL: ts.URL, Dist: "zipf", ZipfS: 0.5}); err == nil {
+		t.Error("zipf s ≤ 1 accepted")
+	}
+	if err := runLoad(&out, loadParams{URL: ts.URL, Dist: "pareto"}); err == nil {
+		t.Error("unknown distribution accepted")
 	}
 }

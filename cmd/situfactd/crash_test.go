@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCrashRecoverySIGKILL is the end-to-end durability acceptance test:
+// a real situfactd process with -state-dir -wal is SIGKILLed mid-ingest —
+// no drain, no shutdown snapshot — restarted over the same state
+// directory, and fed the remainder of the stream. Its final
+// /v1/facts/top and /v1/metrics must equal those of an uninterrupted
+// daemon over the same input.
+//
+// Determinism: the feeder sends rows one at a time over one connection,
+// so the applied set is always a prefix of the stream; merged.tuples of
+// the recovered daemon says exactly where to resume.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemon processes")
+	}
+	bin := buildDaemon(t)
+	rows := crashRows(400)
+
+	// Uninterrupted reference run.
+	refDir := t.TempDir()
+	ref := startDaemon(t, bin, refDir, "")
+	for i, r := range rows {
+		if !postRow(ref.url, r) {
+			t.Fatalf("reference: row %d rejected", i)
+		}
+	}
+	wantTop := getTop(t, ref.url)
+	wantMetrics := getMetrics(t, ref.url)
+	ref.stop()
+
+	// Crash run: feed in the background, SIGKILL mid-stream.
+	crashDir := t.TempDir()
+	d := startDaemon(t, bin, crashDir, "")
+	acked := make(chan int, 1)
+	go func() {
+		n := 0
+		for _, r := range rows {
+			if !postRow(d.url, r) {
+				break // the kill severed us mid-request
+			}
+			n++
+		}
+		acked <- n
+	}()
+	// Let roughly a third of the stream through (including at least one
+	// background checkpoint at the daemon's 150ms -snapshot-interval),
+	// then kill -9.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m, err := tryMetrics(d.url); err == nil && m.Merged.Tuples >= int64(len(rows)/3) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+	nAcked := <-acked
+	if nAcked >= len(rows) {
+		t.Fatalf("daemon survived to the end of the stream (%d rows) — the kill was not mid-ingest", nAcked)
+	}
+
+	// Restart over the same state dir: recovery = newest snapshot + WAL
+	// tail. Every acknowledged row must be there.
+	d2 := startDaemon(t, bin, crashDir, "")
+	defer d2.stop()
+	m := getMetrics(t, d2.url)
+	applied := int(m.Merged.Tuples)
+	if applied < nAcked {
+		t.Fatalf("recovered daemon lost acknowledged rows: %d applied < %d acked", applied, nAcked)
+	}
+	if applied > len(rows) {
+		t.Fatalf("recovered daemon applied %d rows of a %d-row stream", applied, len(rows))
+	}
+	t.Logf("killed after %d acked rows; recovered %d applied rows", nAcked, applied)
+
+	// Resume the stream exactly where the recovered state ends.
+	for i, r := range rows[applied:] {
+		if !postRow(d2.url, r) {
+			t.Fatalf("resumed feed: row %d rejected", applied+i)
+		}
+	}
+
+	gotMetrics := getMetrics(t, d2.url)
+	if gotMetrics.Merged != wantMetrics.Merged {
+		t.Errorf("merged metrics after crash+recovery = %+v, want uninterrupted run's %+v",
+			gotMetrics.Merged, wantMetrics.Merged)
+	}
+	if gotMetrics.Len != wantMetrics.Len {
+		t.Errorf("len after crash+recovery = %d, want %d", gotMetrics.Len, wantMetrics.Len)
+	}
+	gotTop := getTop(t, d2.url)
+	if !reflect.DeepEqual(gotTop, wantTop) {
+		t.Errorf("leaderboard after crash+recovery diverged from uninterrupted run:\n got %+v\nwant %+v",
+			gotTop, wantTop)
+	}
+}
+
+// buildDaemon compiles this package into a runnable binary.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "situfactd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+	t   *testing.T
+}
+
+// startDaemon launches the binary on a free port with crash-friendly
+// settings: WAL on, frequent background checkpoints, small segments so
+// rotation and truncation both happen inside the test.
+func startDaemon(t *testing.T, bin, stateDir, extraAlgo string) *daemon {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	args := []string{
+		"-addr", addr,
+		"-dims", "team,player",
+		"-measures", "points,rebounds",
+		"-shards", "3",
+		"-shard-dim", "team",
+		"-state-dir", stateDir,
+		"-wal",
+		"-wal-segment-bytes", "4096",
+		"-snapshot-interval", "150ms",
+		"-topk", "64",
+	}
+	if extraAlgo != "" {
+		args = append(args, "-algo", extraAlgo)
+	}
+	cmd := exec.Command(bin, args...)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, url: "http://" + addr, t: t}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("daemon logs (%s):\n%s", stateDir, logs.String())
+		}
+	})
+	// Wait for readiness (startup includes recovery).
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon never became healthy\n%s", logs.String())
+	return nil
+}
+
+func (d *daemon) stop() {
+	if d.cmd.ProcessState == nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+// crashRows builds a deterministic stream with a skewed team dimension so
+// shards fill unevenly — the harder case for per-shard snapshot LSNs.
+func crashRows(n int) []rowWire {
+	rng := rand.New(rand.NewSource(42))
+	rows := make([]rowWire, n)
+	for i := range rows {
+		rows[i] = rowWire{
+			Dims: []string{
+				fmt.Sprintf("team-%d", rng.Intn(7)*rng.Intn(2)), // skewed: team-0 is hot
+				fmt.Sprintf("player-%d", rng.Intn(23)),
+			},
+			Measures: []float64{float64(rng.Intn(60)), float64(rng.Intn(20))},
+		}
+	}
+	return rows
+}
+
+func postRow(url string, r rowWire) bool {
+	body, _ := json.Marshal(tupleRequest{Dims: r.Dims, Measures: r.Measures})
+	resp, err := http.Post(url+"/v1/tuples", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reused and request order is strict.
+	var sink json.RawMessage
+	json.NewDecoder(resp.Body).Decode(&sink)
+	return resp.StatusCode == http.StatusOK
+}
+
+func tryMetrics(url string) (metricsResponse, error) {
+	var m metricsResponse
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+func getMetrics(t *testing.T, url string) metricsResponse {
+	t.Helper()
+	m, err := tryMetrics(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func getTop(t *testing.T, url string) topFactsResponse {
+	t.Helper()
+	var top topFactsResponse
+	resp, err := http.Get(url + "/v1/facts/top?k=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		t.Fatal(err)
+	}
+	return top
+}

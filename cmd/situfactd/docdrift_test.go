@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocEndpoints is a doc-drift guard (the API-side sibling of the
+// root package's TestREADMEAlgorithmTable): the endpoint headings in
+// docs/API.md must list exactly the patterns the mux registers. Adding a
+// route without documenting it — or documenting one that was removed —
+// fails CI.
+func TestAPIDocEndpoints(t *testing.T) {
+	data, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoint headings look like: ## POST /v1/tuples — append one arrival
+	// A query-string hint (## GET /v1/facts/top?k= — …) documents the same
+	// route; strip it before comparing.
+	headRE := regexp.MustCompile(`(?m)^## (GET|POST|DELETE) (\S+)`)
+	var documented []string
+	for _, m := range headRE.FindAllStringSubmatch(string(data), -1) {
+		path, _, _ := strings.Cut(m[2], "?")
+		documented = append(documented, m[1]+" "+path)
+	}
+	slices.Sort(documented)
+
+	s, err := newServer(gamelogConfig(1, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	var registered []string
+	for pattern := range s.routes() {
+		registered = append(registered, pattern)
+	}
+	slices.Sort(registered)
+
+	if !slices.Equal(documented, registered) {
+		t.Errorf("docs/API.md endpoint headings drifted from the mux registrations:\n  documented: %v\n  registered: %v",
+			documented, registered)
+	}
+}

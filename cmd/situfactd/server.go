@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,18 +19,22 @@ import (
 
 // config carries every run parameter; flags fill one in main.
 type config struct {
-	addr     string // listen address
-	relation string // relation name (cosmetic, part of the schema signature)
-	dims     string // comma-separated dimension column names
-	measures string // comma-separated measure names ('-' prefix = smaller-is-better)
-	algo     string // algorithm name (core registry)
-	dhat     int    // max bound dimension attributes (0 = no cap)
-	mhat     int    // max measure subspace size (0 = no cap)
-	shards   int    // pool shard count
-	shardDim string // dimension routing rows to shards; "" = first dimension
-	workers  int    // worker count for the parallel-* algorithms
-	stateDir string // snapshot directory; "" disables persistence
-	boardCap int    // leaderboard capacity for GET /v1/facts/top
+	addr         string        // listen address
+	relation     string        // relation name (cosmetic, part of the schema signature)
+	dims         string        // comma-separated dimension column names
+	measures     string        // comma-separated measure names ('-' prefix = smaller-is-better)
+	algo         string        // algorithm name (core registry)
+	dhat         int           // max bound dimension attributes (0 = no cap)
+	mhat         int           // max measure subspace size (0 = no cap)
+	shards       int           // pool shard count
+	shardDim     string        // dimension routing rows to shards; "" = first dimension
+	workers      int           // worker count for the parallel-* algorithms
+	stateDir     string        // snapshot directory; "" disables persistence
+	wal          bool          // journal ingest to <stateDir>/wal, replay on start
+	walSync      time.Duration // 0 = fsync before every ack; >0 = background interval fsync
+	walSegBytes  int64         // WAL segment rotation threshold (0 = 64 MiB)
+	snapInterval time.Duration // background checkpoint period; 0 = shutdown-only snapshots
+	boardCap     int           // leaderboard capacity for GET /v1/facts/top
 }
 
 // server owns the pool and the leaderboard. Append/Delete handlers rely on
@@ -41,9 +47,27 @@ type server struct {
 	schema   *situfact.Schema
 	measures []measureWire
 	pool     *situfact.Pool
+	wal      *situfact.WAL // nil without -wal
 	board    *leaderboard
 	started  time.Time
+
+	// stateMu serialises checkpoints (background snapshotter vs shutdown).
+	stateMu sync.Mutex
+	// gate orders board feeds against checkpoints: append handlers hold it
+	// for read across apply+feed, and the checkpoint's sidecar callback
+	// takes it for write as a barrier — so the captured leaderboard
+	// contains every arrival the captured shard snapshots contain, and
+	// anything newer is re-fed by WAL replay (offerAll deduplicates).
+	gate sync.RWMutex
+	// snapMu guards the snapshot telemetry for GET /v1/metrics.
+	snapMu   sync.Mutex
+	lastSnap time.Time // zero until the first checkpoint this process
+	snapGen  uint64
 }
+
+// sidecarLeaderboard keys the persisted leaderboard in the snapshot
+// manifest's sidecars.
+const sidecarLeaderboard = "leaderboard"
 
 // buildSchema parses the -dims/-measures flags into a schema, returning
 // the measure descriptions for GET /v1/schema alongside.
@@ -63,20 +87,27 @@ func buildSchema(cfg config) (*situfact.Schema, []measureWire, error) {
 	return schema, wires, nil
 }
 
-// newServer builds the pool — restoring it from cfg.stateDir when a
-// snapshot is present there — and the server around it.
+// newServer builds the pool and the server around it, running the full
+// recovery sequence when cfg.stateDir holds prior state: restore the
+// newest snapshot (including the leaderboard sidecar), replay the WAL
+// tail through the ingest path so derived state catches up, then attach
+// the WAL for live journaling.
 func newServer(cfg config) (*server, error) {
 	schema, wires, err := buildSchema(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.wal && cfg.stateDir == "" {
+		return nil, fmt.Errorf("situfactd: -wal requires -state-dir")
 	}
 	algo := cfg.algo
 	if algo == "" {
 		algo = string(situfact.AlgoSBottomUp)
 	}
 	var pool *situfact.Pool
+	var sidecars map[string][]byte
 	if cfg.stateDir != "" {
-		pool, err = situfact.LoadPoolSnapshot(schema, cfg.stateDir)
+		pool, sidecars, err = situfact.RestorePool(schema, cfg.stateDir)
 		switch {
 		case errors.Is(err, situfact.ErrNoSnapshot):
 			pool = nil // fresh start below
@@ -128,38 +159,146 @@ func newServer(cfg config) (*server, error) {
 	if bcap <= 0 {
 		bcap = 128
 	}
-	return &server{
+	s := &server{
 		cfg:      cfg,
 		schema:   schema,
 		measures: wires,
 		pool:     pool,
 		board:    &leaderboard{cap: bcap},
 		started:  time.Now(),
-	}, nil
+	}
+	if lb, ok := sidecars[sidecarLeaderboard]; ok {
+		if err := s.board.restore(lb); err != nil {
+			// The board is a monitoring view; a bad sidecar should not
+			// block recovery of the relation itself.
+			log.Printf("warning: leaderboard sidecar unreadable, starting it empty: %v", err)
+		}
+	}
+	if cfg.wal {
+		wal, err := situfact.OpenWAL(schema, filepath.Join(cfg.stateDir, "wal"), situfact.WALOptions{
+			SegmentBytes: cfg.walSegBytes,
+			SyncInterval: cfg.walSync,
+		})
+		if err != nil {
+			pool.Close()
+			return nil, fmt.Errorf("situfactd: %w", err)
+		}
+		// Replay through the ingest path: the pool re-applies the tail and
+		// every replayed arrival re-feeds the leaderboard, exactly as the
+		// original request did.
+		stats, err := pool.ReplayWAL(wal, s.feedBoard)
+		if err != nil {
+			wal.Close()
+			pool.Close()
+			return nil, fmt.Errorf("situfactd: wal replay: %w", err)
+		}
+		if stats.Records > 0 {
+			log.Printf("wal: replayed %d records (%d applied, %d already in snapshot, %d re-failed); %d tuples live",
+				stats.Records, stats.Applied, stats.Skipped, stats.Failed, pool.Len())
+		}
+		if err := pool.AttachWAL(wal); err != nil {
+			wal.Close()
+			pool.Close()
+			return nil, fmt.Errorf("situfactd: %w", err)
+		}
+		s.wal = wal
+	}
+	return s, nil
+}
+
+// routes is the single source of truth for the API surface;
+// TestAPIDocEndpoints keeps docs/API.md's endpoint list equal to it.
+func (s *server) routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"GET /healthz":           s.handleHealthz,
+		"GET /v1/schema":         s.handleSchema,
+		"GET /v1/metrics":        s.handleMetrics,
+		"GET /v1/facts/top":      s.handleTopFacts,
+		"POST /v1/tuples":        s.handleAppend,
+		"POST /v1/tuples:batch":  s.handleBatch,
+		"DELETE /v1/tuples/{id}": s.handleDelete,
+	}
 }
 
 // handler routes the API.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/schema", s.handleSchema)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/facts/top", s.handleTopFacts)
-	mux.HandleFunc("POST /v1/tuples", s.handleAppend)
-	mux.HandleFunc("POST /v1/tuples:batch", s.handleBatch)
-	mux.HandleFunc("DELETE /v1/tuples/{id}", s.handleDelete)
+	for pattern, h := range s.routes() {
+		mux.HandleFunc(pattern, h)
+	}
 	return mux
 }
 
-// saveState writes the pool snapshot; a no-op without -state-dir.
-func (s *server) saveState() error {
+// saveState commits a checkpoint; a no-op without -state-dir. It is the
+// graceful-shutdown entry point and shares checkpoint's serialisation
+// with the background snapshotter.
+func (s *server) saveState() error { return s.checkpoint() }
+
+// checkpoint snapshots every shard plus the leaderboard sidecar into the
+// state dir and truncates WAL segments the new generation covers.
+func (s *server) checkpoint() error {
 	if s.cfg.stateDir == "" {
 		return nil
 	}
-	return s.pool.SaveSnapshot(s.cfg.stateDir)
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	stats, err := s.pool.Checkpoint(s.cfg.stateDir, s.snapshotSidecars)
+	if err != nil {
+		return err
+	}
+	s.snapMu.Lock()
+	s.lastSnap = time.Now()
+	s.snapGen = stats.Generation
+	s.snapMu.Unlock()
+	if s.wal != nil && stats.TruncatableLSN > 0 {
+		if err := s.wal.TruncateBefore(stats.TruncatableLSN + 1); err != nil {
+			// The checkpoint itself committed; stale segments only cost
+			// replay time, so log rather than fail.
+			log.Printf("wal truncate: %v", err)
+		}
+	}
+	return nil
 }
 
-func (s *server) close() error { return s.pool.Close() }
+// snapshotSidecars captures the leaderboard for the manifest. Called by
+// Pool.Checkpoint after the shard files are written: the write-lock
+// barrier waits out handlers mid feed, so the captured board holds every
+// arrival the shard snapshots hold (anything newer is re-fed by replay).
+func (s *server) snapshotSidecars() (map[string][]byte, error) {
+	s.gate.Lock()
+	s.gate.Unlock() // barrier only: nothing to do inside
+	b, err := s.board.marshal()
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{sidecarLeaderboard: b}, nil
+}
+
+// snapshotLoop checkpoints on a fixed period until ctx is cancelled — the
+// background companion to the WAL: the log bounds data loss, the loop
+// bounds the log.
+func (s *server) snapshotLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.checkpoint(); err != nil {
+				log.Printf("background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+func (s *server) close() error {
+	err := s.pool.Close()
+	if s.wal != nil {
+		err = errors.Join(err, s.wal.Close())
+	}
+	return err
+}
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Tuples: s.pool.Len()})
@@ -195,6 +334,23 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		merged.Add(st.Metrics)
 	}
 	resp.Merged = toWireMetrics(merged)
+	if s.wal != nil {
+		wst := s.wal.Stats()
+		resp.WAL = walWire{
+			Enabled:    true,
+			LastLSN:    wst.LastLSN,
+			SyncedLSN:  wst.SyncedLSN,
+			LagRecords: wst.LastLSN - wst.SyncedLSN,
+			Segments:   wst.Segments,
+		}
+	}
+	resp.Snapshot = snapshotWire{Enabled: s.cfg.stateDir != "", SecondsSinceLast: -1}
+	s.snapMu.Lock()
+	if !s.lastSnap.IsZero() {
+		resp.Snapshot.SecondsSinceLast = time.Since(s.lastSnap).Seconds()
+		resp.Snapshot.Generation = s.snapGen
+	}
+	s.snapMu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -216,9 +372,19 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, 1<<20, &req) {
 		return
 	}
+	// Held across apply + board feed so a concurrent checkpoint's board
+	// capture never falls between them; see server.gate.
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	arr, err := s.pool.Append(req.Dims, req.Measures)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		// A journal failure is the daemon's fault, not the request's —
+		// report it retryable so clients do not drop the row as malformed.
+		status := http.StatusBadRequest
+		if errors.Is(err, situfact.ErrWALFailed) {
+			status = http.StatusInternalServerError
+		}
+		writeErr(w, status, err.Error())
 		return
 	}
 	resp := s.toArrival(arr, req.Top, true)
@@ -248,6 +414,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, rw := range req.Rows {
 		rows[i] = situfact.Row{Dims: rw.Dims, Measures: rw.Measures}
 	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	arrs, batchErr := s.pool.AppendBatch(rows)
 	if batchErr != nil && arrs == nil {
 		// Pre-validation failure: nothing was processed.
@@ -293,9 +461,10 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// toArrival converts an arrival, caps the returned facts at top (0 = all
-// when includeFacts), and feeds the leaderboard with every scored fact.
-func (s *server) toArrival(arr *situfact.Arrival, top int, includeFacts bool) arrivalResponse {
+// feedBoard offers an arrival's scored facts to the leaderboard — the
+// live ingest path and WAL replay share it, so a recovered board sees
+// exactly the offers the original run made.
+func (s *server) feedBoard(arr *situfact.Arrival) {
 	id := fmt.Sprintf("%d:%d", arr.Shard, arr.TupleID)
 	// Pre-filter against the board's floor before paying for wire
 	// conversion: after warmup almost no fact clears a full board. The
@@ -309,6 +478,13 @@ func (s *server) toArrival(arr *situfact.Arrival, top int, includeFacts bool) ar
 		}
 	}
 	s.board.offerAll(scored)
+}
+
+// toArrival converts an arrival, caps the returned facts at top (0 = all
+// when includeFacts), and feeds the leaderboard with every scored fact.
+func (s *server) toArrival(arr *situfact.Arrival, top int, includeFacts bool) arrivalResponse {
+	id := fmt.Sprintf("%d:%d", arr.Shard, arr.TupleID)
+	s.feedBoard(arr)
 	resp := arrivalResponse{
 		ID:        id,
 		Shard:     arr.Shard,
@@ -353,6 +529,8 @@ func deleteStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, situfact.ErrAlreadyDeleted):
 		return http.StatusConflict
+	case errors.Is(err, situfact.ErrWALFailed):
+		return http.StatusInternalServerError // daemon-side fault, retryable
 	default: // e.g. the algorithm does not support deletion
 		return http.StatusBadRequest
 	}
@@ -388,9 +566,11 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: strings.TrimPrefix(msg, "situfact: ")})
 }
 
-// leaderboard retains the highest-prominence facts seen since startup for
+// leaderboard retains the highest-prominence facts seen for
 // GET /v1/facts/top. It is a monitoring view, not part of the discovery
-// semantics: entries are not retracted when their tuple is deleted.
+// semantics: entries are not retracted when their tuple is deleted. With
+// -state-dir it survives restarts — checkpoints persist it as a manifest
+// sidecar, and WAL replay re-offers the tail's facts.
 type leaderboard struct {
 	mu      sync.Mutex
 	cap     int
@@ -401,6 +581,10 @@ type leaderboard struct {
 // ties: earlier arrivals rank first), dropping whatever falls beyond the
 // capacity. One lock acquisition covers the whole batch — an arrival can
 // carry hundreds of scored facts, and the board is shared by all shards.
+//
+// Offers are idempotent: an entry naming the same arrival and fact as one
+// already on the board is dropped, so recovery — which re-offers facts
+// the snapshot may already contain — cannot double-list a fact.
 func (b *leaderboard) offerAll(entries []boardEntry) {
 	if len(entries) == 0 {
 		return
@@ -414,6 +598,18 @@ func (b *leaderboard) offerAll(entries []boardEntry) {
 		i := sort.Search(len(b.entries), func(i int) bool {
 			return b.entries[i].Prominence < e.Prominence
 		})
+		// A duplicate shares the prominence, so it can only live in the
+		// equal run just above the insertion point.
+		dup := false
+		for j := i - 1; j >= 0 && b.entries[j].Prominence == e.Prominence; j-- {
+			if b.entries[j].ID == e.ID && b.entries[j].Fact.Text == e.Fact.Text {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		b.entries = append(b.entries, boardEntry{})
 		copy(b.entries[i+1:], b.entries[i:])
 		b.entries[i] = e
@@ -421,6 +617,34 @@ func (b *leaderboard) offerAll(entries []boardEntry) {
 			b.entries = b.entries[:b.cap]
 		}
 	}
+}
+
+// marshal serialises the board for the checkpoint sidecar.
+func (b *leaderboard) marshal() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return json.Marshal(b.entries)
+}
+
+// restore replaces the board with a sidecar written by marshal, trimming
+// to the (possibly smaller) current capacity.
+func (b *leaderboard) restore(data []byte) error {
+	var entries []boardEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return err
+	}
+	// Stored sorted; re-sort defensively so a hand-edited sidecar cannot
+	// break the ordered-insert invariant.
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Prominence > entries[j].Prominence
+	})
+	if len(entries) > b.cap {
+		entries = entries[:b.cap]
+	}
+	b.mu.Lock()
+	b.entries = entries
+	b.mu.Unlock()
+	return nil
 }
 
 // floor returns the prominence of the board's weakest entry and whether

@@ -8,7 +8,9 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -334,5 +336,252 @@ func TestServerStateDirValidation(t *testing.T) {
 	defer s.close()
 	if err := s.saveState(); err != nil {
 		t.Errorf("saveState without state-dir must be a no-op, got %v", err)
+	}
+}
+
+// walConfig enables the journal on a gamelog config.
+func walConfig(shards int, stateDir string) config {
+	cfg := gamelogConfig(shards, stateDir)
+	cfg.wal = true
+	return cfg
+}
+
+// TestServerWALCrashRecovery simulates a kill -9 in-process: feed a
+// daemon with -wal, never save a snapshot, abandon it, and start a fresh
+// one over the same state dir. Replay alone must rebuild the relation,
+// the metrics and the leaderboard.
+func TestServerWALCrashRecovery(t *testing.T) {
+	stateDir := t.TempDir()
+	_, ts := startServer(t, walConfig(2, stateDir))
+
+	rows := append(append([]rowWire{}, table1...), wesley)
+	for i, row := range rows {
+		if resp := doJSON(t, "POST", ts.URL+"/v1/tuples", reqOf(row), nil); resp.StatusCode != 200 {
+			t.Fatalf("row %d: status %d", i, resp.StatusCode)
+		}
+	}
+	var beforeMetrics metricsResponse
+	doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &beforeMetrics)
+	if !beforeMetrics.WAL.Enabled || beforeMetrics.WAL.LastLSN != uint64(len(rows)) {
+		t.Fatalf("wal metrics before crash = %+v, want enabled with last_lsn %d", beforeMetrics.WAL, len(rows))
+	}
+	if beforeMetrics.WAL.LagRecords != 0 {
+		t.Errorf("lag_records = %d after synchronous acks, want 0", beforeMetrics.WAL.LagRecords)
+	}
+	if !beforeMetrics.Snapshot.Enabled || beforeMetrics.Snapshot.SecondsSinceLast != -1 {
+		t.Errorf("snapshot metrics before any checkpoint = %+v, want enabled with seconds_since_last -1", beforeMetrics.Snapshot)
+	}
+	var beforeTop topFactsResponse
+	doJSON(t, "GET", ts.URL+"/v1/facts/top?k=50", nil, &beforeTop)
+	if len(beforeTop.Facts) == 0 {
+		t.Fatal("no leaderboard entries before crash")
+	}
+
+	// Crash: no saveState, no graceful close. (The WAL fsynced every
+	// acknowledged append, so abandoning the server loses nothing.)
+	ts.Close()
+
+	s2, ts2 := startServer(t, walConfig(2, stateDir))
+	defer s2.close()
+	if got := s2.pool.Len(); got != len(rows) {
+		t.Fatalf("recovered Len = %d, want %d", got, len(rows))
+	}
+	var afterMetrics metricsResponse
+	doJSON(t, "GET", ts2.URL+"/v1/metrics", nil, &afterMetrics)
+	if afterMetrics.Merged != beforeMetrics.Merged {
+		t.Errorf("recovered merged metrics = %+v, want %+v", afterMetrics.Merged, beforeMetrics.Merged)
+	}
+	var afterTop topFactsResponse
+	doJSON(t, "GET", ts2.URL+"/v1/facts/top?k=50", nil, &afterTop)
+	if !reflect.DeepEqual(afterTop, beforeTop) {
+		t.Errorf("recovered leaderboard diverged:\n got %+v\nwant %+v", afterTop, beforeTop)
+	}
+}
+
+// TestServerCheckpointPlusWALTail: a mid-stream checkpoint (with the
+// leaderboard sidecar) plus the WAL tail after it must recover the same
+// state as never stopping — and truncate covered segments.
+func TestServerCheckpointPlusWALTail(t *testing.T) {
+	stateDir := t.TempDir()
+	cfg := walConfig(1, stateDir)
+	cfg.walSegBytes = 256 // force rotation so truncation has segments to reclaim
+	s, ts := startServer(t, cfg)
+
+	for _, row := range table1[:4] {
+		doJSON(t, "POST", ts.URL+"/v1/tuples", reqOf(row), nil)
+	}
+	if err := s.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range append(append([]rowWire{}, table1[4:]...), wesley) {
+		doJSON(t, "POST", ts.URL+"/v1/tuples", reqOf(row), nil)
+	}
+	var before metricsResponse
+	doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &before)
+	if !before.Snapshot.Enabled || before.Snapshot.Generation != 1 || before.Snapshot.SecondsSinceLast < 0 {
+		t.Errorf("snapshot metrics after checkpoint = %+v", before.Snapshot)
+	}
+	var beforeTop topFactsResponse
+	doJSON(t, "GET", ts.URL+"/v1/facts/top?k=50", nil, &beforeTop)
+
+	ts.Close() // crash
+
+	s2, ts2 := startServer(t, cfg)
+	defer s2.close()
+	var after metricsResponse
+	doJSON(t, "GET", ts2.URL+"/v1/metrics", nil, &after)
+	if after.Merged != before.Merged || after.Len != before.Len {
+		t.Errorf("recovered metrics = %+v/%d, want %+v/%d", after.Merged, after.Len, before.Merged, before.Len)
+	}
+	var afterTop topFactsResponse
+	doJSON(t, "GET", ts2.URL+"/v1/facts/top?k=50", nil, &afterTop)
+	if !reflect.DeepEqual(afterTop, beforeTop) {
+		t.Errorf("recovered leaderboard diverged:\n got %+v\nwant %+v", afterTop, beforeTop)
+	}
+
+	// The David Wesley arrival survived via the WAL tail; deleting it
+	// proves the recovered stream continues normally.
+	req, _ := http.NewRequest("DELETE", ts2.URL+"/v1/tuples/0:6", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE after recovery: status %d, want 204", resp.StatusCode)
+	}
+}
+
+// TestServerWALFlagValidation: -wal without -state-dir is refused.
+func TestServerWALFlagValidation(t *testing.T) {
+	cfg := gamelogConfig(1, "")
+	cfg.wal = true
+	if _, err := newServer(cfg); err == nil {
+		t.Error("-wal without -state-dir accepted")
+	}
+}
+
+func TestLeaderboardPersistence(t *testing.T) {
+	b := &leaderboard{cap: 3}
+	b.offerAll([]boardEntry{
+		{ID: "0:1", Prominence: 5, Fact: factWire{Text: "a"}},
+		{ID: "0:2", Prominence: 3, Fact: factWire{Text: "b"}},
+	})
+	data, err := b.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a smaller board: trimmed, still sorted.
+	b2 := &leaderboard{cap: 1}
+	if err := b2.restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.top(5); len(got) != 1 || got[0].ID != "0:1" {
+		t.Fatalf("restored+trimmed board = %+v", got)
+	}
+	// Re-offering an entry already on the board (as WAL replay does) must
+	// not duplicate it.
+	b3 := &leaderboard{cap: 4}
+	if err := b3.restore(data); err != nil {
+		t.Fatal(err)
+	}
+	b3.offerAll([]boardEntry{{ID: "0:1", Prominence: 5, Fact: factWire{Text: "a"}}})
+	if got := b3.top(5); len(got) != 2 {
+		t.Fatalf("re-offer duplicated a board entry: %+v", got)
+	}
+	// A distinct fact at the same prominence still enters.
+	b3.offerAll([]boardEntry{{ID: "1:9", Prominence: 5, Fact: factWire{Text: "c"}}})
+	if got := b3.top(5); len(got) != 3 {
+		t.Fatalf("distinct same-prominence entry rejected: %+v", got)
+	}
+	if err := b3.restore([]byte("junk")); err == nil {
+		t.Error("garbage sidecar accepted")
+	}
+}
+
+// TestServerConcurrentIngestAndCheckpoint hammers the gate/sidecar
+// interplay: many writers (singles and batches) race repeated checkpoints
+// and metrics reads. Run under -race in CI; afterwards, crash-recovery
+// must still rebuild the exact state.
+func TestServerConcurrentIngestAndCheckpoint(t *testing.T) {
+	stateDir := t.TempDir()
+	cfg := walConfig(3, stateDir)
+	cfg.walSegBytes = 1024
+	// A board big enough never to evict: with eviction, which of several
+	// prominence-TIED entries survives depends on insertion order, which
+	// concurrency (and replay's LSN order) legitimately permutes. Without
+	// eviction the recovered membership is fully deterministic.
+	cfg.boardCap = 1 << 20
+	s, ts := startServer(t, cfg)
+
+	const writers, perWriter = 4, 12
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				row := rowWire{
+					Dims:     []string{fmt.Sprintf("p%d-%d", w, i), "Feb", "1991-92", fmt.Sprintf("team-%d", i%5), "Hawks"},
+					Measures: []float64{float64(i), float64(w), 1},
+				}
+				if w%2 == 0 {
+					doJSON(t, "POST", ts.URL+"/v1/tuples", reqOf(row), nil)
+				} else {
+					doJSON(t, "POST", ts.URL+"/v1/tuples:batch", batchRequest{Rows: []rowWire{row}}, nil)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := s.checkpoint(); err != nil {
+				t.Errorf("checkpoint under load: %v", err)
+				return
+			}
+			var m metricsResponse
+			doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &m)
+		}
+	}()
+	wg.Wait()
+
+	var before metricsResponse
+	doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &before)
+	if before.Len != writers*perWriter {
+		t.Fatalf("len = %d, want %d", before.Len, writers*perWriter)
+	}
+	var beforeTop topFactsResponse
+	doJSON(t, "GET", ts.URL+"/v1/facts/top?k=1000000", nil, &beforeTop)
+
+	ts.Close() // crash
+
+	s2, ts2 := startServer(t, cfg)
+	defer s2.close()
+	var after metricsResponse
+	doJSON(t, "GET", ts2.URL+"/v1/metrics", nil, &after)
+	if after.Merged != before.Merged || after.Len != before.Len {
+		t.Errorf("recovered metrics = %+v/%d, want %+v/%d", after.Merged, after.Len, before.Merged, before.Len)
+	}
+	// Concurrency makes board *insertion order* nondeterministic for tied
+	// prominences, but the recovered board must hold the same entry set.
+	var afterTop topFactsResponse
+	doJSON(t, "GET", ts2.URL+"/v1/facts/top?k=1000000", nil, &afterTop)
+	if len(afterTop.Facts) != len(beforeTop.Facts) {
+		t.Fatalf("recovered board has %d entries, want %d", len(afterTop.Facts), len(beforeTop.Facts))
+	}
+	key := func(e boardEntry) string { return fmt.Sprintf("%s|%s|%g", e.ID, e.Fact.Text, e.Prominence) }
+	want := make(map[string]int)
+	for _, e := range beforeTop.Facts {
+		want[key(e)]++
+	}
+	for _, e := range afterTop.Facts {
+		want[key(e)]--
+	}
+	for k, n := range want {
+		if n != 0 {
+			t.Errorf("board entry multiset differs at %q (Δ%d)", k, n)
+		}
 	}
 }

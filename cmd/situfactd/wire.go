@@ -110,15 +110,43 @@ type shardWire struct {
 	Metrics metricsWire `json:"metrics"`
 }
 
+// walWire is the write-ahead-log block of GET /v1/metrics.
+type walWire struct {
+	// Enabled reports whether the daemon journals to a WAL (-wal).
+	Enabled bool `json:"enabled"`
+	// LastLSN is the highest journaled record; SyncedLSN the highest one
+	// fsynced. LagRecords = LastLSN − SyncedLSN is the number of records
+	// acknowledged (interval sync mode) or buffered (momentarily, in
+	// group-commit mode) but not yet durable.
+	LastLSN    uint64 `json:"last_lsn"`
+	SyncedLSN  uint64 `json:"synced_lsn"`
+	LagRecords uint64 `json:"lag_records"`
+	// Segments is the live log segment count; checkpoints truncate it.
+	Segments int `json:"segments"`
+}
+
+// snapshotWire is the checkpoint block of GET /v1/metrics.
+type snapshotWire struct {
+	// Enabled reports whether the daemon persists snapshots (-state-dir).
+	Enabled bool `json:"enabled"`
+	// Generation numbers the last checkpoint this process committed.
+	Generation uint64 `json:"generation,omitempty"`
+	// SecondsSinceLast is the age of that checkpoint; -1 before the first
+	// one (a restored-at-boot snapshot predates this process).
+	SecondsSinceLast float64 `json:"seconds_since_last"`
+}
+
 // metricsResponse is the body of GET /v1/metrics.
 type metricsResponse struct {
-	Algorithm     string      `json:"algorithm"`
-	ShardDim      string      `json:"shard_dim"`
-	Shards        int         `json:"shards"`
-	Len           int         `json:"len"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Merged        metricsWire `json:"merged"`
-	PerShard      []shardWire `json:"per_shard"`
+	Algorithm     string       `json:"algorithm"`
+	ShardDim      string       `json:"shard_dim"`
+	Shards        int          `json:"shards"`
+	Len           int          `json:"len"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Merged        metricsWire  `json:"merged"`
+	PerShard      []shardWire  `json:"per_shard"`
+	WAL           walWire      `json:"wal"`
+	Snapshot      snapshotWire `json:"snapshot"`
 }
 
 // boardEntry is one leaderboard row of GET /v1/facts/top.

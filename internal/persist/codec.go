@@ -1,0 +1,76 @@
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// EngineSnapshot is the gob-serialised form of one engine's complete
+// state: dictionary, tuples, tombstones, µ-store cells, prominence
+// counters and work metrics. The root package builds and consumes it;
+// this package owns the wire format. Field names are the gob contract —
+// they match the original root-package encoding, so snapshots written
+// before the extraction still decode.
+type EngineSnapshot struct {
+	// Magic guards against decoding foreign files.
+	Magic string
+	// SchemaSig is the schema identity check.
+	SchemaSig string
+	Algorithm string
+	MaxBound  int
+	MaxMeas   int
+
+	// DictValues[d] lists dimension d's values in code order.
+	DictValues [][]string
+	Tuples     []SnapTuple
+	Deleted    []int64
+	// Counts is the prominence context-counter state; nil when prominence
+	// is disabled.
+	Counts map[string]int64
+	Cells  []SnapCell
+	// Counters preserves the cumulative work metrics, so a restored
+	// engine's Metrics match an uninterrupted run's. Snapshots written
+	// before this field decode it as zero (gob tolerates missing fields).
+	Counters SnapCounters
+}
+
+// SnapCounters mirrors the engine's cumulative work metrics.
+type SnapCounters struct {
+	Tuples, Comparisons, Traversed, Facts int64
+	StoredTuples, Cells, Reads, Writes    int64
+}
+
+// SnapTuple is one encoded tuple: dictionary codes + raw measures.
+type SnapTuple struct {
+	Dims []int32
+	Raw  []float64
+}
+
+// SnapCell is one µ(C,M) cell: its key and member tuple ids.
+type SnapCell struct {
+	CKey string
+	M    uint32
+	IDs  []int64
+}
+
+const engineSnapshotMagic = "situfact-snapshot-v1"
+
+// EncodeEngine gob-encodes s to w, stamping the magic itself.
+func EncodeEngine(w io.Writer, s *EngineSnapshot) error {
+	s.Magic = engineSnapshotMagic
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// DecodeEngine decodes a snapshot written by EncodeEngine, verifying the
+// magic.
+func DecodeEngine(r io.Reader) (*EngineSnapshot, error) {
+	var s EngineSnapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("decode snapshot: %w", err)
+	}
+	if s.Magic != engineSnapshotMagic {
+		return nil, fmt.Errorf("not a snapshot file")
+	}
+	return &s, nil
+}

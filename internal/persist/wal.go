@@ -1,0 +1,571 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrWALClosed reports an operation on a closed WAL.
+var ErrWALClosed = errors.New("wal closed")
+
+// ErrCorrupt marks unrecoverable log damage: a full record failing its
+// CRC, an out-of-sequence LSN, or a short tail in a non-final segment.
+// Test with errors.Is; recovering past it would silently lose data.
+var ErrCorrupt = errors.New("wal corrupt")
+
+// WALOptions configures Open.
+type WALOptions struct {
+	// SegmentBytes is the rotation threshold; a segment is closed once it
+	// grows past this. 0 selects 64 MiB.
+	SegmentBytes int64
+	// Meta is an identity string (the pool's schema signature) stored in
+	// the log directory on creation and verified on every reopen, so a log
+	// written under one schema is never replayed into another.
+	Meta string
+}
+
+const (
+	defaultSegmentBytes = 64 << 20
+	walMetaName         = "wal.meta"
+	walMetaMagic        = "situfact-wal-v1"
+	segmentSuffix       = ".seg"
+)
+
+type walMeta struct {
+	Magic string
+	Meta  string
+}
+
+// WAL is a segmented, CRC-framed write-ahead log. Appends go through one
+// buffered writer under a mutex; durability comes from WaitSync, whose
+// concurrent callers group-commit into a single fsync. See the package
+// doc for the crash-safety rules.
+type WAL struct {
+	dir     string
+	segSize int64
+
+	// mu guards the file state: writes, rotation, truncation, and fsync
+	// (holding it during fsync keeps rotation from closing a file that is
+	// being synced; appenders queueing on it simply join the next group
+	// commit).
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	nextLSN  uint64
+	segBase  uint64 // first LSN of the active segment
+	segBytes int64  // bytes written to the active segment
+	segments int    // live segment files, including the active one
+	scratch  []byte
+	writeErr error // sticky: a failed write leaves the buffer torn
+	closed   bool
+
+	// syncState guards the durability watermark and the group-commit
+	// election; it is never held across a file operation.
+	syncState struct {
+		sync.Mutex
+		cond    *sync.Cond
+		synced  uint64 // highest LSN guaranteed on disk
+		syncing bool
+		err     error // sticky fsync failure
+	}
+}
+
+// OpenWAL opens (or creates) the log rooted at dir, repairing a torn tail
+// left by a crash. The returned WAL is ready for Append; call Replay first
+// to observe existing records.
+func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := checkWALMeta(dir, opt.Meta); err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, segSize: opt.SegmentBytes}
+	w.syncState.cond = sync.NewCond(&w.syncState.Mutex)
+
+	bases, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(bases) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return nil, err
+		}
+		w.nextLSN = 1
+		w.segments = 1
+	} else {
+		// Scan the final segment to find the durable end of the log,
+		// truncating a torn tail. Earlier segments were sealed by a
+		// rotation fsync; Replay verifies them in full.
+		base := bases[len(bases)-1]
+		path := w.segmentPath(base)
+		end, next, torn, err := readSegment(path, base, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			if err := truncateFile(path, end); err != nil {
+				return nil, fmt.Errorf("wal: repair torn tail: %w", err)
+			}
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(end, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		w.f = f
+		w.bw = bufio.NewWriter(f)
+		w.segBase = base
+		w.segBytes = end
+		w.nextLSN = next
+		w.segments = len(bases)
+	}
+	w.syncState.synced = w.nextLSN - 1 // nothing buffered yet
+	return w, nil
+}
+
+// checkWALMeta writes the identity file on first open and verifies it on
+// every later one.
+func checkWALMeta(dir, meta string) error {
+	path := filepath.Join(dir, walMetaName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return WriteFileAtomic(path, func(w io.Writer) error {
+			return gob.NewEncoder(w).Encode(&walMeta{Magic: walMetaMagic, Meta: meta})
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var m walMeta
+	if err := gob.NewDecoder(f).Decode(&m); err != nil || m.Magic != walMetaMagic {
+		return fmt.Errorf("wal: %s is not a wal meta file: %w", path, ErrCorrupt)
+	}
+	if m.Meta != meta {
+		return fmt.Errorf("wal: log at %s was written under %q, not %q", dir, m.Meta, meta)
+	}
+	return nil
+}
+
+func (w *WAL) segmentPath(base uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("wal-%020d%s", base, segmentSuffix))
+}
+
+// listSegments returns the segment base LSNs in ascending order.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var bases []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), segmentSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment name %q: %w", name, ErrCorrupt)
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// createSegment opens a fresh segment whose first record will be base,
+// fsyncing the directory so the name survives a crash. Caller holds mu
+// (or the WAL is not yet shared).
+func (w *WAL) createSegment(base uint64) error {
+	f, err := os.OpenFile(w.segmentPath(base), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	w.segBase = base
+	w.segBytes = 0
+	return nil
+}
+
+// Append journals rec, assigning and returning its LSN. The record is
+// buffered, not yet durable: call WaitSync (or Sync) to make it so. A
+// failed write poisons the WAL — the buffer may hold a torn frame — and
+// every later operation reports the original error.
+func (w *WAL) Append(rec Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.writeErr != nil {
+		return 0, w.writeErr
+	}
+	rec.LSN = w.nextLSN
+	w.scratch = appendFrame(w.scratch[:0], rec)
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		w.writeErr = fmt.Errorf("wal append: %w", err)
+		return 0, w.writeErr
+	}
+	w.nextLSN++
+	w.segBytes += int64(len(w.scratch))
+	if w.segBytes >= w.segSize {
+		if err := w.rotate(); err != nil {
+			w.writeErr = err
+			return 0, err
+		}
+	}
+	return rec.LSN, nil
+}
+
+// rotate seals the active segment (flush, fsync, close) and opens the
+// next. Everything in the sealed segment is durable afterwards, so the
+// sync watermark advances. Caller holds mu.
+func (w *WAL) rotate() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("wal rotate: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal rotate: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal rotate: %w", err)
+	}
+	sealed := w.nextLSN - 1
+	if err := w.createSegment(w.nextLSN); err != nil {
+		return err
+	}
+	w.segments++
+	w.advanceSynced(sealed)
+	return nil
+}
+
+func (w *WAL) advanceSynced(lsn uint64) {
+	w.syncState.Lock()
+	if lsn > w.syncState.synced {
+		w.syncState.synced = lsn
+	}
+	w.syncState.Unlock()
+	w.syncState.cond.Broadcast()
+}
+
+// WaitSync blocks until every record up to and including lsn is on disk,
+// running the fsync itself if no one else is. Concurrent callers coalesce:
+// one fsync commits every record buffered when it starts, and the rest
+// just observe the advanced watermark (group commit).
+func (w *WAL) WaitSync(lsn uint64) error {
+	s := &w.syncState
+	s.Lock()
+	defer s.Unlock()
+	for {
+		if s.synced >= lsn {
+			return nil
+		}
+		if s.err != nil {
+			return s.err
+		}
+		if s.syncing {
+			s.cond.Wait()
+			continue
+		}
+		s.syncing = true
+		s.Unlock()
+		target, err := w.syncNow()
+		s.Lock()
+		s.syncing = false
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+		} else if target > s.synced {
+			s.synced = target
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// syncNow flushes the buffer and fsyncs the active segment, returning the
+// highest LSN the fsync covers.
+func (w *WAL) syncNow() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.writeErr != nil {
+		return 0, w.writeErr
+	}
+	target := w.nextLSN - 1
+	if err := w.bw.Flush(); err != nil {
+		w.writeErr = fmt.Errorf("wal sync: %w", err)
+		return 0, w.writeErr
+	}
+	if err := w.f.Sync(); err != nil {
+		w.writeErr = fmt.Errorf("wal sync: %w", err)
+		return 0, w.writeErr
+	}
+	return target, nil
+}
+
+// Sync makes every appended record durable.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	last := w.nextLSN - 1
+	w.mu.Unlock()
+	return w.WaitSync(last)
+}
+
+// Replay streams every record of the log, in LSN order, to fn; fn's error
+// aborts the walk. It verifies CRCs and LSN continuity across segments,
+// failing with ErrCorrupt on damage (a torn tail of the final segment was
+// already repaired by Open and simply ends the walk). Replay is meant to
+// run before ingest starts; it blocks appends for its duration.
+func (w *WAL) Replay(fn func(Record) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.writeErr = fmt.Errorf("wal replay flush: %w", err)
+		return w.writeErr
+	}
+	bases, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for i, base := range bases {
+		_, next, _, err := readSegment(w.segmentPath(base), base, i == len(bases)-1, fn)
+		if err != nil {
+			return err
+		}
+		if i+1 < len(bases) && bases[i+1] != next {
+			return fmt.Errorf("wal: gap between segments: %d ends at lsn %d, next starts at %d: %w",
+				base, next-1, bases[i+1], ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+// TruncateBefore removes segments every record of which has LSN < lsn —
+// they are covered by a snapshot and will never be replayed. The active
+// segment always survives. Partial segments survive too: replay skips
+// their already-applied records individually.
+func (w *WAL) TruncateBefore(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	bases, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	removed := 0
+	for i := 0; i+1 < len(bases) && bases[i+1] <= lsn; i++ {
+		if bases[i] == w.segBase {
+			break // never the active segment
+		}
+		if err := os.Remove(w.segmentPath(bases[i])); err != nil {
+			return fmt.Errorf("wal truncate: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(w.dir); err != nil {
+			return err
+		}
+		w.segments -= removed
+	}
+	return nil
+}
+
+// WALStats is a monitoring snapshot of the log.
+type WALStats struct {
+	// LastLSN is the highest assigned LSN (0 = empty log).
+	LastLSN uint64
+	// SyncedLSN is the highest LSN guaranteed on disk; LastLSN − SyncedLSN
+	// is the number of unsynced (acknowledgeable-but-volatile) records.
+	SyncedLSN uint64
+	// Segments is the live segment-file count, including the active one.
+	Segments int
+}
+
+// Stats returns a monitoring snapshot. The watermarks are read under
+// separate locks, SyncedLSN first: both only advance, and synced never
+// passes last at any instant, so this order keeps the reported
+// LastLSN ≥ SyncedLSN (a concurrent append can only widen the gap).
+func (w *WAL) Stats() WALStats {
+	var st WALStats
+	w.syncState.Lock()
+	st.SyncedLSN = w.syncState.synced
+	w.syncState.Unlock()
+	w.mu.Lock()
+	st.LastLSN = w.nextLSN - 1
+	st.Segments = w.segments
+	w.mu.Unlock()
+	return st
+}
+
+// LastLSN returns the highest assigned LSN (0 = empty log).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// Close flushes, fsyncs and closes the log. Waiting WaitSync callers
+// observe either the final watermark or ErrWALClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	var errs []error
+	last := w.nextLSN - 1
+	poisoned := w.writeErr != nil
+	if !poisoned {
+		if err := w.bw.Flush(); err != nil {
+			errs = append(errs, err)
+		} else if err := w.f.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	w.closed = true
+	w.mu.Unlock()
+
+	w.syncState.Lock()
+	if len(errs) == 0 && !poisoned && w.syncState.err == nil {
+		if last > w.syncState.synced {
+			w.syncState.synced = last
+		}
+	} else if w.syncState.err == nil {
+		w.syncState.err = ErrWALClosed
+	}
+	w.syncState.Unlock()
+	w.syncState.cond.Broadcast()
+	return errors.Join(errs...)
+}
+
+// readSegment scans one segment file, verifying framing, CRCs and LSN
+// continuity from base, invoking fn (when non-nil) per record. It returns
+// the offset after the last complete record, the next expected LSN, and
+// whether a torn tail was found. Torn tails are tolerated only in the
+// final segment (isLast); anywhere else they are corruption, as is any
+// full record failing its CRC.
+func readSegment(path string, base uint64, isLast bool, fn func(Record) error) (end int64, next uint64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var (
+		off     int64
+		hdr     [frameHeaderLen]byte
+		payload []byte
+	)
+	next = base
+	for {
+		_, rerr := io.ReadFull(br, hdr[:])
+		if rerr == io.EOF {
+			return off, next, false, nil
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			if !isLast {
+				return 0, 0, false, fmt.Errorf("wal: %s: torn record header at offset %d in sealed segment: %w", path, off, ErrCorrupt)
+			}
+			return off, next, true, nil
+		}
+		if rerr != nil {
+			return 0, 0, false, fmt.Errorf("wal: %s: %w", path, rerr)
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || length > maxRecordBytes {
+			return 0, 0, false, fmt.Errorf("wal: %s: record length %d at offset %d: %w", path, length, off, ErrCorrupt)
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, rerr := io.ReadFull(br, payload); rerr != nil {
+			if rerr == io.ErrUnexpectedEOF || rerr == io.EOF {
+				if !isLast {
+					return 0, 0, false, fmt.Errorf("wal: %s: torn record at offset %d in sealed segment: %w", path, off, ErrCorrupt)
+				}
+				return off, next, true, nil
+			}
+			return 0, 0, false, fmt.Errorf("wal: %s: %w", path, rerr)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return 0, 0, false, fmt.Errorf("wal: %s: crc mismatch at offset %d (lsn %d expected): %w", path, off, next, ErrCorrupt)
+		}
+		rec, perr := parsePayload(payload)
+		if perr != nil {
+			return 0, 0, false, fmt.Errorf("wal: %s: offset %d: %v: %w", path, off, perr, ErrCorrupt)
+		}
+		if rec.LSN != next {
+			return 0, 0, false, fmt.Errorf("wal: %s: lsn %d at offset %d, want %d: %w", path, rec.LSN, off, next, ErrCorrupt)
+		}
+		if fn != nil {
+			if ferr := fn(rec); ferr != nil {
+				return 0, 0, false, ferr
+			}
+		}
+		next++
+		off += frameHeaderLen + int64(length)
+	}
+}
+
+// truncateFile cuts path to size and fsyncs it.
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+
+	"repro/internal/persist"
 )
 
 // Pool is a sharded front-end over N independent Engines, for workloads
@@ -28,15 +30,25 @@ import (
 //
 // Pool is safe for concurrent use: each shard serialises its own arrivals
 // with a per-shard lock, and different shards proceed in parallel.
+//
+// With a WAL attached (AttachWAL), every mutation is journaled before it
+// is applied — under the owning shard's lock, so each shard's journal
+// order equals its apply order — and acknowledged only once the record is
+// durable under the log's sync mode (see wal.go).
 type Pool struct {
 	schema   *Schema
 	shardDim int
 	shards   []poolShard
+	wal      *WAL // nil = no journaling
 }
 
 type poolShard struct {
 	mu  sync.Mutex
 	eng *Engine
+	// lastLSN is the WAL LSN of the last record successfully applied to
+	// this shard (0 = none), maintained under mu. Snapshots record it so
+	// recovery replays exactly the uncovered tail.
+	lastLSN uint64
 }
 
 // Row is one arrival for Pool.AppendBatch: dimension values and measure
@@ -122,13 +134,45 @@ func (p *Pool) Append(dims []string, measures []float64) (*Arrival, error) {
 	shard := p.ShardFor(dims[p.shardDim])
 	s := &p.shards[shard]
 	s.mu.Lock()
+	lsn, err := p.journalAppend(shard, dims, measures)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("situfact: pool: %w", err)
+	}
 	arr, err := s.eng.Append(dims, measures)
+	if err == nil && lsn > 0 {
+		s.lastLSN = lsn
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	// Durability wait happens outside the shard lock: later arrivals for
+	// this shard can journal meanwhile and share the same fsync.
+	if lsn > 0 {
+		if err := p.wal.commit(lsn); err != nil {
+			return nil, fmt.Errorf("situfact: pool: %w: %w", ErrWALFailed, err)
+		}
+	}
 	arr.Shard = shard
 	return arr, nil
+}
+
+// journalAppend journals one append when a WAL is attached. Caller holds
+// the owning shard's lock. Errors wrap ErrWALFailed (the request was
+// fine; the log was not) and carry no "situfact:" prefix — callers add
+// their own context.
+func (p *Pool) journalAppend(shard int, dims []string, measures []float64) (uint64, error) {
+	if p.wal == nil {
+		return 0, nil
+	}
+	lsn, err := p.wal.w.Append(persist.Record{
+		Type: persist.RecAppend, Shard: shard, Dims: dims, Measures: measures,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrWALFailed, err)
+	}
+	return lsn, nil
 }
 
 // AppendBatch routes a batch of rows across the shards and processes the
@@ -155,6 +199,7 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 	}
 	out := make([]*Arrival, len(rows))
 	errs := make([]error, len(p.shards))
+	maxLSN := make([]uint64, len(p.shards))
 	var wg sync.WaitGroup
 	for s, idxs := range perShard {
 		if len(idxs) == 0 {
@@ -167,10 +212,19 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
 			for _, i := range idxs {
+				lsn, err := p.journalAppend(s, rows[i].Dims, rows[i].Measures)
+				if err != nil {
+					errs[s] = fmt.Errorf("situfact: pool shard %d, row %d: %w", s, i, err)
+					return
+				}
 				arr, err := sh.eng.Append(rows[i].Dims, rows[i].Measures)
 				if err != nil {
 					errs[s] = fmt.Errorf("situfact: pool shard %d, row %d: %w", s, i, err)
 					return
+				}
+				if lsn > 0 {
+					sh.lastLSN = lsn
+					maxLSN[s] = lsn
 				}
 				arr.Shard = s
 				out[i] = arr
@@ -178,6 +232,21 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 		}(s, idxs)
 	}
 	wg.Wait()
+	// One durability wait covers the whole batch: a single group-committed
+	// fsync at the highest journaled LSN.
+	if p.wal != nil {
+		var top uint64
+		for _, l := range maxLSN {
+			if l > top {
+				top = l
+			}
+		}
+		if top > 0 {
+			if err := p.wal.commit(top); err != nil {
+				errs = append(errs, fmt.Errorf("situfact: pool: %w: %w", ErrWALFailed, err))
+			}
+		}
+	}
 	return out, errors.Join(errs...)
 }
 
@@ -191,8 +260,33 @@ func (p *Pool) Delete(shard int, tupleID int64) error {
 	}
 	s := &p.shards[shard]
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Delete(tupleID)
+	var lsn uint64
+	if p.wal != nil {
+		// Journaled before validity is known: a delete that fails below
+		// re-fails identically at replay, so the record is harmless.
+		var jerr error
+		lsn, jerr = p.wal.w.Append(persist.Record{
+			Type: persist.RecDelete, Shard: shard, TupleID: tupleID,
+		})
+		if jerr != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("situfact: pool: %w: %w", ErrWALFailed, jerr)
+		}
+	}
+	err := s.eng.Delete(tupleID)
+	if err == nil && lsn > 0 {
+		s.lastLSN = lsn
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if lsn > 0 {
+		if err := p.wal.commit(lsn); err != nil {
+			return fmt.Errorf("situfact: pool: %w: %w", ErrWALFailed, err)
+		}
+	}
+	return nil
 }
 
 // Algorithm returns the name of the algorithm the shard engines run.

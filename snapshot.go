@@ -1,7 +1,6 @@
 package situfact
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lattice"
+	"repro/internal/persist"
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/subspace"
@@ -17,52 +17,16 @@ import (
 
 // Snapshot persistence: SaveSnapshot serialises an in-memory engine's full
 // state (dictionary, tuples, tombstones, µ-store cells, prominence
-// counters) with encoding/gob so a stream can be resumed later with
-// LoadSnapshot — a production necessity the paper leaves implicit (its
-// file-based variants persist only the cell store, not the bookkeeping).
+// counters) so a stream can be resumed later with LoadSnapshot — a
+// production necessity the paper leaves implicit. This file is a thin
+// wrapper translating engine/pool state to and from internal/persist,
+// which owns the codec, the generational manifest, and the write-ahead
+// log (see wal.go for journaling and recovery).
 //
 // Snapshots are supported for engines running the lattice algorithms
 // (BottomUp/TopDown families) over the default in-memory store; engines
 // with a StoreDir already keep their cells on disk, and baseline engines
 // would need their private histories replayed instead.
-
-type snapshotFile struct {
-	// Magic guards against decoding foreign files.
-	Magic string
-	// Schema identity check.
-	SchemaSig string
-	Algorithm Algorithm
-	MaxBound  int
-	MaxMeas   int
-
-	DictValues [][]string
-	Tuples     []snapTuple
-	Deleted    []int64
-	Counts     map[string]int64 // nil when prominence is disabled
-	Cells      []snapCell
-	// Counters preserves the cumulative work metrics, so a restored
-	// engine's Metrics match an uninterrupted run's. Snapshots written
-	// before this field decode it as zero (gob tolerates missing fields).
-	Counters snapCounters
-}
-
-type snapCounters struct {
-	Tuples, Comparisons, Traversed, Facts int64
-	StoredTuples, Cells, Reads, Writes    int64
-}
-
-type snapTuple struct {
-	Dims []int32
-	Raw  []float64
-}
-
-type snapCell struct {
-	CKey string
-	M    uint32
-	IDs  []int64
-}
-
-const snapshotMagic = "situfact-snapshot-v1"
 
 func schemaSig(s *relation.Schema) string {
 	return s.String()
@@ -92,10 +56,9 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("situfact: snapshots require a lattice algorithm over the in-memory store (engine runs %s)", e.disc.Name())
 	}
-	sf := snapshotFile{
-		Magic:     snapshotMagic,
+	sf := persist.EngineSnapshot{
 		SchemaSig: schemaSig(e.schema),
-		Algorithm: e.algorithm,
+		Algorithm: string(e.algorithm),
 		MaxBound:  e.maxBound,
 		MaxMeas:   e.maxMeasure,
 	}
@@ -109,7 +72,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		sf.DictValues[i] = vals
 	}
 	for _, tu := range e.table.Tuples() {
-		sf.Tuples = append(sf.Tuples, snapTuple{Dims: tu.Dims, Raw: tu.Raw})
+		sf.Tuples = append(sf.Tuples, persist.SnapTuple{Dims: tu.Dims, Raw: tu.Raw})
 	}
 	for id := range e.deleted {
 		sf.Deleted = append(sf.Deleted, id)
@@ -118,20 +81,20 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		sf.Counts = e.counter.Snapshot()
 	}
 	met := e.Metrics()
-	sf.Counters = snapCounters{
+	sf.Counters = persist.SnapCounters{
 		Tuples: met.Tuples, Comparisons: met.Comparisons,
 		Traversed: met.Traversed, Facts: met.Facts,
 		StoredTuples: met.StoredTuples, Cells: met.Cells,
 		Reads: met.Reads, Writes: met.Writes,
 	}
 	mem.Walk(func(k store.CellKey, ts []*relation.Tuple) {
-		cell := snapCell{CKey: string(k.C), M: k.M, IDs: make([]int64, len(ts))}
+		cell := persist.SnapCell{CKey: string(k.C), M: uint32(k.M), IDs: make([]int64, len(ts))}
 		for i, u := range ts {
 			cell.IDs[i] = u.ID
 		}
 		sf.Cells = append(sf.Cells, cell)
 	})
-	return gob.NewEncoder(w).Encode(&sf)
+	return persist.EncodeEngine(w, &sf)
 }
 
 // LoadSnapshot reconstructs an engine from a snapshot written by
@@ -141,18 +104,15 @@ func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
 	if schema == nil || schema.rs == nil {
 		return nil, fmt.Errorf("situfact: nil schema")
 	}
-	var sf snapshotFile
-	if err := gob.NewDecoder(r).Decode(&sf); err != nil {
-		return nil, fmt.Errorf("situfact: decode snapshot: %w", err)
-	}
-	if sf.Magic != snapshotMagic {
-		return nil, fmt.Errorf("situfact: not a snapshot file")
+	sf, err := persist.DecodeEngine(r)
+	if err != nil {
+		return nil, fmt.Errorf("situfact: %w", err)
 	}
 	if got := schemaSig(schema.rs); got != sf.SchemaSig {
 		return nil, fmt.Errorf("situfact: snapshot schema %q does not match %q", sf.SchemaSig, got)
 	}
 	eng, err := New(schema, Options{
-		Algorithm:         sf.Algorithm,
+		Algorithm:         Algorithm(sf.Algorithm),
 		MaxBoundDims:      sf.MaxBound,
 		MaxMeasureDims:    sf.MaxMeas,
 		DisableProminence: sf.Counts == nil,
@@ -204,7 +164,7 @@ func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
 	// Snapshots written before Counters existed decode it as all-zero —
 	// leave the replay-derived store stats in place for those rather than
 	// zeroing live gauges.
-	if sf.Counters != (snapCounters{}) {
+	if sf.Counters != (persist.SnapCounters{}) {
 		if rm, ok := eng.disc.(interface{ RestoreMetrics(core.Metrics) }); ok {
 			rm.RestoreMetrics(core.Metrics{
 				Tuples:      sf.Counters.Tuples,
@@ -223,180 +183,157 @@ func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
 	return eng, nil
 }
 
-// Pool snapshots: one snapshot file per shard plus a manifest recording
-// the routing parameters, so a restored pool routes identically (ShardFor
-// is a pure function of the value and the shard count).
-//
-// Saves are generational: shard files carry a generation number, and the
-// manifest — written last, atomically — is the commit record naming the
-// generation it covers. A save that dies partway leaves either no manifest
-// (fresh directory: the next start begins clean) or the previous
-// manifest still pointing at the previous generation's complete file set;
-// mixed-generation restores are impossible. Files of superseded
-// generations are removed after a successful commit.
-
-type poolManifest struct {
-	Magic      string
-	SchemaSig  string
-	ShardDim   string
-	Shards     int
-	Generation uint64
-}
-
-const (
-	poolManifestMagic = "situfact-pool-snapshot-v1"
-	poolManifestName  = "pool.manifest"
-)
-
-func shardSnapshotName(i int, gen uint64) string {
-	return fmt.Sprintf("shard-%d.g%d.snap", i, gen)
-}
-
-// readPoolManifest loads dir's manifest; ok is false when none exists.
-func readPoolManifest(dir string) (man poolManifest, ok bool, err error) {
-	f, err := os.Open(filepath.Join(dir, poolManifestName))
-	if os.IsNotExist(err) {
-		return poolManifest{}, false, nil
-	}
-	if err != nil {
-		return poolManifest{}, false, err
-	}
-	defer f.Close()
-	if err := gob.NewDecoder(f).Decode(&man); err != nil {
-		return poolManifest{}, false, fmt.Errorf("decode manifest: %w", err)
-	}
-	if man.Magic != poolManifestMagic {
-		return poolManifest{}, false, fmt.Errorf("%s is not a pool snapshot manifest", dir)
-	}
-	return man, true, nil
-}
-
-// writeFileAtomic writes data produced by write to path via a temp file,
-// fsync and rename, then syncs the directory — so neither a crash mid-save
-// nor a power loss shortly after can leave a renamed-but-unflushed file
-// behind the commit point.
-func writeFileAtomic(path string, write func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
 // SaveSnapshot writes the pool's state into dir: a manifest plus one
-// engine snapshot per shard (shard-<i>.snap). Each shard is saved under
-// its own lock; as shards are independent substreams, per-shard
-// consistency is the meaningful unit and no cross-shard barrier is taken.
-// It requires the same engines Engine.SaveSnapshot does (lattice
-// algorithms over the in-memory store).
+// engine snapshot per shard. Each shard is saved under its own lock; as
+// shards are independent substreams, per-shard consistency is the
+// meaningful unit and no cross-shard barrier is taken. It requires the
+// same engines Engine.SaveSnapshot does (lattice algorithms over the
+// in-memory store). Checkpoint is the richer form used with a WAL.
 func (p *Pool) SaveSnapshot(dir string) error {
+	_, err := p.Checkpoint(dir, nil)
+	return err
+}
+
+// CheckpointStats describes a committed pool checkpoint.
+type CheckpointStats struct {
+	// Generation numbers the committed snapshot.
+	Generation uint64
+	// TruncatableLSN is the highest WAL LSN reflected in every shard's
+	// snapshot file: records at or below it will never be replayed, so
+	// WAL.TruncateBefore(TruncatableLSN+1) is safe. Zero without a WAL.
+	TruncatableLSN uint64
+}
+
+// Checkpoint writes the pool's state into dir as a new snapshot
+// generation. When a WAL is attached, each shard file records the WAL
+// position it reflects, so recovery replays exactly the uncovered tail.
+// sidecars, when non-nil, is invoked after the shard files are written
+// and before the manifest commits; the payloads it returns are committed
+// atomically with the snapshot (the daemon persists its leaderboard this
+// way — the callback ordering lets it barrier against in-flight ingest).
+func (p *Pool) Checkpoint(dir string, sidecars func() (map[string][]byte, error)) (CheckpointStats, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("situfact: pool snapshot: %w", err)
+		return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: %w", err)
 	}
-	prev, havePrev, err := readPoolManifest(dir)
+	prev, havePrev, err := persist.ReadManifest(dir)
 	if err != nil {
-		return fmt.Errorf("situfact: pool snapshot: %w", err)
+		return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: %w", err)
 	}
 	gen := uint64(1)
 	if havePrev {
 		gen = prev.Generation + 1
 	}
 	// New generation's shard files first; the manifest commit comes last.
+	lsns := make([]uint64, len(p.shards))
+	covers := make([]uint64, len(p.shards))
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
-		err := writeFileAtomic(filepath.Join(dir, shardSnapshotName(i, gen)), s.eng.SaveSnapshot)
+		lsns[i] = s.lastLSN
+		// Journal and apply are atomic under this lock, so every WAL
+		// record ≤ the log's current head either succeeded on this shard
+		// (lsn ≤ lastLSN, inside the snapshot) or failed deterministically
+		// (droppable). The head is therefore this shard's truncation
+		// cover — typically well past lastLSN for shards the hash routes
+		// few rows to, which would otherwise pin truncation at zero.
+		if p.wal != nil {
+			covers[i] = p.wal.w.LastLSN()
+		}
+		err := persist.WriteFileAtomic(filepath.Join(dir, persist.ShardSnapshotName(i, gen)), s.eng.SaveSnapshot)
 		s.mu.Unlock()
 		if err != nil {
-			return fmt.Errorf("situfact: pool snapshot: shard %d: %w", i, err)
+			return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: shard %d: %w", i, err)
 		}
 	}
-	man := poolManifest{
-		Magic:      poolManifestMagic,
+	var side map[string][]byte
+	if sidecars != nil {
+		if side, err = sidecars(); err != nil {
+			return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: sidecars: %w", err)
+		}
+	}
+	man := persist.Manifest{
 		SchemaSig:  schemaSig(p.schema.rs),
 		ShardDim:   p.ShardDim(),
 		Shards:     len(p.shards),
 		Generation: gen,
+		ShardLSNs:  lsns,
+		Sidecars:   side,
 	}
-	err = writeFileAtomic(filepath.Join(dir, poolManifestName), func(w io.Writer) error {
-		return gob.NewEncoder(w).Encode(&man)
-	})
-	if err != nil {
-		return fmt.Errorf("situfact: pool snapshot: manifest: %w", err)
+	if err := persist.WriteManifest(dir, man); err != nil {
+		return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: manifest: %w", err)
 	}
-	// Committed; the superseded generation is garbage now. Best-effort:
-	// leftover files cannot be restored once the manifest moved on.
+	// Committed; the superseded generation is garbage now.
 	if havePrev {
-		for i := 0; i < prev.Shards; i++ {
-			os.Remove(filepath.Join(dir, shardSnapshotName(i, prev.Generation)))
+		persist.RemoveGeneration(dir, prev.Shards, prev.Generation)
+	}
+	stats := CheckpointStats{Generation: gen}
+	if p.wal != nil {
+		stats.TruncatableLSN = covers[0]
+		for _, l := range covers[1:] {
+			if l < stats.TruncatableLSN {
+				stats.TruncatableLSN = l
+			}
 		}
 	}
-	return nil
+	return stats, nil
 }
 
 // LoadPoolSnapshot reconstructs a pool from a directory written by
 // Pool.SaveSnapshot. The schema must match the one the snapshot was taken
 // under; shard count, routing dimension, algorithm and caps are restored
-// from the snapshot itself.
+// from the snapshot itself. RestorePool additionally returns the sidecar
+// payloads committed with the snapshot.
 func LoadPoolSnapshot(schema *Schema, dir string) (*Pool, error) {
+	p, _, err := RestorePool(schema, dir)
+	return p, err
+}
+
+// RestorePool is LoadPoolSnapshot plus the snapshot's sidecar payloads
+// (nil when the snapshot carries none).
+func RestorePool(schema *Schema, dir string) (*Pool, map[string][]byte, error) {
 	if schema == nil || schema.rs == nil {
-		return nil, fmt.Errorf("situfact: nil schema")
+		return nil, nil, fmt.Errorf("situfact: nil schema")
 	}
-	man, ok, err := readPoolManifest(dir)
+	man, ok, err := persist.ReadManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("situfact: pool snapshot: %w", err)
+		return nil, nil, fmt.Errorf("situfact: pool snapshot: %w", err)
 	}
 	if !ok {
-		return nil, fmt.Errorf("situfact: %w in %s", ErrNoSnapshot, dir)
+		return nil, nil, fmt.Errorf("situfact: %w in %s", ErrNoSnapshot, dir)
 	}
 	if got := schemaSig(schema.rs); got != man.SchemaSig {
-		return nil, fmt.Errorf("situfact: pool snapshot schema %q does not match %q", man.SchemaSig, got)
+		return nil, nil, fmt.Errorf("situfact: pool snapshot schema %q does not match %q", man.SchemaSig, got)
 	}
 	if man.Shards <= 0 {
-		return nil, fmt.Errorf("situfact: pool snapshot: manifest has %d shards", man.Shards)
+		return nil, nil, fmt.Errorf("situfact: pool snapshot: manifest has %d shards", man.Shards)
+	}
+	if man.ShardLSNs != nil && len(man.ShardLSNs) != man.Shards {
+		return nil, nil, fmt.Errorf("situfact: pool snapshot: %d shard LSNs for %d shards", len(man.ShardLSNs), man.Shards)
 	}
 	shardDim := schema.rs.DimIndex(man.ShardDim)
 	if shardDim < 0 {
-		return nil, fmt.Errorf("situfact: pool snapshot shard dimension %q not in schema %s",
+		return nil, nil, fmt.Errorf("situfact: pool snapshot shard dimension %q not in schema %s",
 			man.ShardDim, schema.rs)
 	}
 	p := &Pool{schema: schema, shardDim: shardDim, shards: make([]poolShard, man.Shards)}
 	for i := range p.shards {
-		f, err := os.Open(filepath.Join(dir, shardSnapshotName(i, man.Generation)))
+		f, err := os.Open(filepath.Join(dir, persist.ShardSnapshotName(i, man.Generation)))
 		if err != nil {
 			p.Close()
-			return nil, fmt.Errorf("situfact: pool snapshot: %w", err)
+			return nil, nil, fmt.Errorf("situfact: pool snapshot: %w", err)
 		}
 		eng, err := LoadSnapshot(schema, f)
 		f.Close()
 		if err != nil {
 			p.Close()
-			return nil, fmt.Errorf("situfact: pool snapshot: shard %d: %w", i, err)
+			return nil, nil, fmt.Errorf("situfact: pool snapshot: shard %d: %w", i, err)
 		}
 		p.shards[i].eng = eng
+		if man.ShardLSNs != nil {
+			p.shards[i].lastLSN = man.ShardLSNs[i]
+		}
 	}
-	return p, nil
+	return p, man.Sidecars, nil
 }
 
 // memoryStoreOf extracts the in-memory µ store of a lattice discoverer.

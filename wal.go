@@ -1,0 +1,238 @@
+package situfact
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Write-ahead logging: with a WAL attached, a Pool journals every
+// Append/AppendBatch/Delete before applying it, so a crash between
+// snapshots loses nothing acknowledged. Recovery is snapshot + tail:
+// restore the newest checkpoint (RestorePool), replay the log's uncovered
+// records (Pool.ReplayWAL), then attach the WAL for live journaling
+// (Pool.AttachWAL). Periodic Pool.Checkpoint calls bound the tail and let
+// WAL.TruncateBefore reclaim covered segments.
+//
+// Durability contract: with WALOptions.SyncInterval zero, an operation
+// returns only after its record is fsynced — concurrent operations
+// group-commit into shared fsyncs. With a positive interval, operations
+// return as soon as the record is buffered and a background loop fsyncs
+// on the interval: faster, but a crash can lose up to one interval of
+// acknowledged records. WALStats reports the unsynced lag either way.
+
+// ErrWALFailed marks an ingest failure caused by the write-ahead log —
+// a failed journal write or durability wait — rather than by the request
+// itself. Callers mapping errors onto a wire protocol should report it
+// as a server-side fault (retryable), not a request defect.
+var ErrWALFailed = errors.New("wal failure")
+
+// WALOptions configures OpenWAL.
+type WALOptions struct {
+	// SegmentBytes is the log's segment-rotation threshold; 0 = 64 MiB.
+	SegmentBytes int64
+	// SyncInterval selects the durability mode: 0 fsyncs before every
+	// acknowledgement (group-committed); > 0 fsyncs on this interval in
+	// the background and acknowledges immediately.
+	SyncInterval time.Duration
+}
+
+// WAL is an open write-ahead log, bound to one schema. It is safe for
+// concurrent use.
+type WAL struct {
+	w        *persist.WAL
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// OpenWAL opens (or creates) the log rooted at dir, repairing a torn
+// final record left by a crash. The log is bound to the schema: reopening
+// it under a different one fails rather than replaying foreign rows.
+func OpenWAL(schema *Schema, dir string, opt WALOptions) (*WAL, error) {
+	if schema == nil || schema.rs == nil {
+		return nil, fmt.Errorf("situfact: nil schema")
+	}
+	pw, err := persist.OpenWAL(dir, persist.WALOptions{
+		SegmentBytes: opt.SegmentBytes,
+		Meta:         schemaSig(schema.rs),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("situfact: %w", err)
+	}
+	w := &WAL{w: pw, interval: opt.SyncInterval}
+	if opt.SyncInterval > 0 {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go func() {
+			defer close(w.done)
+			t := time.NewTicker(opt.SyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.stop:
+					return
+				case <-t.C:
+					w.w.Sync() // sticky failure surfaces on the next operation
+				}
+			}
+		}()
+	}
+	return w, nil
+}
+
+// commit makes lsn durable under the log's durability mode: a blocking
+// (group-committed) fsync wait by default, a no-op in interval mode.
+func (w *WAL) commit(lsn uint64) error {
+	if w.interval > 0 {
+		return nil
+	}
+	return w.w.WaitSync(lsn)
+}
+
+// Sync forces every journaled record to disk, regardless of mode.
+func (w *WAL) Sync() error { return w.w.Sync() }
+
+// WALStats is a monitoring snapshot of the log; see persist.WALStats.
+type WALStats = persist.WALStats
+
+// Stats returns a monitoring snapshot: last and synced LSN (their
+// difference is the unsynced-record lag) and the live segment count.
+func (w *WAL) Stats() WALStats { return w.w.Stats() }
+
+// TruncateBefore removes log segments fully covered by a checkpoint —
+// every record with LSN < lsn. Call it with CheckpointStats.TruncatableLSN+1
+// after a successful Checkpoint.
+func (w *WAL) TruncateBefore(lsn uint64) error { return w.w.TruncateBefore(lsn) }
+
+// Close stops the background syncer (if any), flushes and closes the log.
+func (w *WAL) Close() error {
+	w.once.Do(func() {
+		if w.stop != nil {
+			close(w.stop)
+			<-w.done
+		}
+	})
+	return w.w.Close()
+}
+
+// AttachWAL binds the pool to an open log: every subsequent
+// Append/AppendBatch/Delete is journaled before it is applied. Attach
+// after recovery (ReplayWAL) and before serving traffic; attaching while
+// arrivals are in flight is a race, and a pool accepts only one WAL.
+func (p *Pool) AttachWAL(w *WAL) error {
+	if w == nil {
+		return fmt.Errorf("situfact: nil WAL")
+	}
+	if p.wal != nil {
+		return fmt.Errorf("situfact: pool already has a WAL attached")
+	}
+	p.wal = w
+	return nil
+}
+
+// ReplayStats reports what a ReplayWAL pass did.
+type ReplayStats struct {
+	// Records is the total number of journaled records read.
+	Records int
+	// Applied counts records applied to a shard (appends + deletes).
+	Applied int
+	// Skipped counts records already reflected in the restored snapshot.
+	Skipped int
+	// Failed counts records whose re-application failed exactly as the
+	// original application did (e.g. a journaled delete of an unknown
+	// tuple) — deterministic re-failures, not corruption.
+	Failed int
+	// LastLSN is the highest LSN observed.
+	LastLSN uint64
+}
+
+// ReplayWAL applies the log's records that are not yet reflected in the
+// pool — for a pool restored by RestorePool, exactly the tail after its
+// checkpoint; for a fresh pool, the whole log. onArrival, when non-nil,
+// observes every replayed append's arrival (facts included), letting a
+// daemon rebuild derived state such as its leaderboard. Call before
+// AttachWAL, before serving traffic.
+func (p *Pool) ReplayWAL(w *WAL, onArrival func(*Arrival)) (ReplayStats, error) {
+	if w == nil {
+		return ReplayStats{}, fmt.Errorf("situfact: nil WAL")
+	}
+	if p.wal != nil {
+		return ReplayStats{}, fmt.Errorf("situfact: replay after AttachWAL would re-journal the log into itself")
+	}
+	var stats ReplayStats
+	err := w.w.Replay(func(rec persist.Record) error {
+		stats.Records++
+		stats.LastLSN = rec.LSN
+		switch rec.Type {
+		case persist.RecAppend:
+			if len(rec.Dims) != p.schema.rs.NumDims() {
+				return fmt.Errorf("situfact: wal replay: record %d has %d dimension values for schema %s",
+					rec.LSN, len(rec.Dims), p.schema.rs)
+			}
+			shard := p.ShardFor(rec.Dims[p.shardDim])
+			s := &p.shards[shard]
+			s.mu.Lock()
+			if rec.LSN <= s.lastLSN {
+				s.mu.Unlock()
+				stats.Skipped++
+				return nil
+			}
+			arr, err := s.eng.Append(rec.Dims, rec.Measures)
+			if err == nil {
+				s.lastLSN = rec.LSN
+			}
+			s.mu.Unlock()
+			if err != nil {
+				// The original application failed the same deterministic
+				// way (journaling precedes applying), so the record adds
+				// nothing to recovered state.
+				stats.Failed++
+				return nil
+			}
+			arr.Shard = shard
+			stats.Applied++
+			if onArrival != nil {
+				onArrival(arr)
+			}
+		case persist.RecDelete:
+			if rec.Shard < 0 || rec.Shard >= len(p.shards) {
+				return fmt.Errorf("situfact: wal replay: record %d targets shard %d of %d",
+					rec.LSN, rec.Shard, len(p.shards))
+			}
+			s := &p.shards[rec.Shard]
+			s.mu.Lock()
+			if rec.LSN <= s.lastLSN {
+				s.mu.Unlock()
+				stats.Skipped++
+				return nil
+			}
+			err := s.eng.Delete(rec.TupleID)
+			if err == nil {
+				s.lastLSN = rec.LSN
+			}
+			s.mu.Unlock()
+			switch {
+			case err == nil:
+				stats.Applied++
+			case errors.Is(err, ErrNotFound) || errors.Is(err, ErrAlreadyDeleted):
+				stats.Failed++ // the original Delete failed identically
+			default:
+				// e.g. the restored algorithm cannot delete — real drift.
+				return fmt.Errorf("situfact: wal replay: record %d: %w", rec.LSN, err)
+			}
+		default:
+			return fmt.Errorf("situfact: wal replay: record %d has unknown type %d", rec.LSN, rec.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

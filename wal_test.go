@@ -1,0 +1,396 @@
+package situfact
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// poolFixture holds the state-dir layout the WAL tests share.
+type poolFixture struct {
+	stateDir string
+	walDir   string
+}
+
+func newPoolFixture(t *testing.T) poolFixture {
+	dir := t.TempDir()
+	return poolFixture{stateDir: dir, walDir: filepath.Join(dir, "wal")}
+}
+
+func (f poolFixture) openWAL(t *testing.T) *WAL {
+	t.Helper()
+	w, err := OpenWAL(gamelogSchema(t), f.walDir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func newGamelogPool(t *testing.T) *Pool {
+	t.Helper()
+	p, err := NewPool(gamelogSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// assertPoolsAgree streams rows into both pools and fails on any
+// divergence in routing, facts, metrics or tuple counts.
+func assertPoolsAgree(t *testing.T, got, want *Pool, rows []struct {
+	d []string
+	m []float64
+}) {
+	t.Helper()
+	if g, w := got.Len(), want.Len(); g != w {
+		t.Fatalf("Len = %d, want %d", g, w)
+	}
+	if g, w := got.Metrics(), want.Metrics(); g != w {
+		t.Fatalf("Metrics = %+v, want %+v", g, w)
+	}
+	for _, r := range rows {
+		wa, err := want.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga, err := got.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ga.Shard != wa.Shard || ga.TupleID != wa.TupleID {
+			t.Fatalf("routing diverged: %d:%d vs %d:%d", ga.Shard, ga.TupleID, wa.Shard, wa.TupleID)
+		}
+		if len(ga.Facts) != len(wa.Facts) {
+			t.Fatalf("tuple %d: %d facts vs %d", wa.TupleID, len(ga.Facts), len(wa.Facts))
+		}
+		for i := range wa.Facts {
+			if ga.Facts[i].String() != wa.Facts[i].String() {
+				t.Fatalf("tuple %d fact %d: %q vs %q", wa.TupleID, i, ga.Facts[i].String(), wa.Facts[i].String())
+			}
+		}
+	}
+}
+
+// TestPoolWALReplayOnly: a fresh pool replaying a WAL (no snapshot at
+// all) must equal the pool that wrote it — appends, deletes, tombstones
+// and metrics.
+func TestPoolWALReplayOnly(t *testing.T) {
+	f := newPoolFixture(t)
+	reference := newGamelogPool(t)
+	defer reference.Close()
+
+	live := newGamelogPool(t)
+	w := f.openWAL(t)
+	if err := live.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	var arrs []*Arrival
+	for _, r := range table1Rows[:5] {
+		arr, err := live.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrs = append(arrs, arr)
+		if _, err := reference.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.Delete(arrs[3].Shard, arrs[3].TupleID); err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.Delete(arrs[3].Shard, arrs[3].TupleID); err != nil {
+		t.Fatal(err)
+	}
+	// A journaled delete that failed must replay as the same failure.
+	if err := live.Delete(arrs[3].Shard, arrs[3].TupleID); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	live.Close() // simulated crash: no snapshot was ever taken
+	w.Close()
+
+	w2 := f.openWAL(t)
+	defer w2.Close()
+	recovered := newGamelogPool(t)
+	defer recovered.Close()
+	var replayed int
+	stats, err := recovered.ReplayWAL(w2, func(a *Arrival) { replayed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 6 || stats.Failed != 1 || stats.Skipped != 0 {
+		t.Fatalf("replay stats = %+v, want 6 applied / 1 failed / 0 skipped", stats)
+	}
+	if replayed != 5 {
+		t.Fatalf("onArrival saw %d appends, want 5", replayed)
+	}
+	if err := recovered.AttachWAL(w2); err != nil {
+		t.Fatal(err)
+	}
+	assertPoolsAgree(t, recovered, reference, table1Rows[5:])
+	// The tombstone survived replay.
+	if err := recovered.Delete(arrs[3].Shard, arrs[3].TupleID); err == nil {
+		t.Error("tombstone lost across WAL replay")
+	}
+}
+
+// TestPoolCheckpointPlusTail: recovery = newest checkpoint + WAL tail.
+// The checkpoint covers a prefix; replay must apply exactly the records
+// after each shard's snapshot LSN, even after the covered segments are
+// truncated away.
+func TestPoolCheckpointPlusTail(t *testing.T) {
+	f := newPoolFixture(t)
+	reference := newGamelogPool(t)
+	defer reference.Close()
+
+	live := newGamelogPool(t)
+	w := f.openWAL(t)
+	if err := live.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	feed := func(p *Pool, rows []struct {
+		d []string
+		m []float64
+	}) {
+		for _, r := range rows {
+			if _, err := p.Append(r.d, r.m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(live, table1Rows[:4])
+	feed(reference, table1Rows[:4])
+	stats, err := live.Checkpoint(f.stateDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", stats.Generation)
+	}
+	if stats.TruncatableLSN == 0 {
+		t.Fatal("TruncatableLSN = 0 with a WAL attached and records journaled")
+	}
+	if err := w.TruncateBefore(stats.TruncatableLSN + 1); err != nil {
+		t.Fatal(err)
+	}
+	// The tail: two more appends after the checkpoint.
+	feed(live, table1Rows[4:6])
+	feed(reference, table1Rows[4:6])
+	live.Close()
+	w.Close()
+
+	w2 := f.openWAL(t)
+	defer w2.Close()
+	recovered, sidecars, err := RestorePool(gamelogSchema(t), f.stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if len(sidecars) != 0 {
+		t.Fatalf("unexpected sidecars %v", sidecars)
+	}
+	rstats, err := recovered.ReplayWAL(w2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Applied != 2 {
+		t.Fatalf("replayed %d records after checkpoint, want exactly the 2-record tail (stats %+v)", rstats.Applied, rstats)
+	}
+	if err := recovered.AttachWAL(w2); err != nil {
+		t.Fatal(err)
+	}
+	assertPoolsAgree(t, recovered, reference, table1Rows[6:])
+}
+
+// TestSnapshotPlusReplayEqualsReplayOnly: the two recovery paths — newest
+// snapshot + tail, and full-log replay into a fresh pool — must converge
+// on identical state.
+func TestSnapshotPlusReplayEqualsReplayOnly(t *testing.T) {
+	f := newPoolFixture(t)
+	live := newGamelogPool(t)
+	w := f.openWAL(t)
+	if err := live.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	var arrs []*Arrival
+	for _, r := range table1Rows[:4] {
+		arr, err := live.Append(r.d, r.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrs = append(arrs, arr)
+	}
+	if _, err := live.Checkpoint(f.stateDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range table1Rows[4:] {
+		if _, err := live.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.Delete(arrs[2].Shard, arrs[2].TupleID); err != nil {
+		t.Fatal(err)
+	}
+	live.Close()
+	w.Close()
+
+	// Path A: snapshot + tail. Note the WAL was NOT truncated, so replay
+	// must skip the covered prefix via the manifest's shard LSNs.
+	wa := f.openWAL(t)
+	defer wa.Close()
+	fromSnap, _, err := RestorePool(gamelogSchema(t), f.stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fromSnap.Close()
+	sstats, err := fromSnap.ReplayWAL(wa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Skipped != 4 || sstats.Applied != 4 {
+		t.Fatalf("snapshot-path replay stats = %+v, want 4 skipped / 4 applied", sstats)
+	}
+
+	// Path B: replay-only.
+	fromLog := newGamelogPool(t)
+	defer fromLog.Close()
+	if _, err := fromLog.ReplayWAL(wa, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := fromSnap.Metrics(), fromLog.Metrics(); a != b {
+		t.Fatalf("metrics diverge: snapshot+tail %+v, replay-only %+v", a, b)
+	}
+	if a, b := fromSnap.Len(), fromLog.Len(); a != b {
+		t.Fatalf("len diverges: %d vs %d", a, b)
+	}
+	// Both continue identically.
+	extra := struct {
+		d []string
+		m []float64
+	}{[]string{"Jordan", "Jun", "1997-98", "Bulls", "Jazz"}, []float64{45, 5, 7}}
+	fa, err := fromSnap.Append(extra.d, extra.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := fromLog.Append(extra.d, extra.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Shard != fb.Shard || fa.TupleID != fb.TupleID || len(fa.Facts) != len(fb.Facts) {
+		t.Fatalf("post-recovery arrival diverges: %d:%d/%d facts vs %d:%d/%d facts",
+			fa.Shard, fa.TupleID, len(fa.Facts), fb.Shard, fb.TupleID, len(fb.Facts))
+	}
+	for i := range fa.Facts {
+		if fa.Facts[i].String() != fb.Facts[i].String() {
+			t.Fatalf("fact %d: %q vs %q", i, fa.Facts[i].String(), fb.Facts[i].String())
+		}
+	}
+}
+
+// TestCheckpointSidecars: sidecar payloads commit atomically with the
+// snapshot and come back from RestorePool.
+func TestCheckpointSidecars(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newGamelogPool(t)
+	if _, err := p.Append(table1Rows[0].d, table1Rows[0].m); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{"leaderboard": []byte(`[{"id":"0:0"}]`)}
+	if _, err := p.Checkpoint(f.stateDir, func() (map[string][]byte, error) {
+		return want, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	restored, sidecars, err := RestorePool(gamelogSchema(t), f.stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if !reflect.DeepEqual(sidecars, want) {
+		t.Fatalf("sidecars = %v, want %v", sidecars, want)
+	}
+}
+
+// TestPoolAppendBatchWithWAL: the batch path journals too, and a batch is
+// recoverable record-by-record.
+func TestPoolAppendBatchWithWAL(t *testing.T) {
+	f := newPoolFixture(t)
+	reference := newGamelogPool(t)
+	defer reference.Close()
+	live := newGamelogPool(t)
+	w := f.openWAL(t)
+	if err := live.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, len(table1Rows))
+	for i, r := range table1Rows {
+		rows[i] = Row{Dims: r.d, Measures: r.m}
+	}
+	if _, err := live.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reference.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.LastLSN != uint64(len(rows)) || st.SyncedLSN != st.LastLSN {
+		t.Fatalf("wal stats = %+v, want %d journaled and synced", st, len(rows))
+	}
+	live.Close()
+	w.Close()
+
+	w2 := f.openWAL(t)
+	defer w2.Close()
+	recovered := newGamelogPool(t)
+	defer recovered.Close()
+	if _, err := recovered.ReplayWAL(w2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g, want := recovered.Metrics(), reference.Metrics(); g != want {
+		t.Fatalf("recovered batch metrics = %+v, want %+v", g, want)
+	}
+}
+
+func TestAttachWALErrors(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newGamelogPool(t)
+	defer p.Close()
+	if err := p.AttachWAL(nil); err == nil {
+		t.Error("nil WAL accepted")
+	}
+	w := f.openWAL(t)
+	defer w.Close()
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AttachWAL(w); err == nil {
+		t.Error("second AttachWAL accepted")
+	}
+	if _, err := p.ReplayWAL(w, nil); err == nil {
+		t.Error("ReplayWAL after AttachWAL accepted — would re-journal the log into itself")
+	}
+}
+
+// TestWALFailedClassification: a journal failure surfaces as
+// ErrWALFailed — a daemon-side fault, distinct from request defects.
+func TestWALFailedClassification(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newGamelogPool(t)
+	defer p.Close()
+	w := f.openWAL(t)
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // the pool's journal is now gone
+	_, err := p.Append(table1Rows[0].d, table1Rows[0].m)
+	if !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append over closed WAL: err %v, want ErrWALFailed", err)
+	}
+	if _, err := p.AppendBatch([]Row{{Dims: table1Rows[0].d, Measures: table1Rows[0].m}}); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("batch over closed WAL: err %v, want ErrWALFailed", err)
+	}
+	if err := p.Delete(0, 0); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("delete over closed WAL: err %v, want ErrWALFailed", err)
+	}
+}
