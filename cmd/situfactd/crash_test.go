@@ -33,7 +33,7 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 
 	// Uninterrupted reference run.
 	refDir := t.TempDir()
-	ref := startDaemon(t, bin, refDir, "")
+	ref := startDaemon(t, bin, refDir)
 	for i, r := range rows {
 		if !postRow(ref.url, r) {
 			t.Fatalf("reference: row %d rejected", i)
@@ -45,7 +45,7 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 
 	// Crash run: feed in the background, SIGKILL mid-stream.
 	crashDir := t.TempDir()
-	d := startDaemon(t, bin, crashDir, "")
+	d := startDaemon(t, bin, crashDir)
 	acked := make(chan int, 1)
 	go func() {
 		n := 0
@@ -78,7 +78,7 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 
 	// Restart over the same state dir: recovery = newest snapshot + WAL
 	// tail. Every acknowledged row must be there.
-	d2 := startDaemon(t, bin, crashDir, "")
+	d2 := startDaemon(t, bin, crashDir)
 	defer d2.stop()
 	m := getMetrics(t, d2.url)
 	applied := int(m.Merged.Tuples)
@@ -132,7 +132,7 @@ type daemon struct {
 // startDaemon launches the binary on a free port with crash-friendly
 // settings: WAL on, frequent background checkpoints, small segments so
 // rotation and truncation both happen inside the test.
-func startDaemon(t *testing.T, bin, stateDir, extraAlgo string) *daemon {
+func startDaemon(t *testing.T, bin, stateDir string) *daemon {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -151,9 +151,6 @@ func startDaemon(t *testing.T, bin, stateDir, extraAlgo string) *daemon {
 		"-wal-segment-bytes", "4096",
 		"-snapshot-interval", "150ms",
 		"-topk", "64",
-	}
-	if extraAlgo != "" {
-		args = append(args, "-algo", extraAlgo)
 	}
 	cmd := exec.Command(bin, args...)
 	var logs bytes.Buffer

@@ -97,8 +97,17 @@ func serve(cfg config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// snapDone joins the background snapshotter before saveState/close: a
+	// checkpoint in flight when the shutdown signal lands must finish
+	// before the pool and WAL are closed under it.
+	snapDone := make(chan struct{})
 	if cfg.stateDir != "" && cfg.snapInterval > 0 {
-		go s.snapshotLoop(ctx, cfg.snapInterval)
+		go func() {
+			defer close(snapDone)
+			s.snapshotLoop(ctx, cfg.snapInterval)
+		}()
+	} else {
+		close(snapDone)
 	}
 	errCh := make(chan error, 1)
 	go func() {
@@ -116,6 +125,8 @@ func serve(cfg config) error {
 
 	select {
 	case err := <-errCh:
+		stop() // release the snapshotter's context so it can exit
+		<-snapDone
 		s.close()
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
@@ -125,6 +136,7 @@ func serve(cfg config) error {
 	defer cancel()
 	var errs []error
 	drainErr := srv.Shutdown(shutdownCtx)
+	<-snapDone // ctx is done; wait out any in-flight checkpoint
 	if drainErr != nil {
 		errs = append(errs, fmt.Errorf("drain: %w", drainErr))
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -174,8 +175,27 @@ func newServer(cfg config) (*server, error) {
 			log.Printf("warning: leaderboard sidecar unreadable, starting it empty: %v", err)
 		}
 	}
+	if !cfg.wal && cfg.stateDir != "" {
+		// A journal from a prior -wal run may hold acknowledged rows past
+		// the newest snapshot; starting without -wal would silently drop
+		// that tail (and a later -wal restart would replay it out of
+		// order). Refuse until the operator decides.
+		walDir := filepath.Join(cfg.stateDir, "wal")
+		ents, err := os.ReadDir(walDir)
+		switch {
+		case err == nil && len(ents) > 0:
+			pool.Close()
+			return nil, fmt.Errorf("situfactd: %s holds a write-ahead log but -wal is off: "+
+				"its unreplayed tail would be silently dropped; restart with -wal, or move the wal directory away to discard it", walDir)
+		case err != nil && !os.IsNotExist(err):
+			// Unreadable is not the same as absent — starting anyway could
+			// silently drop the very tail the guard protects.
+			pool.Close()
+			return nil, fmt.Errorf("situfactd: checking %s for a leftover write-ahead log: %w", walDir, err)
+		}
+	}
 	if cfg.wal {
-		wal, err := situfact.OpenWAL(schema, filepath.Join(cfg.stateDir, "wal"), situfact.WALOptions{
+		wal, err := situfact.OpenWAL(pool, filepath.Join(cfg.stateDir, "wal"), situfact.WALOptions{
 			SegmentBytes: cfg.walSegBytes,
 			SyncInterval: cfg.walSync,
 		})
@@ -186,7 +206,7 @@ func newServer(cfg config) (*server, error) {
 		// Replay through the ingest path: the pool re-applies the tail and
 		// every replayed arrival re-feeds the leaderboard, exactly as the
 		// original request did.
-		stats, err := pool.ReplayWAL(wal, s.feedBoard)
+		stats, err := pool.ReplayWAL(wal, func(arr *situfact.Arrival) { s.feedBoard(arr) })
 		if err != nil {
 			wal.Close()
 			pool.Close()
@@ -372,11 +392,24 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, 1<<20, &req) {
 		return
 	}
-	// Held across apply + board feed so a concurrent checkpoint's board
-	// capture never falls between them; see server.gate.
-	s.gate.RLock()
-	defer s.gate.RUnlock()
-	arr, err := s.pool.Append(req.Dims, req.Measures)
+	// The gate is held across apply + board feed (toArrival) so a
+	// concurrent checkpoint's board capture never falls between them —
+	// but NOT across the response write: a client that stops reading must
+	// not hold up the checkpoint barrier (and, through the pending
+	// writer, all other ingest). The closure's defer keeps the lock
+	// panic-safe. See server.gate.
+	var arr *situfact.Arrival
+	var resp arrivalResponse
+	err := func() error {
+		s.gate.RLock()
+		defer s.gate.RUnlock()
+		var err error
+		if arr, err = s.pool.Append(req.Dims, req.Measures); err != nil {
+			return err
+		}
+		resp = s.toArrival(arr, req.Top, true)
+		return nil
+	}()
 	if err != nil {
 		// A journal failure is the daemon's fault, not the request's —
 		// report it retryable so clients do not drop the row as malformed.
@@ -387,7 +420,6 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err.Error())
 		return
 	}
-	resp := s.toArrival(arr, req.Top, true)
 	if req.Narrate != nil {
 		values := make(map[string]float64, len(s.measures))
 		for i, m := range s.measures {
@@ -414,21 +446,31 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, rw := range req.Rows {
 		rows[i] = situfact.Row{Dims: rw.Dims, Measures: rw.Measures}
 	}
-	s.gate.RLock()
-	defer s.gate.RUnlock()
-	arrs, batchErr := s.pool.AppendBatch(rows)
+	// Like handleAppend: the gate covers apply + board feeds only, never
+	// the response write, and a closure defer keeps it panic-safe.
+	var arrs []*situfact.Arrival
+	var resp batchResponse
+	var batchErr error
+	func() {
+		s.gate.RLock()
+		defer s.gate.RUnlock()
+		arrs, batchErr = s.pool.AppendBatch(rows)
+		if arrs == nil {
+			return // pre-validation failure: nothing applied, nothing to feed
+		}
+		resp.Arrivals = make([]*arrivalResponse, len(arrs))
+		for i, arr := range arrs {
+			if arr == nil {
+				continue // unprocessed row of a failed shard
+			}
+			a := s.toArrival(arr, req.Top, req.Top > 0)
+			resp.Arrivals[i] = &a
+		}
+	}()
 	if batchErr != nil && arrs == nil {
 		// Pre-validation failure: nothing was processed.
 		writeErr(w, http.StatusBadRequest, batchErr.Error())
 		return
-	}
-	resp := batchResponse{Arrivals: make([]*arrivalResponse, len(arrs))}
-	for i, arr := range arrs {
-		if arr == nil {
-			continue // unprocessed row of a failed shard
-		}
-		a := s.toArrival(arr, req.Top, req.Top > 0)
-		resp.Arrivals[i] = &a
 	}
 	if batchErr != nil {
 		// Mid-batch engine failure: the arrivals present above DID commit;
@@ -463,8 +505,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 // feedBoard offers an arrival's scored facts to the leaderboard — the
 // live ingest path and WAL replay share it, so a recovered board sees
-// exactly the offers the original run made.
-func (s *server) feedBoard(arr *situfact.Arrival) {
+// exactly the offers the original run made. It returns the arrival's
+// wire id so the ingest path formats it once.
+func (s *server) feedBoard(arr *situfact.Arrival) string {
 	id := fmt.Sprintf("%d:%d", arr.Shard, arr.TupleID)
 	// Pre-filter against the board's floor before paying for wire
 	// conversion: after warmup almost no fact clears a full board. The
@@ -478,13 +521,13 @@ func (s *server) feedBoard(arr *situfact.Arrival) {
 		}
 	}
 	s.board.offerAll(scored)
+	return id
 }
 
 // toArrival converts an arrival, caps the returned facts at top (0 = all
 // when includeFacts), and feeds the leaderboard with every scored fact.
 func (s *server) toArrival(arr *situfact.Arrival, top int, includeFacts bool) arrivalResponse {
-	id := fmt.Sprintf("%d:%d", arr.Shard, arr.TupleID)
-	s.feedBoard(arr)
+	id := s.feedBoard(arr)
 	resp := arrivalResponse{
 		ID:        id,
 		Shard:     arr.Shard,
@@ -531,7 +574,9 @@ func deleteStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, situfact.ErrWALFailed):
 		return http.StatusInternalServerError // daemon-side fault, retryable
-	default: // e.g. the algorithm does not support deletion
+	case errors.Is(err, situfact.ErrDeleteUnsupported):
+		return http.StatusBadRequest // the algorithm does not support deletion
+	default:
 		return http.StatusBadRequest
 	}
 }

@@ -29,6 +29,11 @@ type Manifest struct {
 	// snapshots taken without an attached WAL (and for pre-WAL snapshots,
 	// which gob-decodes identically).
 	ShardLSNs []uint64
+	// WALEpoch is the epoch of the log the ShardLSNs refer to (see
+	// WAL.Epoch). LSN watermarks are only meaningful against that exact
+	// log instance; replay against a log with a different epoch must
+	// discard them. Empty without an attached WAL.
+	WALEpoch string
 	// Sidecars are small opaque payloads committed atomically with the
 	// snapshot — the daemon persists its prominence leaderboard here.
 	Sidecars map[string][]byte

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -48,6 +49,38 @@ const (
 	// anything near this is corruption, not data.
 	maxRecordBytes = 16 << 20
 )
+
+// ErrTooLarge reports a record whose payload would exceed maxRecordBytes —
+// a defect of the record, not of the log. Test with errors.Is.
+var ErrTooLarge = errors.New("record too large")
+
+// Oversized reports whether the record's framed payload would exceed
+// maxRecordBytes, without encoding it. The estimate assumes a max-width
+// LSN varint, so it can exceed the true size by a few bytes: an Oversized
+// record always fails Append, and a record passing this check always fits.
+func (rec Record) Oversized() bool {
+	size := 1 + binary.MaxVarintLen64 + uvarintLen(uint64(rec.Shard))
+	switch rec.Type {
+	case RecAppend:
+		size += uvarintLen(uint64(len(rec.Dims)))
+		for _, d := range rec.Dims {
+			size += uvarintLen(uint64(len(d))) + len(d)
+		}
+		size += uvarintLen(uint64(len(rec.Measures))) + 8*len(rec.Measures)
+	case RecDelete:
+		size += uvarintLen(uint64(rec.TupleID))
+	}
+	return size > maxRecordBytes
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 // appendFrame appends rec's framed encoding to buf.
 func appendFrame(buf []byte, rec Record) []byte {
@@ -103,6 +136,12 @@ func parsePayload(p []byte) (Record, error) {
 			return rec, fmt.Errorf("bad dim count")
 		}
 		p = p[n:]
+		// Bound counts by the bytes that could hold them before allocating:
+		// the payload passed its CRC, but a corrupt-yet-checksummed frame
+		// must parse-fail, not panic in makeslice.
+		if nd > uint64(len(p)) {
+			return rec, fmt.Errorf("dim count %d exceeds %d payload bytes", nd, len(p))
+		}
 		rec.Dims = make([]string, nd)
 		for i := range rec.Dims {
 			l, n := binary.Uvarint(p)
@@ -118,7 +157,9 @@ func parsePayload(p []byte) (Record, error) {
 			return rec, fmt.Errorf("bad measure count")
 		}
 		p = p[n:]
-		if uint64(len(p)) != nm*8 {
+		// nm is bounded before nm*8: a count near 2^61 would overflow the
+		// product into a passing length check and a giant allocation.
+		if nm > uint64(len(p))/8 || uint64(len(p)) != nm*8 {
 			return rec, fmt.Errorf("measure bytes %d for %d measures", len(p), nm)
 		}
 		rec.Measures = make([]float64, nm)

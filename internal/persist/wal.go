@@ -2,8 +2,10 @@ package persist
 
 import (
 	"bufio"
+	"crypto/rand"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -45,6 +47,11 @@ const (
 type walMeta struct {
 	Magic string
 	Meta  string
+	// Epoch uniquely identifies this log instance (random, assigned at
+	// creation). Snapshot manifests record the epoch their LSN watermarks
+	// refer to, so watermarks are never applied against a replacement log
+	// whose LSNs count from 1 again.
+	Epoch string
 }
 
 // WAL is a segmented, CRC-framed write-ahead log. Appends go through one
@@ -54,6 +61,7 @@ type walMeta struct {
 type WAL struct {
 	dir     string
 	segSize int64
+	epoch   string // this log instance's identity, from wal.meta
 
 	// mu guards the file state: writes, rotation, truncation, and fsync
 	// (holding it during fsync keeps rotation from closing a file that is
@@ -91,10 +99,11 @@ func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	if err := checkWALMeta(dir, opt.Meta); err != nil {
+	epoch, err := checkWALMeta(dir, opt.Meta)
+	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, segSize: opt.SegmentBytes}
+	w := &WAL{dir: dir, segSize: opt.SegmentBytes, epoch: epoch}
 	w.syncState.cond = sync.NewCond(&w.syncState.Mutex)
 
 	bases, err := listSegments(dir)
@@ -142,27 +151,40 @@ func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
 }
 
 // checkWALMeta writes the identity file on first open and verifies it on
-// every later one.
-func checkWALMeta(dir, meta string) error {
+// every later one, returning the log's epoch either way.
+func checkWALMeta(dir, meta string) (string, error) {
 	path := filepath.Join(dir, walMetaName)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return WriteFileAtomic(path, func(w io.Writer) error {
-			return gob.NewEncoder(w).Encode(&walMeta{Magic: walMetaMagic, Meta: meta})
+		epoch, err := newEpoch()
+		if err != nil {
+			return "", fmt.Errorf("wal: %w", err)
+		}
+		return epoch, WriteFileAtomic(path, func(w io.Writer) error {
+			return gob.NewEncoder(w).Encode(&walMeta{Magic: walMetaMagic, Meta: meta, Epoch: epoch})
 		})
 	}
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return "", fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
 	var m walMeta
 	if err := gob.NewDecoder(f).Decode(&m); err != nil || m.Magic != walMetaMagic {
-		return fmt.Errorf("wal: %s is not a wal meta file: %w", path, ErrCorrupt)
+		return "", fmt.Errorf("wal: %s is not a wal meta file: %w", path, ErrCorrupt)
 	}
 	if m.Meta != meta {
-		return fmt.Errorf("wal: log at %s was written under %q, not %q", dir, m.Meta, meta)
+		return "", fmt.Errorf("wal: log at %s was written under %q, not %q", dir, m.Meta, meta)
 	}
-	return nil
+	return m.Epoch, nil
+}
+
+// newEpoch returns a random log-instance identifier.
+func newEpoch() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
 }
 
 func (w *WAL) segmentPath(base uint64) string {
@@ -223,6 +245,13 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	if w.writeErr != nil {
 		return 0, w.writeErr
 	}
+	if rec.Oversized() {
+		// Rejected before encoding (the WAL is not poisoned and scratch is
+		// not grown to the record's size): the reader caps payloads at
+		// maxRecordBytes, so writing this frame would produce a log that
+		// fails replay with ErrCorrupt.
+		return 0, fmt.Errorf("wal append: record exceeds %d payload bytes: %w", maxRecordBytes, ErrTooLarge)
+	}
 	rec.LSN = w.nextLSN
 	w.scratch = appendFrame(w.scratch[:0], rec)
 	if _, err := w.bw.Write(w.scratch); err != nil {
@@ -253,6 +282,9 @@ func (w *WAL) rotate() error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("wal rotate: %w", err)
 	}
+	// Cleared until createSegment replaces them: if it fails, the WAL is
+	// poisoned with w.f already closed, and Close must not close it again.
+	w.f, w.bw = nil, nil
 	sealed := w.nextLSN - 1
 	if err := w.createSegment(w.nextLSN); err != nil {
 		return err
@@ -429,6 +461,11 @@ func (w *WAL) Stats() WALStats {
 	return st
 }
 
+// Epoch returns the log instance's random identity, assigned when the
+// log directory was created. Two logs at the same path but created at
+// different times (one deleted and replaced) have different epochs.
+func (w *WAL) Epoch() string { return w.epoch }
+
 // LastLSN returns the highest assigned LSN (0 = empty log).
 func (w *WAL) LastLSN() uint64 {
 	w.mu.Lock()
@@ -454,8 +491,10 @@ func (w *WAL) Close() error {
 			errs = append(errs, err)
 		}
 	}
-	if err := w.f.Close(); err != nil {
-		errs = append(errs, err)
+	if w.f != nil { // nil after a failed rotation already closed it
+		if err := w.f.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	w.closed = true
 	w.mu.Unlock()
@@ -479,6 +518,16 @@ func (w *WAL) Close() error {
 // whether a torn tail was found. Torn tails are tolerated only in the
 // final segment (isLast); anywhere else they are corruption, as is any
 // full record failing its CRC.
+//
+// A torn tail is not only a short read: power loss can persist the final
+// record's file-size extension without all of its data blocks, leaving a
+// full-length frame that is zero-filled or half-written. So in the final
+// segment a broken frame (bad length, CRC mismatch) followed by nothing
+// but zeros is repaired as torn — that region was never covered by a
+// successful fsync, or the fsync's acknowledgement never happened. A
+// broken frame with NON-zero data after it cannot come from a torn
+// sequential write and stays ErrCorrupt: truncating there could drop
+// fsynced records.
 func readSegment(path string, base uint64, isLast bool, fn func(Record) error) (end int64, next uint64, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -509,6 +558,9 @@ func readSegment(path string, base uint64, isLast bool, fn func(Record) error) (
 		length := binary.LittleEndian.Uint32(hdr[:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:])
 		if length == 0 || length > maxRecordBytes {
+			if isLast && restIsZeros(br) {
+				return off, next, true, nil // zero-filled torn tail
+			}
 			return 0, 0, false, fmt.Errorf("wal: %s: record length %d at offset %d: %w", path, length, off, ErrCorrupt)
 		}
 		if cap(payload) < int(length) {
@@ -525,6 +577,9 @@ func readSegment(path string, base uint64, isLast bool, fn func(Record) error) (
 			return 0, 0, false, fmt.Errorf("wal: %s: %w", path, rerr)
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
+			if isLast && restIsZeros(br) {
+				return off, next, true, nil // half-persisted torn tail
+			}
 			return 0, 0, false, fmt.Errorf("wal: %s: crc mismatch at offset %d (lsn %d expected): %w", path, off, next, ErrCorrupt)
 		}
 		rec, perr := parsePayload(payload)
@@ -541,6 +596,22 @@ func readSegment(path string, base uint64, isLast bool, fn func(Record) error) (
 		}
 		next++
 		off += frameHeaderLen + int64(length)
+	}
+}
+
+// restIsZeros consumes the reader and reports whether every remaining
+// byte is zero — an empty remainder counts. It distinguishes a torn tail
+// (size extended past the durable data, un-persisted blocks read back as
+// zeros) from damage followed by real records.
+func restIsZeros(br *bufio.Reader) bool {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return err == io.EOF
+		}
+		if b != 0 {
+			return false
+		}
 	}
 }
 

@@ -205,6 +205,68 @@ func TestWALTornFinalRecord(t *testing.T) {
 	}
 }
 
+// TestWALTornFinalRecordFullLength: power loss can persist the final
+// record's size extension without its data — a full-length frame that is
+// zero-filled or half-written, not a short read. Open must repair these
+// like any torn tail: that region was never covered by a successful
+// fsync.
+func TestWALTornFinalRecordFullLength(t *testing.T) {
+	frame := appendFrame(nil, Record{LSN: 6, Type: RecAppend, Shard: 1,
+		Dims: []string{"team", "player"}, Measures: []float64{1, 2}})
+	for name, tear := range map[string]func([]byte) []byte{
+		"zero-filled": func(full []byte) []byte {
+			return append(full, make([]byte, len(frame))...)
+		},
+		"half-persisted payload": func(full []byte) []byte {
+			torn := append([]byte(nil), frame...)
+			for i := len(torn) / 2; i < len(torn); i++ {
+				torn[i] = 0 // later blocks lost, read back as zeros
+			}
+			return append(full, torn...)
+		},
+		"zero-fill past the frame": func(full []byte) []byte {
+			torn := append([]byte(nil), frame...)
+			for i := len(torn) - 4; i < len(torn); i++ {
+				torn[i] = 0
+			}
+			return append(append(full, torn...), make([]byte, 4096)...)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := OpenWAL(dir, WALOptions{Meta: "sig"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := w.Append(appendRec(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w.Close()
+			seg := w.segmentPath(1)
+			full, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(seg, tear(full), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w2, err := OpenWAL(dir, WALOptions{Meta: "sig"})
+			if err != nil {
+				t.Fatalf("open after %s torn tail: %v", name, err)
+			}
+			defer w2.Close()
+			if got := collect(t, w2); len(got) != 5 {
+				t.Fatalf("%d records after repair, want 5", len(got))
+			}
+			if lsn, err := w2.Append(appendRec(9)); err != nil || lsn != 6 {
+				t.Fatalf("append after repair: lsn %d err %v, want 6", lsn, err)
+			}
+		})
+	}
+}
+
 // TestWALCRCMismatch: a full record with a bad checksum is corruption and
 // must fail loudly, not be silently skipped or treated as a torn tail.
 func TestWALCRCMismatch(t *testing.T) {

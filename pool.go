@@ -40,6 +40,11 @@ type Pool struct {
 	shardDim int
 	shards   []poolShard
 	wal      *WAL // nil = no journaling
+	// walEpoch is the epoch of the log the shards' lastLSN watermarks
+	// refer to — restored from the snapshot manifest, updated when a WAL
+	// is replayed or attached. Watermarks are discarded against a log
+	// with a different epoch (see Pool.adoptWAL in wal.go).
+	walEpoch string
 }
 
 type poolShard struct {
@@ -127,9 +132,15 @@ func (p *Pool) ShardFor(value string) int {
 // and processes it there. It may be called from any number of goroutines;
 // arrivals racing for one shard are serialised in lock-acquisition order.
 func (p *Pool) Append(dims []string, measures []float64) (*Arrival, error) {
+	// Validated before journaling (the engine would reject these too, but
+	// a rejected row must not leave a permanent record in the WAL).
 	if len(dims) != p.schema.rs.NumDims() {
 		return nil, fmt.Errorf("situfact: pool: %d dimension values for %d attributes",
 			len(dims), p.schema.rs.NumDims())
+	}
+	if len(measures) != p.schema.rs.NumMeasures() {
+		return nil, fmt.Errorf("situfact: pool: %d measure values for %d attributes",
+			len(measures), p.schema.rs.NumMeasures())
 	}
 	shard := p.ShardFor(dims[p.shardDim])
 	s := &p.shards[shard]
@@ -166,9 +177,15 @@ func (p *Pool) journalAppend(shard int, dims []string, measures []float64) (uint
 	if p.wal == nil {
 		return 0, nil
 	}
-	lsn, err := p.wal.w.Append(persist.Record{
+	rec := persist.Record{
 		Type: persist.RecAppend, Shard: shard, Dims: dims, Measures: measures,
-	})
+	}
+	if rec.Oversized() {
+		// The row, not the log, is at fault — do not wrap ErrWALFailed,
+		// which callers treat as retryable.
+		return 0, fmt.Errorf("%w (the WAL caps one record at 16 MiB)", ErrRowTooLarge)
+	}
+	lsn, err := p.wal.w.Append(rec)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %w", ErrWALFailed, err)
 	}
@@ -190,6 +207,10 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 		if len(r.Dims) != d || len(r.Measures) != m {
 			return nil, fmt.Errorf("situfact: pool: row %d has %d/%d values for a %d/%d schema",
 				i, len(r.Dims), len(r.Measures), d, m)
+		}
+		if p.wal != nil && (persist.Record{Type: persist.RecAppend, Dims: r.Dims, Measures: r.Measures}).Oversized() {
+			return nil, fmt.Errorf("situfact: pool: row %d: %w (the WAL caps one record at 16 MiB)",
+				i, ErrRowTooLarge)
 		}
 	}
 	perShard := make([][]int, len(p.shards))
@@ -258,12 +279,19 @@ func (p *Pool) Delete(shard int, tupleID int64) error {
 	if shard < 0 || shard >= len(p.shards) {
 		return fmt.Errorf("situfact: pool: shard %d of %d: %w", shard, len(p.shards), ErrNotFound)
 	}
+	if !p.CanDelete() {
+		// Reject before journaling: a RecDelete from an engine that cannot
+		// delete would abort every future replay of the log.
+		return fmt.Errorf("situfact: pool: Delete requires the BottomUp family; engines run %s: %w",
+			p.Algorithm(), ErrDeleteUnsupported)
+	}
 	s := &p.shards[shard]
 	s.mu.Lock()
 	var lsn uint64
 	if p.wal != nil {
-		// Journaled before validity is known: a delete that fails below
-		// re-fails identically at replay, so the record is harmless.
+		// Journaled before tuple validity is known: a delete that fails
+		// below (unknown or tombstoned tuple) re-fails identically at
+		// replay, so the record is harmless.
 		var jerr error
 		lsn, jerr = p.wal.w.Append(persist.Record{
 			Type: persist.RecDelete, Shard: shard, TupleID: tupleID,
@@ -291,6 +319,10 @@ func (p *Pool) Delete(shard int, tupleID int64) error {
 
 // Algorithm returns the name of the algorithm the shard engines run.
 func (p *Pool) Algorithm() string { return p.shards[0].eng.Algorithm() }
+
+// CanDelete reports whether Delete supports this pool's engines (the
+// BottomUp family; all shards run the same algorithm).
+func (p *Pool) CanDelete() bool { return p.shards[0].eng.CanDelete() }
 
 // ShardStat describes one shard of a pool for monitoring.
 type ShardStat struct {

@@ -20,6 +20,9 @@ var (
 	ErrNotFound = errors.New("not found")
 	// ErrAlreadyDeleted reports a tuple that was already retracted.
 	ErrAlreadyDeleted = errors.New("already deleted")
+	// ErrDeleteUnsupported reports a Delete against an engine whose
+	// algorithm cannot retract tuples (only the BottomUp family can).
+	ErrDeleteUnsupported = errors.New("delete unsupported")
 )
 
 // Direction selects the preferred ordering of a measure attribute.
@@ -348,10 +351,11 @@ func (e *Engine) decode(rf core.Fact) Fact {
 // possible); engines running other algorithms return an error. An update
 // is a Delete followed by an Append.
 func (e *Engine) Delete(tupleID int64) error {
-	bu, ok := e.disc.(deleter)
-	if !ok || !bu.CanDelete() {
-		return fmt.Errorf("situfact: Delete requires the BottomUp family; engine runs %s", e.disc.Name())
+	if !e.CanDelete() {
+		return fmt.Errorf("situfact: Delete requires the BottomUp family; engine runs %s: %w",
+			e.disc.Name(), ErrDeleteUnsupported)
 	}
+	bu := e.disc.(deleter) // CanDelete just proved the assertion holds
 	if tupleID < 0 || tupleID >= int64(e.table.Len()) {
 		return fmt.Errorf("situfact: Delete: tuple %d: %w", tupleID, ErrNotFound)
 	}
@@ -368,6 +372,14 @@ func (e *Engine) Delete(tupleID int64) error {
 	}
 	e.deleted[tupleID] = true
 	return nil
+}
+
+// CanDelete reports whether Delete supports this engine's algorithm
+// (the BottomUp family, including the parallel driver over BottomUp
+// workers).
+func (e *Engine) CanDelete() bool {
+	bu, ok := e.disc.(deleter)
+	return ok && bu.CanDelete()
 }
 
 // Update retracts tuple tupleID and appends its replacement, returning

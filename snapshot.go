@@ -1,6 +1,7 @@
 package situfact
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -226,8 +227,13 @@ func (p *Pool) Checkpoint(dir string, sidecars func() (map[string][]byte, error)
 	// New generation's shard files first; the manifest commit comes last.
 	lsns := make([]uint64, len(p.shards))
 	covers := make([]uint64, len(p.shards))
+	var buf bytes.Buffer
 	for i := range p.shards {
 		s := &p.shards[i]
+		buf.Reset()
+		// Only the encode holds the shard lock; the file write (two fsyncs
+		// plus a rename) happens after, so a checkpoint stalls the shard's
+		// ingest for the serialization time, not the disk time.
 		s.mu.Lock()
 		lsns[i] = s.lastLSN
 		// Journal and apply are atomic under this lock, so every WAL
@@ -239,10 +245,35 @@ func (p *Pool) Checkpoint(dir string, sidecars func() (map[string][]byte, error)
 		if p.wal != nil {
 			covers[i] = p.wal.w.LastLSN()
 		}
-		err := persist.WriteFileAtomic(filepath.Join(dir, persist.ShardSnapshotName(i, gen)), s.eng.SaveSnapshot)
+		err := s.eng.SaveSnapshot(&buf)
 		s.mu.Unlock()
+		if err == nil {
+			err = persist.WriteFileAtomic(filepath.Join(dir, persist.ShardSnapshotName(i, gen)), func(w io.Writer) error {
+				_, werr := w.Write(buf.Bytes())
+				return werr
+			})
+		}
 		if err != nil {
 			return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: shard %d: %w", i, err)
+		}
+	}
+	// The manifest durably pins the captured LSNs, so every one of them
+	// must be durable in the WAL first: a buffered-but-unsynced record
+	// would be lost by a crash, its LSN reassigned to a NEW acknowledged
+	// operation on restart, and a later recovery would skip that operation
+	// as "already in the snapshot". This also holds in interval-sync mode,
+	// where appends are acknowledged ahead of the fsync.
+	if p.wal != nil {
+		var top uint64
+		for _, l := range lsns {
+			if l > top {
+				top = l
+			}
+		}
+		if top > 0 {
+			if err := p.wal.w.WaitSync(top); err != nil {
+				return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: wal sync: %w", err)
+			}
 		}
 	}
 	var side map[string][]byte
@@ -256,8 +287,16 @@ func (p *Pool) Checkpoint(dir string, sidecars func() (map[string][]byte, error)
 		ShardDim:   p.ShardDim(),
 		Shards:     len(p.shards),
 		Generation: gen,
-		ShardLSNs:  lsns,
 		Sidecars:   side,
+	}
+	if p.wal != nil {
+		// Nil without a WAL, per the manifest contract: a WAL-less pool's
+		// lastLSN values are either zero or restored from an earlier
+		// WAL-era snapshot — re-pinning the latter would claim coverage of
+		// a log this run never saw. The epoch names the exact log instance
+		// the watermarks refer to.
+		man.ShardLSNs = lsns
+		man.WALEpoch = p.wal.w.Epoch()
 	}
 	if err := persist.WriteManifest(dir, man); err != nil {
 		return CheckpointStats{}, fmt.Errorf("situfact: pool snapshot: manifest: %w", err)
@@ -333,6 +372,7 @@ func RestorePool(schema *Schema, dir string) (*Pool, map[string][]byte, error) {
 			p.shards[i].lastLSN = man.ShardLSNs[i]
 		}
 	}
+	p.walEpoch = man.WALEpoch
 	return p, man.Sidecars, nil
 }
 

@@ -30,6 +30,12 @@ import (
 // as a server-side fault (retryable), not a request defect.
 var ErrWALFailed = errors.New("wal failure")
 
+// ErrRowTooLarge reports a row whose journaled encoding would exceed the
+// WAL's per-record cap (16 MiB) — a request defect, not a log fault, so
+// unlike ErrWALFailed it is not retryable. Only journaled ingest enforces
+// the cap; pools without a WAL accept rows of any size.
+var ErrRowTooLarge = errors.New("row too large to journal")
+
 // WALOptions configures OpenWAL.
 type WALOptions struct {
 	// SegmentBytes is the log's segment-rotation threshold; 0 = 64 MiB.
@@ -40,10 +46,11 @@ type WALOptions struct {
 	SyncInterval time.Duration
 }
 
-// WAL is an open write-ahead log, bound to one schema. It is safe for
-// concurrent use.
+// WAL is an open write-ahead log, bound to one pool identity (schema and
+// shard layout). It is safe for concurrent use.
 type WAL struct {
 	w        *persist.WAL
+	meta     string // the pool identity the log was opened under
 	interval time.Duration
 
 	stop chan struct{}
@@ -51,21 +58,33 @@ type WAL struct {
 	once sync.Once
 }
 
+// walMeta is the identity a log is bound to. Beyond the schema it covers
+// the shard layout: RecDelete records name tuples by (shard, per-shard
+// tuple id), coordinates that are only meaningful under the shard count
+// and routing dimension that assigned them.
+func (p *Pool) walMeta() string {
+	return fmt.Sprintf("%s|shards=%d|shard-dim=%s",
+		schemaSig(p.schema.rs), len(p.shards), p.ShardDim())
+}
+
 // OpenWAL opens (or creates) the log rooted at dir, repairing a torn
-// final record left by a crash. The log is bound to the schema: reopening
-// it under a different one fails rather than replaying foreign rows.
-func OpenWAL(schema *Schema, dir string, opt WALOptions) (*WAL, error) {
-	if schema == nil || schema.rs == nil {
-		return nil, fmt.Errorf("situfact: nil schema")
+// final record left by a crash. The log is bound to the pool's identity —
+// schema, shard count and shard dimension: reopening it under a different
+// one fails rather than replaying rows into the wrong relation or deletes
+// against the wrong shard coordinates.
+func OpenWAL(pool *Pool, dir string, opt WALOptions) (*WAL, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("situfact: nil pool")
 	}
+	meta := pool.walMeta()
 	pw, err := persist.OpenWAL(dir, persist.WALOptions{
 		SegmentBytes: opt.SegmentBytes,
-		Meta:         schemaSig(schema.rs),
+		Meta:         meta,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("situfact: %w", err)
 	}
-	w := &WAL{w: pw, interval: opt.SyncInterval}
+	w := &WAL{w: pw, meta: meta, interval: opt.SyncInterval}
 	if opt.SyncInterval > 0 {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
@@ -132,8 +151,34 @@ func (p *Pool) AttachWAL(w *WAL) error {
 	if p.wal != nil {
 		return fmt.Errorf("situfact: pool already has a WAL attached")
 	}
+	if w.meta != p.walMeta() {
+		return fmt.Errorf("situfact: WAL was opened under %q, not this pool's %q", w.meta, p.walMeta())
+	}
+	p.adoptWAL(w)
 	p.wal = w
 	return nil
+}
+
+// adoptWAL reconciles the pool's per-shard LSN watermarks with the log
+// instance it is about to replay or journal into. Watermarks restored
+// from a snapshot are only meaningful against the exact log they were
+// captured from; against any other instance (the manifest predates the
+// log, or the operator replaced the log) the new log's LSNs count from 1
+// again, and a stale high watermark would silently skip them as "already
+// covered". So on an epoch mismatch the watermarks are cleared — every
+// record of the new log replays, which is exactly right for a log that
+// started after the snapshot's state was already in place.
+func (p *Pool) adoptWAL(w *WAL) {
+	if p.walEpoch == w.w.Epoch() {
+		return
+	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.lastLSN = 0
+		s.mu.Unlock()
+	}
+	p.walEpoch = w.w.Epoch()
 }
 
 // ReplayStats reports what a ReplayWAL pass did.
@@ -165,6 +210,10 @@ func (p *Pool) ReplayWAL(w *WAL, onArrival func(*Arrival)) (ReplayStats, error) 
 	if p.wal != nil {
 		return ReplayStats{}, fmt.Errorf("situfact: replay after AttachWAL would re-journal the log into itself")
 	}
+	if w.meta != p.walMeta() {
+		return ReplayStats{}, fmt.Errorf("situfact: WAL was opened under %q, not this pool's %q", w.meta, p.walMeta())
+	}
+	p.adoptWAL(w)
 	var stats ReplayStats
 	err := w.w.Replay(func(rec persist.Record) error {
 		stats.Records++
@@ -223,7 +272,11 @@ func (p *Pool) ReplayWAL(w *WAL, onArrival func(*Arrival)) (ReplayStats, error) 
 			case errors.Is(err, ErrNotFound) || errors.Is(err, ErrAlreadyDeleted):
 				stats.Failed++ // the original Delete failed identically
 			default:
-				// e.g. the restored algorithm cannot delete — real drift.
+				// Pool.Delete rejects unsupported deletes before journaling,
+				// so a RecDelete proves the writing pool applied (or could
+				// have applied) it. ErrDeleteUnsupported here means the pool
+				// was restarted under a non-deleting algorithm — real drift,
+				// like any other unexpected failure.
 				return fmt.Errorf("situfact: wal replay: record %d: %w", rec.LSN, err)
 			}
 		default:

@@ -2,9 +2,12 @@ package situfact
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 )
 
 // poolFixture holds the state-dir layout the WAL tests share.
@@ -18,9 +21,9 @@ func newPoolFixture(t *testing.T) poolFixture {
 	return poolFixture{stateDir: dir, walDir: filepath.Join(dir, "wal")}
 }
 
-func (f poolFixture) openWAL(t *testing.T) *WAL {
+func (f poolFixture) openWAL(t *testing.T, p *Pool) *WAL {
 	t.Helper()
-	w, err := OpenWAL(gamelogSchema(t), f.walDir, WALOptions{})
+	w, err := OpenWAL(p, f.walDir, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func TestPoolWALReplayOnly(t *testing.T) {
 	defer reference.Close()
 
 	live := newGamelogPool(t)
-	w := f.openWAL(t)
+	w := f.openWAL(t, live)
 	if err := live.AttachWAL(w); err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +112,10 @@ func TestPoolWALReplayOnly(t *testing.T) {
 	live.Close() // simulated crash: no snapshot was ever taken
 	w.Close()
 
-	w2 := f.openWAL(t)
-	defer w2.Close()
 	recovered := newGamelogPool(t)
 	defer recovered.Close()
+	w2 := f.openWAL(t, recovered)
+	defer w2.Close()
 	var replayed int
 	stats, err := recovered.ReplayWAL(w2, func(a *Arrival) { replayed++ })
 	if err != nil {
@@ -144,7 +147,7 @@ func TestPoolCheckpointPlusTail(t *testing.T) {
 	defer reference.Close()
 
 	live := newGamelogPool(t)
-	w := f.openWAL(t)
+	w := f.openWAL(t, live)
 	if err := live.AttachWAL(w); err != nil {
 		t.Fatal(err)
 	}
@@ -179,13 +182,13 @@ func TestPoolCheckpointPlusTail(t *testing.T) {
 	live.Close()
 	w.Close()
 
-	w2 := f.openWAL(t)
-	defer w2.Close()
 	recovered, sidecars, err := RestorePool(gamelogSchema(t), f.stateDir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer recovered.Close()
+	w2 := f.openWAL(t, recovered)
+	defer w2.Close()
 	if len(sidecars) != 0 {
 		t.Fatalf("unexpected sidecars %v", sidecars)
 	}
@@ -208,7 +211,7 @@ func TestPoolCheckpointPlusTail(t *testing.T) {
 func TestSnapshotPlusReplayEqualsReplayOnly(t *testing.T) {
 	f := newPoolFixture(t)
 	live := newGamelogPool(t)
-	w := f.openWAL(t)
+	w := f.openWAL(t, live)
 	if err := live.AttachWAL(w); err != nil {
 		t.Fatal(err)
 	}
@@ -236,13 +239,13 @@ func TestSnapshotPlusReplayEqualsReplayOnly(t *testing.T) {
 
 	// Path A: snapshot + tail. Note the WAL was NOT truncated, so replay
 	// must skip the covered prefix via the manifest's shard LSNs.
-	wa := f.openWAL(t)
-	defer wa.Close()
 	fromSnap, _, err := RestorePool(gamelogSchema(t), f.stateDir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fromSnap.Close()
+	wa := f.openWAL(t, fromSnap)
+	defer wa.Close()
 	sstats, err := fromSnap.ReplayWAL(wa, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -288,6 +291,41 @@ func TestSnapshotPlusReplayEqualsReplayOnly(t *testing.T) {
 	}
 }
 
+// TestCheckpointSyncsCoveredRecords: the manifest durably pins the
+// captured per-shard LSNs, so Checkpoint must fsync the WAL through them
+// first. Otherwise a crash loses a buffered record whose LSN the
+// manifest already claims, the reopened log reassigns that LSN to a new
+// acknowledged operation, and a later recovery skips it as "already in
+// the snapshot". Interval-sync mode exposes the window: appends are
+// acknowledged before any fsync.
+func TestCheckpointSyncsCoveredRecords(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newGamelogPool(t)
+	defer p.Close()
+	w, err := OpenWAL(p, f.walDir, WALOptions{SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range table1Rows[:3] {
+		if _, err := p.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.SyncedLSN != 0 {
+		t.Fatalf("pre-checkpoint synced LSN = %d; interval mode should not have fsynced yet", st.SyncedLSN)
+	}
+	if _, err := p.Checkpoint(f.stateDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.SyncedLSN < 3 {
+		t.Fatalf("synced LSN = %d after checkpoint; the manifest pins LSNs up to 3, which must be durable", st.SyncedLSN)
+	}
+}
+
 // TestCheckpointSidecars: sidecar payloads commit atomically with the
 // snapshot and come back from RestorePool.
 func TestCheckpointSidecars(t *testing.T) {
@@ -320,7 +358,7 @@ func TestPoolAppendBatchWithWAL(t *testing.T) {
 	reference := newGamelogPool(t)
 	defer reference.Close()
 	live := newGamelogPool(t)
-	w := f.openWAL(t)
+	w := f.openWAL(t, live)
 	if err := live.AttachWAL(w); err != nil {
 		t.Fatal(err)
 	}
@@ -340,10 +378,10 @@ func TestPoolAppendBatchWithWAL(t *testing.T) {
 	live.Close()
 	w.Close()
 
-	w2 := f.openWAL(t)
-	defer w2.Close()
 	recovered := newGamelogPool(t)
 	defer recovered.Close()
+	w2 := f.openWAL(t, recovered)
+	defer w2.Close()
 	if _, err := recovered.ReplayWAL(w2, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +397,7 @@ func TestAttachWALErrors(t *testing.T) {
 	if err := p.AttachWAL(nil); err == nil {
 		t.Error("nil WAL accepted")
 	}
-	w := f.openWAL(t)
+	w := f.openWAL(t, p)
 	defer w.Close()
 	if err := p.AttachWAL(w); err != nil {
 		t.Fatal(err)
@@ -372,13 +410,232 @@ func TestAttachWALErrors(t *testing.T) {
 	}
 }
 
+// TestPoolDeleteUnsupportedNotJournaled: a Delete against a TopDown-family
+// pool must be rejected BEFORE it reaches the journal — a RecDelete such a
+// pool can never apply would make every future replay of the log fatal,
+// bricking the daemon's restarts.
+func TestPoolDeleteUnsupportedNotJournaled(t *testing.T) {
+	f := newPoolFixture(t)
+	newTopDownPool := func() *Pool {
+		p, err := NewPool(gamelogSchema(t), PoolOptions{
+			Shards: 3, ShardDim: "team",
+			Engine: Options{Algorithm: AlgoSTopDown},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	live := newTopDownPool()
+	if live.CanDelete() {
+		t.Fatal("stopdown pool must not report CanDelete")
+	}
+	w := f.openWAL(t, live)
+	if err := live.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	arr, err := live.Append(table1Rows[0].d, table1Rows[0].m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Delete(arr.Shard, arr.TupleID); !errors.Is(err, ErrDeleteUnsupported) {
+		t.Fatalf("delete on stopdown pool: err %v, want ErrDeleteUnsupported", err)
+	}
+	if st := w.Stats(); st.LastLSN != 1 {
+		t.Fatalf("wal holds %d records after a rejected delete, want only the 1 append", st.LastLSN)
+	}
+	live.Close()
+	w.Close()
+
+	// The restart the rejected delete must not poison.
+	recovered := newTopDownPool()
+	defer recovered.Close()
+	w2 := f.openWAL(t, recovered)
+	defer w2.Close()
+	stats, err := recovered.ReplayWAL(w2, nil)
+	if err != nil {
+		t.Fatalf("replay after a rejected delete: %v", err)
+	}
+	if stats.Applied != 1 || stats.Failed != 0 {
+		t.Fatalf("replay stats = %+v, want 1 applied / 0 failed", stats)
+	}
+}
+
+// TestWALLayoutBinding: RecDelete coordinates are (shard, per-shard tuple
+// id), meaningful only under the layout that assigned them — a log must
+// refuse to open under a different shard count or routing dimension, and a
+// WAL opened for one pool must refuse to serve another.
+func TestWALLayoutBinding(t *testing.T) {
+	f := newPoolFixture(t)
+	live := newGamelogPool(t) // 3 shards over "team"
+	w := f.openWAL(t, live)
+	if err := live.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Append(table1Rows[0].d, table1Rows[0].m); err != nil {
+		t.Fatal(err)
+	}
+	live.Close()
+	w.Close()
+
+	for _, tc := range []struct {
+		name string
+		opt  PoolOptions
+	}{
+		{"shard count", PoolOptions{Shards: 5, ShardDim: "team"}},
+		{"shard dimension", PoolOptions{Shards: 3, ShardDim: "opp_team"}},
+	} {
+		p, err := NewPool(gamelogSchema(t), tc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenWAL(p, f.walDir, WALOptions{}); err == nil {
+			t.Errorf("log reopened under a different %s", tc.name)
+		}
+		p.Close()
+	}
+
+	// Same-process mismatch: a WAL opened for pool A must not attach to or
+	// replay into a differently-laid-out pool B.
+	a := newGamelogPool(t)
+	defer a.Close()
+	wa := f.openWAL(t, a)
+	defer wa.Close()
+	b, err := NewPool(gamelogSchema(t), PoolOptions{Shards: 5, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.AttachWAL(wa); err == nil {
+		t.Error("AttachWAL accepted a WAL opened under a different layout")
+	}
+	if _, err := b.ReplayWAL(wa, nil); err == nil {
+		t.Error("ReplayWAL accepted a WAL opened under a different layout")
+	}
+}
+
+// TestWALEpochMismatchResetsWatermarks: snapshot LSN watermarks are only
+// meaningful against the exact log instance they were captured from. If
+// the operator discards the journal (the documented way to drop it), the
+// replacement log's LSNs count from 1 again — recovery must NOT skip
+// them against the old manifest's high watermarks, or acknowledged rows
+// vanish.
+func TestWALEpochMismatchResetsWatermarks(t *testing.T) {
+	f := newPoolFixture(t)
+	reference := newGamelogPool(t)
+	defer reference.Close()
+
+	// Run 1: journal four rows, checkpoint (manifest pins epoch-1 LSNs).
+	run1 := newGamelogPool(t)
+	w1 := f.openWAL(t, run1)
+	if err := run1.AttachWAL(w1); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range table1Rows[:4] {
+		if _, err := run1.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reference.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := run1.Checkpoint(f.stateDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	run1.Close()
+	w1.Close()
+
+	// The operator discards the journal; a fresh log gets a new epoch.
+	if err := os.RemoveAll(f.walDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: recover, ingest two more rows into the fresh log (LSNs 1-2),
+	// then crash without checkpointing.
+	run2, _, err := RestorePool(gamelogSchema(t), f.stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := f.openWAL(t, run2)
+	if _, err := run2.ReplayWAL(w2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run2.AttachWAL(w2); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range table1Rows[4:6] {
+		if _, err := run2.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reference.Append(r.d, r.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run2.Close()
+	w2.Close()
+
+	// Run 3: the manifest still pins epoch-1 LSNs up to 4, the log is
+	// epoch 2 with records 1-2. Both acknowledged rows must replay.
+	run3, _, err := RestorePool(gamelogSchema(t), f.stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run3.Close()
+	w3 := f.openWAL(t, run3)
+	defer w3.Close()
+	stats, err := run3.ReplayWAL(w3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 2 || stats.Skipped != 0 {
+		t.Fatalf("replay stats = %+v, want the fresh log's 2 records applied, none skipped", stats)
+	}
+	if err := run3.AttachWAL(w3); err != nil {
+		t.Fatal(err)
+	}
+	assertPoolsAgree(t, run3, reference, table1Rows[6:])
+}
+
+// TestPoolRejectedRowsNotJournaled: rows the pool must reject — wrong
+// measure count, or an encoding over the WAL's per-record cap — are
+// refused BEFORE journaling (the log must hold no garbage records), and
+// the oversize rejection is ErrRowTooLarge, a request defect distinct
+// from the retryable ErrWALFailed.
+func TestPoolRejectedRowsNotJournaled(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newGamelogPool(t)
+	defer p.Close()
+	w := f.openWAL(t, p)
+	defer w.Close()
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(table1Rows[0].d, []float64{1, 2}); err == nil {
+		t.Error("short measure row accepted")
+	}
+	big := append([]string{strings.Repeat("x", 16<<20)}, table1Rows[0].d[1:]...)
+	if _, err := p.Append(big, table1Rows[0].m); !errors.Is(err, ErrRowTooLarge) || errors.Is(err, ErrWALFailed) {
+		t.Errorf("oversized append: err %v, want ErrRowTooLarge and not ErrWALFailed", err)
+	}
+	if _, err := p.AppendBatch([]Row{{Dims: big, Measures: table1Rows[0].m}}); !errors.Is(err, ErrRowTooLarge) {
+		t.Errorf("oversized batch row: err %v, want ErrRowTooLarge", err)
+	}
+	if st := w.Stats(); st.LastLSN != 0 {
+		t.Fatalf("wal holds %d records after only rejected rows", st.LastLSN)
+	}
+	// The rejections left the WAL healthy.
+	if _, err := p.Append(table1Rows[0].d, table1Rows[0].m); err != nil {
+		t.Fatalf("append after rejections: %v", err)
+	}
+}
+
 // TestWALFailedClassification: a journal failure surfaces as
 // ErrWALFailed — a daemon-side fault, distinct from request defects.
 func TestWALFailedClassification(t *testing.T) {
 	f := newPoolFixture(t)
 	p := newGamelogPool(t)
 	defer p.Close()
-	w := f.openWAL(t)
+	w := f.openWAL(t, p)
 	if err := p.AttachWAL(w); err != nil {
 		t.Fatal(err)
 	}
