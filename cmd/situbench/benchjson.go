@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// Machine-readable benchmark mode (-bench-json <path>): re-measures the
+// Fig 7/8 warm points — per-tuple discovery latency against a pre-warmed
+// state on the NBA feed (d=5, m=7, d̂=4) — through testing.Benchmark and
+// writes one JSON document per run, so the repository's perf trajectory
+// (BENCH_PR*.json) is regenerable with a single command:
+//
+//	go run ./cmd/situbench -bench-json BENCH_PR4.json
+//
+// ns/op and allocs/op come from the testing framework; cmp/tuple,
+// constraints/tuple and stored entries come from the algorithm's own
+// counters over warmup+measured arrivals combined.
+
+// benchPoint is one (figure, algorithm) measurement.
+type benchPoint struct {
+	Figure              string  `json:"figure"`
+	Algorithm           string  `json:"algorithm"`
+	D                   int     `json:"d"`
+	M                   int     `json:"m"`
+	MaxBound            int     `json:"dhat"`
+	Warmup              int     `json:"warmup"`
+	Iterations          int     `json:"iterations"`
+	NsPerOp             float64 `json:"ns_op"`
+	AllocsPerOp         int64   `json:"allocs_op"`
+	BytesPerOp          int64   `json:"bytes_op"`
+	CmpPerTuple         float64 `json:"cmp_per_tuple"`
+	ConstraintsPerTuple float64 `json:"constraints_per_tuple"`
+	StoredEntries       int64   `json:"stored_entries"`
+}
+
+// benchDoc is the top-level JSON document.
+type benchDoc struct {
+	Schema    string       `json:"schema"`
+	Generated string       `json:"generated"`
+	GoVersion string       `json:"go_version"`
+	GoOSArch  string       `json:"goos_goarch"`
+	Benchtime string       `json:"benchtime"`
+	Points    []benchPoint `json:"points"`
+}
+
+// benchJSONAlgorithms are the Fig 7/8 warm-point algorithms: the two
+// lattice families, their sharing variants, and C-CSC as the related-work
+// yardstick.
+var benchJSONAlgorithms = []harness.AlgorithmID{
+	harness.CCSC, harness.BottomUp, harness.TopDown, harness.SBottomUp, harness.STopDown,
+}
+
+// benchJSONWarmup returns the warm-point warmup length for an algorithm
+// (scaled down for C-CSC exactly as bench_test.go does).
+func benchJSONWarmup(id harness.AlgorithmID) int {
+	if id == harness.CCSC {
+		return 150 // an order of magnitude slower per tuple
+	}
+	return 600
+}
+
+// benchWarmPoint measures one algorithm at the warm point after warm
+// arrivals.
+func benchWarmPoint(id harness.AlgorithmID, warm int) (benchPoint, error) {
+	const d, m, dhat = 5, 7, 4
+	tb, err := harness.StreamSpec{Dataset: "nba", D: d, M: m, N: 8192, Seed: 42}.Build()
+	if err != nil {
+		return benchPoint{}, err
+	}
+	disc, err := harness.NewDiscoverer(id, core.Config{Schema: tb.Schema(), MaxBound: dhat, MaxMeasure: -1}, "")
+	if err != nil {
+		return benchPoint{}, err
+	}
+	defer disc.Close()
+	for i := 0; i < warm; i++ {
+		disc.Process(tb.At(i))
+	}
+	next := warm
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if next >= tb.Len() {
+				next = warm // wrap: keep feeding warm-region arrivals
+			}
+			disc.Process(tb.At(next))
+			next++
+		}
+	})
+	met := disc.Metrics()
+	p := benchPoint{
+		Figure:     "fig7a/fig8a",
+		Algorithm:  string(id),
+		D:          d,
+		M:          m,
+		MaxBound:   dhat,
+		Warmup:     warm,
+		Iterations: res.N,
+		NsPerOp:    float64(res.NsPerOp()),
+
+		AllocsPerOp:   res.AllocsPerOp(),
+		BytesPerOp:    res.AllocedBytesPerOp(),
+		StoredEntries: disc.StoreStats().StoredTuples,
+	}
+	if met.Tuples > 0 {
+		p.CmpPerTuple = float64(met.Comparisons) / float64(met.Tuples)
+		p.ConstraintsPerTuple = float64(met.Traversed) / float64(met.Tuples)
+	}
+	return p, nil
+}
+
+// runBenchJSON measures every warm point and writes the JSON document.
+func runBenchJSON(path string, progress io.Writer) error {
+	doc := benchDoc{
+		Schema:    "situbench-warm-points/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GoOSArch:  runtime.GOOS + "/" + runtime.GOARCH,
+		Benchtime: "testing.Benchmark auto-N, NBA d=5 m=7 dhat=4, warm start",
+	}
+	for _, id := range benchJSONAlgorithms {
+		fmt.Fprintf(progress, "bench %s...\n", id)
+		p, err := benchWarmPoint(id, benchJSONWarmup(id))
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", id, err)
+		}
+		fmt.Fprintf(progress, "  %s: %.0f ns/op, %d allocs/op, %.0f cmp/tuple\n",
+			id, p.NsPerOp, p.AllocsPerOp, p.CmpPerTuple)
+		doc.Points = append(doc.Points, p)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestBenchWarmPoint exercises the -bench-json measurement path with a
+// tiny warmup so CI stays fast; the real warm point is produced by
+// `situbench -bench-json` runs recorded in BENCH_PR*.json.
+func TestBenchWarmPoint(t *testing.T) {
+	p, err := benchWarmPoint(harness.BottomUp, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm != "BottomUp" || p.NsPerOp <= 0 || p.Iterations <= 0 {
+		t.Errorf("implausible measurement: %+v", p)
+	}
+	if p.CmpPerTuple <= 0 || p.StoredEntries <= 0 {
+		t.Errorf("algorithm counters missing: %+v", p)
+	}
+}
+
+func TestBenchJSONDocumentShape(t *testing.T) {
+	// Assemble a document from one fast point and check the wire shape.
+	p, err := benchWarmPoint(harness.TopDown, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := benchDoc{Schema: "situbench-warm-points/v1", Points: []benchPoint{p}}
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var back benchDoc
+	raw, _ := os.ReadFile(path)
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 1 || back.Points[0].Algorithm != "TopDown" {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+	for _, key := range []string{"ns_op", "allocs_op", "cmp_per_tuple"} {
+		var m map[string]any
+		json.Unmarshal(buf, &m)
+		pts := m["points"].([]any)[0].(map[string]any)
+		if _, ok := pts[key]; !ok {
+			t.Errorf("JSON point missing %q field", key)
+		}
+	}
+}

@@ -35,14 +35,14 @@ func (a *BaselineSeq) Name() string { return "BaselineSeq" }
 // Process implements Discoverer.
 func (a *BaselineSeq) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
+	a.newTupleScratch(t)
 	var facts []Fact
 	for _, m := range a.subs {
 		a.maximalShared = a.maximalShared[:0]
 		full := false // becomes true when C^{t,t'} = C^t (everything pruned)
 		for _, u := range a.history {
 			a.met.Comparisons++
-			if dominated, _ := cmpIn(t, u, m); dominated {
+			if dominated, _ := a.cmpIn(t, u, m); dominated {
 				sh := sharedOf(t, u)
 				if a.addMaximalShared(sh) && sh == lattice.FullMask(a.d) {
 					full = true
@@ -129,7 +129,7 @@ func (a *BaselineIdx) Name() string { return "BaselineIdx" }
 // Process implements Discoverer.
 func (a *BaselineIdx) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
+	a.newTupleScratch(t)
 	var facts []Fact
 	for _, m := range a.subs {
 		a.seq.maximalShared = a.seq.maximalShared[:0]
@@ -138,7 +138,7 @@ func (a *BaselineIdx) Process(t *relation.Tuple) []Fact {
 			a.met.Comparisons++
 			// The query returns u ≽_M t including ties; keep strict
 			// dominators only.
-			if dominated, _ := cmpIn(t, u, m); dominated {
+			if dominated, _ := a.cmpIn(t, u, m); dominated {
 				sh := sharedOf(t, u)
 				if a.seq.addMaximalShared(sh) && sh == lattice.FullMask(a.d) {
 					full = true

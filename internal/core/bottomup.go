@@ -67,13 +67,13 @@ func (a *BottomUp) Name() string {
 // Process implements Discoverer.
 func (a *BottomUp) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
-	var facts []Fact
+	a.newTupleScratch(t)
+	facts := a.newFacts()
 	if !a.shared {
 		for _, m := range a.subs {
 			facts = a.traverse(t, m, false, facts)
 		}
-		return facts
+		return a.doneFacts(facts)
 	}
 	// SBottomUp: root pass over the full space 𝕄, recording relations.
 	a.recs = a.recs[:0]
@@ -89,7 +89,7 @@ func (a *BottomUp) Process(t *relation.Tuple) []Fact {
 		}
 		facts = a.traverse(t, m, false, facts)
 	}
-	return facts
+	return a.doneFacts(facts)
 }
 
 // traverse runs one bottom-up pass in measure subspace m. When root is
@@ -120,6 +120,7 @@ func (a *BottomUp) traverse(t *relation.Tuple, m subspace.Mask, root bool, facts
 			a.inQueue[bm] = a.epoch
 		}
 	}
+	stride, tv, idx := a.vw+1, t.Oriented, a.midx[m]
 	for len(a.queue) > 0 {
 		c := a.queue[0]
 		a.queue = a.queue[1:]
@@ -129,17 +130,20 @@ func (a *BottomUp) traverse(t *relation.Tuple, m subspace.Mask, root bool, facts
 			continue
 		}
 		a.met.Traversed++
-		ck := a.cellKey(t, c, m)
-		cell := a.st.Load(ck)
+		ref := a.cellRef(t, c, m)
+		cell := a.st.Load(ref)
 		dominated, changed := false, false
-		for i := 0; i < len(cell); {
-			u := cell[i]
+		for i := 0; i < cell.Len(); {
 			a.met.Comparisons++
-			if root && !a.recSeen[u.ID] {
-				a.recSeen[u.ID] = true
-				a.recs = append(a.recs, pairRec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
+			if root {
+				if uid := cell.ID(i); !a.recSeen[uid] {
+					a.recSeen[uid] = true
+					u := a.tupleByID(uid)
+					a.recs = append(a.recs, pairRec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
+				}
 			}
-			dom, doms := cmpIn(t, u, m)
+			k := i * stride
+			dom, doms := cmpVecs(tv, cell.Rows[k+1:k+stride], idx)
 			if dom {
 				dominated = true
 				// Prune C and all its ancestors (Alg. 4 lines 11–12).
@@ -147,7 +151,7 @@ func (a *BottomUp) traverse(t *relation.Tuple, m subspace.Mask, root bool, facts
 				break
 			}
 			if doms {
-				cell = removeAt(cell, i)
+				cell.RemoveAt(i)
 				changed = true
 				continue
 			}
@@ -157,7 +161,7 @@ func (a *BottomUp) traverse(t *relation.Tuple, m subspace.Mask, root bool, facts
 			if emitting {
 				facts = a.emit(t, c, m, facts)
 			}
-			cell = append(cell, t)
+			cell.Append(t.ID, tv)
 			changed = true
 			for cc := c; cc != 0; {
 				bit := cc & -cc
@@ -170,17 +174,10 @@ func (a *BottomUp) traverse(t *relation.Tuple, m subspace.Mask, root bool, facts
 			}
 		}
 		if changed {
-			a.st.Save(ck, cell)
+			a.st.Save(ref, cell)
 		}
 	}
 	return facts
-}
-
-// removeAt deletes element i preserving order.
-func removeAt(ts []*relation.Tuple, i int) []*relation.Tuple {
-	copy(ts[i:], ts[i+1:])
-	ts[len(ts)-1] = nil
-	return ts[:len(ts)-1]
 }
 
 var _ Discoverer = (*BottomUp)(nil)

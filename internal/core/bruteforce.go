@@ -31,7 +31,7 @@ func (a *BruteForce) Name() string { return "BruteForce" }
 // the satisfaction test against each constraint).
 func (a *BruteForce) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
+	a.newTupleScratch(t)
 	var facts []Fact
 	for _, m := range a.subs {
 		for _, c := range a.ctMasks {
@@ -39,7 +39,7 @@ func (a *BruteForce) Process(t *relation.Tuple) []Fact {
 			pruned := false
 			for _, u := range a.history {
 				a.met.Comparisons++
-				if dominated, _ := cmpIn(t, u, m); dominated {
+				if dominated, _ := a.cmpIn(t, u, m); dominated {
 					// t' ∈ σ_C(R) ⇔ C ⊆ shared(t, t') in mask terms.
 					if satisfiesMask(t, u, c) {
 						pruned = true
@@ -99,7 +99,7 @@ func (a *Oracle) Name() string { return "Oracle" }
 // Process implements Discoverer.
 func (a *Oracle) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
+	a.newTupleScratch(t)
 	// For each historical tuple record (shared mask, relation); then (C,M)
 	// is a fact iff no record has C ⊆ shared and t dominated in M.
 	type rec struct {

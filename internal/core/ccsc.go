@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/csc"
-	"repro/internal/lattice"
 	"repro/internal/relation"
 	"repro/internal/store"
 )
@@ -17,7 +16,9 @@ import (
 // of magnitude while storing an intermediate number of tuples.
 type CCSC struct {
 	*base
-	cubes map[lattice.Key]*csc.CSC
+	// cubes is keyed by interned constraint id — one map hash over eight
+	// bytes instead of a key string per visited constraint.
+	cubes map[store.ConstraintID]*csc.CSC
 	// cachedStats tracks aggregate stored tuples/comparisons across cubes
 	// without re-walking the map.
 	stored int64
@@ -30,7 +31,7 @@ func NewCCSC(cfg Config) (*CCSC, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CCSC{base: b, cubes: make(map[lattice.Key]*csc.CSC)}, nil
+	return &CCSC{base: b, cubes: make(map[store.ConstraintID]*csc.CSC)}, nil
 }
 
 // Name implements Discoverer.
@@ -39,11 +40,11 @@ func (a *CCSC) Name() string { return "C-CSC" }
 // Process implements Discoverer.
 func (a *CCSC) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
+	a.newTupleScratch(t)
 	var facts []Fact
 	for _, c := range a.ctMasks {
 		a.met.Traversed++
-		k := a.key(t, c)
+		k := a.cid(t, c)
 		cube, ok := a.cubes[k]
 		if !ok {
 			cube = csc.New(a.m, a.mhat)

@@ -101,7 +101,22 @@ type base struct {
 	subs    []subspace.Mask // all reported subspaces (|M| ≤ m̂), ascending mask
 	fullM   subspace.Mask   // the full measure space 𝕄
 
-	st  store.Store
+	st store.Store
+	in *store.Interner // st's intern table (cached to skip the interface call)
+	vw int             // cell vector width == m
+
+	// midx[s] lists the measure indices of subspace s — the dominance
+	// kernel iterates this flat list instead of scanning mask bits.
+	// Filled for every reported subspace plus 𝕄 at construction; indices
+	// fits uint8 because masks are 32-bit.
+	midx [][]uint8
+
+	// reg resolves tuple ids back to tuples (reg[id], ids are arrival
+	// positions). Cells store only ids and oriented vectors; the rare
+	// paths that need dimension values — TopDown re-homing, SkylineSize,
+	// the S* record passes — resolve through here.
+	reg []*relation.Tuple
+
 	met Metrics
 
 	// Epoch-stamped per-mask scratch (avoids O(2^d) clearing per subspace).
@@ -112,8 +127,22 @@ type base struct {
 	queue    []lattice.Mask
 	keyStamp uint32
 	keyEpoch []uint32
-	keys     []lattice.Key
-	scratch  []lattice.Mask
+	cids     []store.ConstraintID
+	vals     []int32 // fact-constraint arena (see emit)
+	factCap  int     // last arrival's fact count, seeds the next facts slice
+}
+
+// newFacts allocates the per-arrival facts slice, pre-sized to the
+// previous arrival's fact count — consecutive arrivals emit similar
+// volumes, so this removes the doubling-growth copies from the hot path.
+func (b *base) newFacts() []Fact {
+	return make([]Fact, 0, b.factCap+8)
+}
+
+// doneFacts records the arrival's final fact count for the next newFacts.
+func (b *base) doneFacts(facts []Fact) []Fact {
+	b.factCap = len(facts)
+	return facts
 }
 
 func newBase(cfg Config) (*base, error) {
@@ -134,7 +163,9 @@ func newBase(cfg Config) (*base, error) {
 	}
 	st := cfg.Store
 	if st == nil {
-		st = store.NewMemory()
+		st = store.NewMemory(m)
+	} else if st.Width() != m {
+		return nil, fmt.Errorf("core: store vector width %d does not match schema's %d measures", st.Width(), m)
 	}
 	subs := subspace.Enumerate(m, mhat)
 	if cfg.Subspaces != nil {
@@ -148,6 +179,24 @@ func newBase(cfg Config) (*base, error) {
 			}
 		}
 	}
+	fullM := subspace.Full(m)
+	midx := make([][]uint8, int(fullM)+1)
+	fill := func(s subspace.Mask) {
+		if s == 0 || midx[s] != nil {
+			return
+		}
+		idx := make([]uint8, 0, subspace.Size(s))
+		for i := 0; i < m; i++ {
+			if s&(1<<uint(i)) != 0 {
+				idx = append(idx, uint8(i))
+			}
+		}
+		midx[s] = idx
+	}
+	for _, s := range subs {
+		fill(s)
+	}
+	fill(fullM)
 	size := 1 << uint(d)
 	return &base{
 		schema:   cfg.Schema,
@@ -158,13 +207,16 @@ func newBase(cfg Config) (*base, error) {
 		ctMasks:  lattice.CtMasks(d, dhat),
 		bottoms:  lattice.BottomMasks(d, dhat),
 		subs:     subs,
-		fullM:    subspace.Full(m),
+		fullM:    fullM,
 		st:       st,
+		in:       st.Interner(),
+		vw:       m,
+		midx:     midx,
 		pruned:   make([]uint32, size),
 		inQueue:  make([]uint32, size),
 		inAnces:  make([]uint32, size),
 		keyEpoch: make([]uint32, size),
-		keys:     make([]lattice.Key, size),
+		cids:     make([]store.ConstraintID, size),
 	}, nil
 }
 
@@ -179,10 +231,12 @@ func (b *base) nextEpoch() {
 	}
 }
 
-// newTupleScratch starts a fresh per-tuple generation: it clears the mark
-// arrays (via a new epoch) and invalidates the cached store keys, which
-// are per-tuple because they embed the tuple's dimension values.
-func (b *base) newTupleScratch() {
+// newTupleScratch starts a fresh per-tuple generation: it registers the
+// tuple in the id registry, clears the mark arrays (via a new epoch) and
+// invalidates the cached constraint ids, which are per-tuple because they
+// embed the tuple's dimension values.
+func (b *base) newTupleScratch(t *relation.Tuple) {
+	b.register(t)
 	b.nextEpoch()
 	b.keyStamp++
 	if b.keyStamp == 0 {
@@ -193,53 +247,110 @@ func (b *base) newTupleScratch() {
 	}
 }
 
-func (b *base) key(t *relation.Tuple, c lattice.Mask) lattice.Key {
-	if b.keyEpoch[c] == b.keyStamp {
-		return b.keys[c]
+// register makes t resolvable by id; idempotent.
+func (b *base) register(t *relation.Tuple) {
+	for int64(len(b.reg)) <= t.ID {
+		b.reg = append(b.reg, nil)
 	}
-	k := lattice.KeyFromTuple(t, c)
-	b.keys[c] = k
+	b.reg[t.ID] = t
+}
+
+// RegisterTuple exposes register for snapshot restore: restored cells
+// reference tuples that never went through Process, and later re-homing or
+// SkylineSize calls must still resolve their ids.
+func (b *base) RegisterTuple(t *relation.Tuple) { b.register(t) }
+
+// tupleByID resolves a cell member back to its tuple.
+func (b *base) tupleByID(id int64) *relation.Tuple { return b.reg[id] }
+
+// cid returns the interned constraint id of the C^t member selected by c,
+// cached per tuple (the id depends only on t's dimension values and c).
+func (b *base) cid(t *relation.Tuple, c lattice.Mask) store.ConstraintID {
+	if b.keyEpoch[c] == b.keyStamp {
+		return b.cids[c]
+	}
+	id := b.in.InternTuple(t, c)
+	b.cids[c] = id
 	b.keyEpoch[c] = b.keyStamp
-	return k
+	return id
 }
 
-// cellKey builds the store key of µ(C, M).
-func (b *base) cellKey(t *relation.Tuple, c lattice.Mask, m subspace.Mask) store.CellKey {
-	return store.CellKey{C: b.key(t, c), M: m}
+// cellRef builds the packed store address of µ(C, M).
+func (b *base) cellRef(t *relation.Tuple, c lattice.Mask, m subspace.Mask) store.CellRef {
+	return store.Ref(b.cid(t, c), m)
 }
 
-// emit materialises a fact.
+// indices returns the measure-index list of subspace m, building it on
+// demand for masks outside the reported set (not concurrency-safe; bases
+// are single-goroutine by contract).
+func (b *base) indices(m subspace.Mask) []uint8 {
+	idx := b.midx[m]
+	if idx == nil {
+		idx = make([]uint8, 0, subspace.Size(m))
+		for i := 0; i < b.m; i++ {
+			if m&(1<<uint(i)) != 0 {
+				idx = append(idx, uint8(i))
+			}
+		}
+		b.midx[m] = idx
+	}
+	return idx
+}
+
+// emit materialises a fact. Constraint value slices are carved out of a
+// block arena — one allocation per emitBlock facts instead of one per
+// fact (fact emission dominated the old allocation profile). Blocks are
+// never reused, so emitted facts stay valid indefinitely; the three-index
+// slice keeps a fact's Vals from being overwritten by later emits.
 func (b *base) emit(t *relation.Tuple, c lattice.Mask, m subspace.Mask, facts []Fact) []Fact {
 	b.met.Facts++
-	return append(facts, Fact{Constraint: lattice.FromTuple(t, c), Subspace: m})
+	if cap(b.vals)-len(b.vals) < b.d {
+		b.vals = make([]int32, 0, emitBlock*b.d)
+	}
+	start := len(b.vals)
+	for i := 0; i < b.d; i++ {
+		v := lattice.Wildcard
+		if c&(1<<uint(i)) != 0 {
+			v = t.Dims[i]
+		}
+		b.vals = append(b.vals, v)
+	}
+	vals := b.vals[start:len(b.vals):len(b.vals)]
+	return append(facts, Fact{Constraint: lattice.Constraint{Vals: vals}, Subspace: m})
 }
 
-// cmpIn performs the single-pass dominance test between t and u in
-// subspace m: dominated reports t ≺_m u, dominates reports t ≻_m u.
-// Exactly one Metrics comparison is charged per call by the caller.
-func cmpIn(t, u *relation.Tuple, m subspace.Mask) (dominated, dominates bool) {
+// emitBlock is the fact-arena block size, in constraints.
+const emitBlock = 256
+
+// cmpVecs is the dominance kernel: it compares two full-width oriented
+// vectors over the measure indices idx (one subspace's precomputed index
+// list), so the innermost loop streams flat float64 slices with no mask
+// bit-scan. dominated reports t ≺ u, dominates reports t ≻ u in that
+// subspace. Exactly one Metrics comparison is charged per call by the
+// caller.
+func cmpVecs(tv, uv []float64, idx []uint8) (dominated, dominates bool) {
 	var hasGt, hasLt bool
-	for i := 0; m != 0; i++ {
-		bit := subspace.Mask(1) << uint(i)
-		if m&bit == 0 {
-			continue
-		}
-		m &^= bit
-		tv, uv := t.Oriented[i], u.Oriented[i]
-		switch {
-		case tv > uv:
-			hasGt = true
+	for _, j := range idx {
+		a, b := tv[j], uv[j]
+		if a > b {
 			if hasLt {
 				return false, false
 			}
-		case tv < uv:
-			hasLt = true
+			hasGt = true
+		} else if a < b {
 			if hasGt {
 				return false, false
 			}
+			hasLt = true
 		}
 	}
 	return hasLt && !hasGt, hasGt && !hasLt
+}
+
+// cmpIn is the tuple-pair form of cmpVecs, used by the history-scanning
+// algorithms (baselines, deletion repair) where both sides are tuples.
+func (b *base) cmpIn(t, u *relation.Tuple, m subspace.Mask) (dominated, dominates bool) {
+	return cmpVecs(t.Oriented, u.Oriented, b.indices(m))
 }
 
 // markSubmasksPruned stamps every submask of m as pruned for the current

@@ -106,7 +106,7 @@ func TestSt7Count(t *testing.T) {
 // the arrival of t5 under BottomUp.
 func TestExample7BottomUpStore(t *testing.T) {
 	tb := table4(t)
-	mem := store.NewMemory()
+	mem := store.NewMemory(tb.Schema().NumMeasures())
 	alg, err := NewBottomUp(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
 	if err != nil {
 		t.Fatal(err)
@@ -118,12 +118,8 @@ func TestExample7BottomUpStore(t *testing.T) {
 	full := subspace.Mask(0b11)
 	t5 := ts[4]
 	cellIDs := func(mask lattice.Mask) []int64 {
-		cell := mem.Load(store.CellKey{C: lattice.KeyFromTuple(t5, mask), M: full})
-		var ids []int64
-		for _, u := range cell {
-			ids = append(ids, u.ID)
-		}
-		return ids
+		cell := mem.LoadKey(store.CellKey{C: lattice.KeyFromTuple(t5, mask), M: full})
+		return cell.IDList()
 	}
 	// Fig 3a (before t5): ⊤{t4}, a1{t1,t2}, b1{t4}, c1{t4}, a1b1{t2},
 	// a1c1{t2}, b1c1{t4}, a1b1c1{t2}. Mask bit order: d1=bit0, d2=bit1,
@@ -158,7 +154,7 @@ func TestExample7BottomUpStore(t *testing.T) {
 // at 〈a1,*,c2〉.
 func TestExample9TopDownStore(t *testing.T) {
 	tb := table4(t)
-	mem := store.NewMemory()
+	mem := store.NewMemory(tb.Schema().NumMeasures())
 	alg, err := NewTopDown(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
 	if err != nil {
 		t.Fatal(err)
@@ -169,12 +165,8 @@ func TestExample9TopDownStore(t *testing.T) {
 	}
 	full := subspace.Mask(0b11)
 	cellIDs := func(ref *relation.Tuple, mask lattice.Mask) []int64 {
-		cell := mem.Load(store.CellKey{C: lattice.KeyFromTuple(ref, mask), M: full})
-		var ids []int64
-		for _, u := range cell {
-			ids = append(ids, u.ID)
-		}
-		return ids
+		cell := mem.LoadKey(store.CellKey{C: lattice.KeyFromTuple(ref, mask), M: full})
+		return cell.IDList()
 	}
 	t1, t5 := ts[0], ts[4]
 	// Fig 4a (before t5): within C^t5: ⊤{t4}, a1{t1,t2}, everything else
@@ -350,7 +342,7 @@ func TestInvariants(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			mem := store.NewMemory()
+			mem := store.NewMemory(tb.Schema().NumMeasures())
 			alg, err := tc.mk(Config{Schema: tb.Schema(), MaxBound: tc.dhat, MaxMeasure: tc.mhat, Store: mem})
 			if err != nil {
 				t.Fatal(err)

@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/lattice"
 	"repro/internal/relation"
-	"repro/internal/store"
 	"repro/internal/subspace"
 )
 
@@ -33,21 +32,21 @@ func (a *BottomUp) CanDelete() bool { return true }
 // constraints for promoted tuples requires global recomputation), which
 // mirrors the trade-off the two storage schemes already embody.
 func (a *BottomUp) Delete(u *relation.Tuple, alive []*relation.Tuple) {
-	a.newTupleScratch()
+	a.newTupleScratch(u)
 	subs := a.subs
 	if a.shared && a.mhat < a.m {
 		// The sharing root pass maintains full-space cells too.
 		subs = append(append([]subspace.Mask(nil), subs...), a.fullM)
 	}
 	for _, m := range subs {
+		idx := a.indices(m)
 		for _, c := range a.ctMasks {
-			ck := a.cellKey(u, c, m)
-			cell := a.st.Load(ck)
-			if len(cell) == 0 {
+			ref := a.cellRef(u, c, m)
+			cell := a.st.Load(ref)
+			if cell.Len() == 0 {
 				continue
 			}
-			cell, removed := store.RemoveByID(cell, u.ID)
-			if !removed {
+			if !cell.RemoveID(u.ID) {
 				continue // u was not in this skyline: nothing changes
 			}
 			// Collect the context tuples u was dominating here.
@@ -57,15 +56,15 @@ func (a *BottomUp) Delete(u *relation.Tuple, alive []*relation.Tuple) {
 					continue
 				}
 				a.met.Comparisons++
-				if _, doms := cmpIn(u, w, m); doms {
+				if _, doms := cmpVecs(u.Oriented, w.Oriented, idx); doms {
 					cands = append(cands, w)
 				}
 			}
 			for _, w := range cands {
 				dominated := false
-				for _, x := range cell {
+				for i := 0; i < cell.Len(); i++ {
 					a.met.Comparisons++
-					if _, doms := cmpIn(x, w, m); doms {
+					if _, doms := cmpVecs(cell.Row(i), w.Oriented, idx); doms {
 						dominated = true
 						break
 					}
@@ -76,17 +75,17 @@ func (a *BottomUp) Delete(u *relation.Tuple, alive []*relation.Tuple) {
 							continue
 						}
 						a.met.Comparisons++
-						if _, doms := cmpIn(x, w, m); doms {
+						if _, doms := cmpVecs(x.Oriented, w.Oriented, idx); doms {
 							dominated = true
 							break
 						}
 					}
 				}
 				if !dominated {
-					cell = append(cell, w)
+					cell.Append(w.ID, w.Oriented)
 				}
 			}
-			a.st.Save(ck, cell)
+			a.st.Save(ref, cell)
 		}
 	}
 }

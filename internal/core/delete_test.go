@@ -25,7 +25,7 @@ func TestDeleteDifferential(t *testing.T) {
 			mk = NewSBottomUp
 		}
 		t.Run(name, func(t *testing.T) {
-			mem := store.NewMemory()
+			mem := store.NewMemory(tb.Schema().NumMeasures())
 			alg, err := mk(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
 			if err != nil {
 				t.Fatal(err)
@@ -66,7 +66,7 @@ func TestDeleteDifferential(t *testing.T) {
 // TestDeleteLastTuple: deleting the only tuple empties every cell.
 func TestDeleteLastTuple(t *testing.T) {
 	tb := table4(t)
-	mem := store.NewMemory()
+	mem := store.NewMemory(tb.Schema().NumMeasures())
 	alg, err := NewBottomUp(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestDeleteLastTuple(t *testing.T) {
 // TestDeletePromotes: a tuple suppressed by the deleted one re-enters.
 func TestDeletePromotes(t *testing.T) {
 	tb := table4(t) // t4=(20,20) dominates everything in full space
-	mem := store.NewMemory()
+	mem := store.NewMemory(tb.Schema().NumMeasures())
 	alg, err := NewBottomUp(Config{Schema: tb.Schema(), MaxBound: -1, MaxMeasure: -1, Store: mem})
 	if err != nil {
 		t.Fatal(err)
@@ -96,25 +96,17 @@ func TestDeletePromotes(t *testing.T) {
 	}
 	// Before: µ(⊤, full) = {t4}.
 	topKey := store.CellKey{C: lattice.Top(3).Key(), M: 0b11}
-	if cell := mem.Load(topKey); len(cell) != 1 || cell[0].ID != 3 {
-		t.Fatalf("µ(⊤, full) = %v before delete", ids(cell))
+	if cell := mem.LoadKey(topKey); cell.Len() != 1 || cell.ID(0) != 3 {
+		t.Fatalf("µ(⊤, full) = %v before delete", cell.IDList())
 	}
 	// Delete t4: t3 (17,17) and t5 (11,15)... t5 is dominated by t3; the
 	// new top skyline is {t3}. t2=(15,10): dominated by t3 too. t1=(10,15)
 	// dominated by t3.
 	live := append(append([]*relation.Tuple(nil), ts[:3]...), ts[4])
 	alg.Delete(ts[3], live)
-	cell := mem.Load(topKey)
-	if len(cell) != 1 || cell[0].ID != 2 {
-		t.Errorf("µ(⊤, full) after deleting t4 = %v, want {t3}", ids(cell))
+	cell := mem.LoadKey(topKey)
+	if cell.Len() != 1 || cell.ID(0) != 2 {
+		t.Errorf("µ(⊤, full) after deleting t4 = %v, want {t3}", cell.IDList())
 	}
 	checkInvariant1(t, mem, live, 3, 3, 2, 2, false)
-}
-
-func ids(ts []*relation.Tuple) []int64 {
-	out := make([]int64, len(ts))
-	for i, u := range ts {
-		out[i] = u.ID
-	}
-	return out
 }

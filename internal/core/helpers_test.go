@@ -151,8 +151,8 @@ func checkInvariant1(t *testing.T, mem *store.Memory, history []*relation.Tuple,
 			cons := lattice.FromTuple(tu, c)
 			key := cons.Key()
 			for _, sub := range subs {
-				cell := mem.Load(store.CellKey{C: key, M: sub})
-				stored := store.ContainsID(cell, tu.ID)
+				cell := mem.LoadKey(store.CellKey{C: key, M: sub})
+				stored := cell.ContainsID(tu.ID)
 				want := inContextualSkyline(tu, history, cons, sub)
 				if stored != want {
 					t.Fatalf("Invariant 1 violated: tuple %d at (%v, %b): stored=%v skyline=%v",
@@ -182,8 +182,8 @@ func checkInvariant2(t *testing.T, mem *store.Memory, history []*relation.Tuple,
 			}
 			for _, c := range masks {
 				cons := lattice.FromTuple(tu, c)
-				cell := mem.Load(store.CellKey{C: cons.Key(), M: sub})
-				stored := store.ContainsID(cell, tu.ID)
+				cell := mem.LoadKey(store.CellKey{C: cons.Key(), M: sub})
+				stored := cell.ContainsID(tu.ID)
 				// Maximal: skyline here and no strict submask (ancestor)
 				// is a skyline constraint.
 				maximal := sky[c]
@@ -257,6 +257,16 @@ func randomTable(t *testing.T, rng *rand.Rand, n, d, m, dimCard, measCard int) *
 		}
 	}
 	return tb
+}
+
+// removeTuple drops u (by identity) from a tuple slice, order-preserving.
+func removeTuple(ts []*relation.Tuple, u *relation.Tuple) []*relation.Tuple {
+	for i, w := range ts {
+		if w == u {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
 }
 
 func sortedFactStrings(fs []Fact, s *relation.Schema, dict *relation.Dict) []string {

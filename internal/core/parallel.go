@@ -70,7 +70,7 @@ func NewParallel(cfg Config, algorithm string, workers int) (*Parallel, error) {
 	p := &Parallel{
 		schema: cfg.Schema,
 		owner:  make(map[subspace.Mask]Discoverer, len(subs)),
-		st:     store.NewSharded(0),
+		st:     store.NewSharded(0, cfg.Schema.NumMeasures()),
 		facts:  make([][]Fact, workers),
 	}
 	for _, part := range parts {
@@ -142,6 +142,16 @@ func (p *Parallel) SkylineSize(c lattice.Constraint, m subspace.Mask) int {
 		return 0
 	}
 	return w.(SkylineSizer).SkylineSize(c, m)
+}
+
+// RegisterTuple makes t resolvable by id in every worker (snapshot-restore
+// support, symmetric with base.RegisterTuple).
+func (p *Parallel) RegisterTuple(t *relation.Tuple) {
+	for _, w := range p.workers {
+		if r, ok := w.(interface{ RegisterTuple(*relation.Tuple) }); ok {
+			r.RegisterTuple(t)
+		}
+	}
 }
 
 // CanDelete reports whether the base algorithm supports deletion (the

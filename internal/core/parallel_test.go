@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/relation"
-	"repro/internal/store"
 )
 
 func TestParallelValidation(t *testing.T) {
@@ -153,7 +152,7 @@ func TestParallelDelete(t *testing.T) {
 	alive := append([]*relation.Tuple(nil), warm...)
 	for _, victim := range []int{3, 11, 27} {
 		u := tb.At(victim)
-		alive, _ = store.Remove(alive, u)
+		alive = removeTuple(alive, u)
 		oracle.Delete(u)
 		p.Delete(u, alive)
 	}

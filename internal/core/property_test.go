@@ -9,8 +9,8 @@ import (
 	"repro/internal/subspace"
 )
 
-// Property: the single-pass cmpIn agrees with the two reference dominance
-// tests for arbitrary measure vectors and subspaces.
+// Property: the single-pass cmpVecs kernel agrees with the two reference
+// dominance tests for arbitrary measure vectors and subspaces.
 func TestCmpInMatchesDominates(t *testing.T) {
 	s, err := relation.NewSchema("r",
 		[]relation.DimAttr{{Name: "d"}},
@@ -28,8 +28,14 @@ func TestCmpInMatchesDominates(t *testing.T) {
 	}
 	f := func(a, b [4]int8, subRaw uint8) bool {
 		sub := subspace.Mask(subRaw)&0b1111 | 1 // non-empty
+		idx := make([]uint8, 0, 4)
+		for i := 0; i < 4; i++ {
+			if sub&(1<<uint(i)) != 0 {
+				idx = append(idx, uint8(i))
+			}
+		}
 		ta, tb := mk(a), mk(b)
-		dominated, dominates := cmpIn(ta, tb, sub)
+		dominated, dominates := cmpVecs(ta.Oriented, tb.Oriented, idx)
 		return dominated == subspace.Dominates(tb, ta, sub) &&
 			dominates == subspace.Dominates(ta, tb, sub)
 	}

@@ -50,7 +50,7 @@ func (a *Skyband) K() int { return a.k }
 // than k historical context tuples dominate t.
 func (a *Skyband) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
+	a.newTupleScratch(t)
 	a.recs = a.recs[:0]
 	for _, u := range a.history {
 		a.met.Comparisons++

@@ -16,31 +16,43 @@ type SkylineSizer interface {
 }
 
 // SkylineSize implements SkylineSizer for the BottomUp family: Invariant 1
-// makes µ(C,M) the skyline itself, so the size is the cell length.
+// makes µ(C,M) the skyline itself, so the size is the cell length. The
+// probe goes through Interner.Lookup so sizing absent constraints does not
+// grow the intern table.
 func (a *BottomUp) SkylineSize(c lattice.Constraint, m subspace.Mask) int {
-	return len(a.st.Load(store.CellKey{C: c.Key(), M: m}))
+	id, ok := a.in.Lookup(c.Key())
+	if !ok {
+		return 0
+	}
+	return a.st.Load(store.Ref(id, m)).Len()
 }
 
 // SkylineSize implements SkylineSizer for the TopDown family: Invariant 2
 // stores a tuple only at its maximal skyline constraints, so the skyline
 // of (C,M) is the set of tuples stored at C or any of its ancestors
 // (2^bound(C) cells) that satisfy C. Tuples stored at two incomparable
-// ancestors are deduplicated by ID.
+// ancestors are deduplicated by ID. Cells carry ids only; the satisfaction
+// test resolves dimension values through the tuple registry.
 func (a *TopDown) SkylineSize(c lattice.Constraint, m subspace.Mask) int {
 	bound := c.BoundMask()
 	var seen map[int64]bool
 	count := 0
 	visit := func(anc lattice.Constraint) {
-		cell := a.st.Load(store.CellKey{C: anc.Key(), M: m})
-		for _, u := range cell {
-			if !c.Satisfies(u) {
+		id, ok := a.in.Lookup(anc.Key())
+		if !ok {
+			return
+		}
+		cell := a.st.Load(store.Ref(id, m))
+		for i, n := 0, cell.Len(); i < n; i++ {
+			uid := cell.ID(i)
+			if !c.Satisfies(a.tupleByID(uid)) {
 				continue
 			}
 			if seen == nil {
 				seen = make(map[int64]bool, 8)
 			}
-			if !seen[u.ID] {
-				seen[u.ID] = true
+			if !seen[uid] {
+				seen[uid] = true
 				count++
 			}
 		}

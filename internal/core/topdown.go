@@ -67,13 +67,13 @@ func (a *TopDown) Name() string {
 // Process implements Discoverer.
 func (a *TopDown) Process(t *relation.Tuple) []Fact {
 	a.met.Tuples++
-	a.newTupleScratch()
-	var facts []Fact
+	a.newTupleScratch(t)
+	facts := a.newFacts()
 	if !a.shared {
 		for _, m := range a.subs {
 			facts = a.traverseRoot(t, m, false, facts)
 		}
-		return facts
+		return a.doneFacts(facts)
 	}
 	// STopDown: STopDownRoot over the full space, then STopDownNode per
 	// remaining subspace.
@@ -90,7 +90,7 @@ func (a *TopDown) Process(t *relation.Tuple) []Fact {
 		}
 		facts = a.traverseNode(t, m, facts)
 	}
-	return facts
+	return a.doneFacts(facts)
 }
 
 // traverseRoot is the TopDown pass (Alg. 5); with record=true it doubles
@@ -100,32 +100,35 @@ func (a *TopDown) traverseRoot(t *relation.Tuple, m subspace.Mask, record bool, 
 	emitting := !record || a.mhat == a.m
 	a.queue = append(a.queue[:0], 0) // ⊤
 	a.inQueue[0] = a.epoch
+	stride, tv, idx := a.vw+1, t.Oriented, a.midx[m]
 	for len(a.queue) > 0 {
 		c := a.queue[0]
 		a.queue = a.queue[1:]
 		a.met.Traversed++
-		ck := a.cellKey(t, c, m)
-		cell := a.st.Load(ck)
+		ref := a.cellRef(t, c, m)
+		cell := a.st.Load(ref)
 		changed := false
-		for i := 0; i < len(cell); {
-			u := cell[i]
+		for i := 0; i < cell.Len(); {
+			uid := cell.ID(i)
 			a.met.Comparisons++
-			if record && !a.recSeen[u.ID] {
-				a.recSeen[u.ID] = true
+			if record && !a.recSeen[uid] {
+				a.recSeen[uid] = true
+				u := a.tupleByID(uid)
 				a.recs = append(a.recs, pairRec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
 			}
-			dom, doms := cmpIn(t, u, m)
+			k := i * stride
+			dom, doms := cmpVecs(tv, cell.Rows[k+1:k+stride], idx)
 			switch {
 			case dom:
 				// Dominated procedure: prune C^{t,u}. Do NOT break — other
 				// tuples here may prune different intersection lattices.
-				a.markSubmasksPruned(sharedOf(t, u))
+				a.markSubmasksPruned(sharedOf(t, a.tupleByID(uid)))
 				i++
 			case doms:
 				// Dominates procedure: evict u and re-home it.
-				cell = removeAt(cell, i)
+				cell.RemoveAt(i)
 				changed = true
-				a.rehome(t, u, c, m)
+				a.rehome(t, uid, c, m)
 			default:
 				i++
 			}
@@ -135,12 +138,12 @@ func (a *TopDown) traverseRoot(t *relation.Tuple, m subspace.Mask, record bool, 
 				facts = a.emit(t, c, m, facts)
 			}
 			if a.inAnces[c] != a.epoch {
-				cell = append(cell, t)
+				cell.Append(t.ID, tv)
 				changed = true
 			}
 		}
 		if changed {
-			a.st.Save(ck, cell)
+			a.st.Save(ref, cell)
 		}
 		a.enqueueChildren(c)
 	}
@@ -164,6 +167,7 @@ func (a *TopDown) traverseNode(t *relation.Tuple, m subspace.Mask, facts []Fact)
 	}
 	a.queue = append(a.queue[:0], 0)
 	a.inQueue[0] = a.epoch
+	stride, tv, idx := a.vw+1, t.Oriented, a.midx[m]
 	for len(a.queue) > 0 {
 		c := a.queue[0]
 		a.queue = a.queue[1:]
@@ -173,26 +177,27 @@ func (a *TopDown) traverseNode(t *relation.Tuple, m subspace.Mask, facts []Fact)
 			// is STopDown's Fig-11b advantage over TopDown.
 			a.met.Traversed++
 			facts = a.emit(t, c, m, facts)
-			ck := a.cellKey(t, c, m)
-			cell := a.st.Load(ck)
+			ref := a.cellRef(t, c, m)
+			cell := a.st.Load(ref)
 			changed := false
-			for i := 0; i < len(cell); {
-				u := cell[i]
+			for i := 0; i < cell.Len(); {
 				a.met.Comparisons++
-				if _, doms := cmpIn(t, u, m); doms {
-					cell = removeAt(cell, i)
+				k := i * stride
+				if _, doms := cmpVecs(tv, cell.Rows[k+1:k+stride], idx); doms {
+					uid := cell.ID(i)
+					cell.RemoveAt(i)
 					changed = true
-					a.rehome(t, u, c, m)
+					a.rehome(t, uid, c, m)
 					continue
 				}
 				i++
 			}
 			if a.inAnces[c] != a.epoch {
-				cell = append(cell, t)
+				cell.Append(t.ID, tv)
 				changed = true
 			}
 			if changed {
-				a.st.Save(ck, cell)
+				a.st.Save(ref, cell)
 			}
 		}
 		a.enqueueChildren(c)
@@ -225,16 +230,18 @@ func (a *TopDown) enqueueChildren(c lattice.Mask) {
 	}
 }
 
-// rehome implements the Dominates procedure's maintenance half: after u is
+// rehome implements the Dominates procedure's maintenance half: after u
+// (given by id — cells store ids, the registry resolves the tuple) is
 // evicted from µ(C,m) because t ≻_m u, every child constraint of C that u
 // satisfies but t does not (C' ∈ CH^u_C − C^t) becomes a candidate maximal
 // skyline constraint of u; u is stored there unless an ancestor of C'
 // outside C^t (a constraint binding u's differing value, i.e. a mask
 // s₀∪{i} with s₀ ⊂ C) already stores it.
-func (a *TopDown) rehome(t, u *relation.Tuple, c lattice.Mask, m subspace.Mask) {
+func (a *TopDown) rehome(t *relation.Tuple, uid int64, c lattice.Mask, m subspace.Mask) {
 	if lattice.PopCount(c)+1 > a.dhat {
 		return // children fall outside the d̂-truncated lattice
 	}
+	u := a.tupleByID(uid)
 	for i := 0; i < a.d; i++ {
 		bit := lattice.Mask(1) << uint(i)
 		if c&bit != 0 {
@@ -247,10 +254,12 @@ func (a *TopDown) rehome(t, u *relation.Tuple, c lattice.Mask, m subspace.Mask) 
 		child := c | bit
 		stored := false
 		// Ancestors of child within C^u − C^t: masks s0|bit, s0 ⊂ c.
+		// These are u's constraints, not t's, so the per-tuple id cache
+		// does not apply; InternTuple still allocates nothing.
 		for s0 := (c - 1) & c; ; s0 = (s0 - 1) & c {
 			anc := s0 | bit
-			cell := a.st.Load(store.CellKey{C: lattice.KeyFromTuple(u, anc), M: m})
-			if store.ContainsID(cell, u.ID) {
+			cell := a.st.Load(store.Ref(a.in.InternTuple(u, anc), m))
+			if cell.ContainsID(uid) {
 				stored = true
 				break
 			}
@@ -259,10 +268,10 @@ func (a *TopDown) rehome(t, u *relation.Tuple, c lattice.Mask, m subspace.Mask) 
 			}
 		}
 		if !stored {
-			k := store.CellKey{C: lattice.KeyFromTuple(u, child), M: m}
-			cell := a.st.Load(k)
-			cell = append(cell, u)
-			a.st.Save(k, cell)
+			ref := store.Ref(a.in.InternTuple(u, child), m)
+			cell := a.st.Load(ref)
+			cell.Append(uid, u.Oriented)
+			a.st.Save(ref, cell)
 		}
 	}
 }

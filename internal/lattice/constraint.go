@@ -142,15 +142,22 @@ func ParseKey(k Key, d int) (Constraint, error) {
 // without materialising a Constraint. It must stay byte-identical to
 // FromTuple(t, mask).Key().
 func KeyFromTuple(t *relation.Tuple, mask Mask) Key {
-	buf := make([]byte, 4*len(t.Dims))
+	return Key(AppendKeyFromTuple(make([]byte, 0, 4*len(t.Dims)), t, mask))
+}
+
+// AppendKeyFromTuple appends the key bytes of the C^t member selected by
+// mask to dst and returns the extended slice. With a caller-provided stack
+// scratch it derives a key with zero heap allocation — the store interner's
+// fast path. The byte layout is identical to Constraint.Key.
+func AppendKeyFromTuple(dst []byte, t *relation.Tuple, mask Mask) []byte {
 	for i := range t.Dims {
 		v := Wildcard
 		if mask&(1<<uint(i)) != 0 {
 			v = t.Dims[i]
 		}
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
 	}
-	return Key(buf)
+	return dst
 }
 
 // Format renders the constraint using decoded dimension values, in the

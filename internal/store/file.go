@@ -1,8 +1,10 @@
 package store
 
 import (
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -19,14 +21,18 @@ import (
 //
 // Files are named by the hex of the constraint key plus the subspace mask
 // and sharded into 256 subdirectories by a simple byte fold, keeping
-// directory sizes manageable for large lattices.
+// directory sizes manageable for large lattices. Each row is the SoA cell
+// entry — tuple id plus the oriented vector, little endian — so a load
+// rebuilds the cell without re-deriving orientation from the schema.
 type File struct {
-	dir    string
-	schema *relation.Schema
-	stats  Stats
+	dir   string
+	in    *Interner
+	width int
+	stats Stats
 	// cellSizes tracks the entry count of every non-empty cell so that
 	// StoredTuples/Cells stay O(1); it mirrors what is on disk.
-	cellSizes map[CellKey]int
+	cellSizes map[CellRef]int
+	enc       []byte // reused encode buffer
 }
 
 // NewFile creates (or reuses) dir as the store root. The directory and its
@@ -43,63 +49,85 @@ func NewFile(dir string, schema *relation.Schema) (*File, error) {
 			return nil, fmt.Errorf("store: create shard dir: %w", err)
 		}
 	}
-	return &File{dir: dir, schema: schema, cellSizes: make(map[CellKey]int)}, nil
+	return &File{
+		dir:       dir,
+		in:        NewInterner(),
+		width:     schema.NumMeasures(),
+		cellSizes: make(map[CellRef]int),
+	}, nil
 }
 
-func (f *File) path(k CellKey) string {
-	name := hex.EncodeToString([]byte(k.C)) + fmt.Sprintf("-%x.cell", k.M)
+// rowSize is the encoded byte size of one cell member.
+func (f *File) rowSize() int { return 8 + 8*f.width }
+
+func (f *File) path(ref CellRef) string {
+	id, mask := RefParts(ref)
+	key := f.in.Key(id)
+	name := hex.EncodeToString([]byte(key)) + fmt.Sprintf("-%x.cell", mask)
 	var shard byte
-	for i := 0; i < len(k.C); i++ {
-		shard ^= k.C[i]
+	for i := 0; i < len(key); i++ {
+		shard ^= key[i]
 	}
-	shard ^= byte(k.M)
+	shard ^= byte(mask)
 	return filepath.Join(f.dir, fmt.Sprintf("%02x", shard), name)
 }
 
-// Load implements Store: reads the cell file into fresh tuples.
-func (f *File) Load(k CellKey) []*relation.Tuple {
-	n, ok := f.cellSizes[k]
+// Width implements Store.
+func (f *File) Width() int { return f.width }
+
+// Interner implements Store.
+func (f *File) Interner() *Interner { return f.in }
+
+// Load implements Store: reads the cell file into a fresh cell.
+func (f *File) Load(ref CellRef) Cell {
+	n, ok := f.cellSizes[ref]
 	if !ok || n == 0 {
-		return nil
+		return Cell{W: f.width}
 	}
-	buf, err := os.ReadFile(f.path(k))
+	buf, err := os.ReadFile(f.path(ref))
 	if err != nil {
 		// The size index says the file exists; treat loss as corruption.
-		panic(fmt.Sprintf("store: cell %v vanished: %v", k, err))
+		panic(fmt.Sprintf("store: cell %x vanished: %v", ref, err))
 	}
 	f.stats.Reads++
-	ts, err := relation.DecodeTuples(buf, f.schema)
-	if err != nil {
-		panic(fmt.Sprintf("store: cell %v corrupt: %v", k, err))
+	if len(buf)%f.rowSize() != 0 {
+		panic(fmt.Sprintf("store: cell %x corrupt: %d bytes, row size %d", ref, len(buf), f.rowSize()))
 	}
-	return ts
+	c := Cell{W: f.width, Rows: make([]float64, len(buf)/8)}
+	for i := range c.Rows {
+		c.Rows[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return c
 }
 
 // Save implements Store: overwrites (or deletes) the cell file.
-func (f *File) Save(k CellKey, ts []*relation.Tuple) {
-	old := f.cellSizes[k]
-	if len(ts) == 0 {
+func (f *File) Save(ref CellRef, c Cell) {
+	old := f.cellSizes[ref]
+	if c.Len() == 0 {
 		if old == 0 {
 			return
 		}
-		if err := os.Remove(f.path(k)); err != nil {
-			panic(fmt.Sprintf("store: remove cell %v: %v", k, err))
+		if err := os.Remove(f.path(ref)); err != nil {
+			panic(fmt.Sprintf("store: remove cell %x: %v", ref, err))
 		}
-		delete(f.cellSizes, k)
+		delete(f.cellSizes, ref)
 		f.stats.Cells--
 		f.stats.StoredTuples -= int64(old)
 		f.stats.Writes++
 		return
 	}
-	p := f.path(k)
-	if err := os.WriteFile(p, relation.EncodeTuples(f.schema, ts), 0o644); err != nil {
-		panic(fmt.Sprintf("store: write cell %v: %v", k, err))
+	f.enc = f.enc[:0]
+	for _, v := range c.Rows {
+		f.enc = binary.LittleEndian.AppendUint64(f.enc, math.Float64bits(v))
+	}
+	if err := os.WriteFile(f.path(ref), f.enc, 0o644); err != nil {
+		panic(fmt.Sprintf("store: write cell %x: %v", ref, err))
 	}
 	if old == 0 {
 		f.stats.Cells++
 	}
-	f.stats.StoredTuples += int64(len(ts) - old)
-	f.cellSizes[k] = len(ts)
+	f.stats.StoredTuples += int64(c.Len() - old)
+	f.cellSizes[ref] = c.Len()
 	f.stats.Writes++
 }
 
@@ -112,3 +140,5 @@ func (f *File) Close() error { return nil }
 
 // Destroy removes the whole store directory tree.
 func (f *File) Destroy() error { return os.RemoveAll(f.dir) }
+
+var _ Store = (*File)(nil)

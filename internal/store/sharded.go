@@ -1,28 +1,30 @@
 package store
 
 import (
-	"hash/maphash"
+	"math/rand"
 	"sync"
-
-	"repro/internal/relation"
 )
 
 // Sharded is a concurrency-safe in-memory store: cells are split across
-// power-of-two lock stripes selected by a hash of the cell key, each
+// power-of-two lock stripes selected by mixing the packed cell ref, each
 // stripe a private Memory store guarded by its own mutex, so loads and
 // saves from many goroutines never race on the maps or on the Stats
 // counters (every Memory counter update happens under its stripe lock).
+// All stripes share one Interner — constraint ids must be coherent across
+// the whole store because every worker addresses cells through them.
 //
 // The locks guard the stripe stores, NOT the cell slices: like Memory,
-// Load returns the live slice and the caller owns it until the matching
+// Load returns the live cell and the caller owns it until the matching
 // Save. Concurrent users must therefore never work on the same cell at
 // the same time. The parallel discovery driver guarantees this
 // structurally — cells are keyed by (C, M) and each measure subspace M
 // belongs to exactly one worker — which is what makes a single shared
 // Sharded store safe there.
 type Sharded struct {
+	in      *Interner
+	width   int
 	mask    uint64
-	seed    maphash.Seed
+	seed    uint64
 	stripes []shardStripe
 }
 
@@ -35,8 +37,9 @@ type shardStripe struct {
 const DefaultStripes = 32
 
 // NewSharded creates an empty sharded store with at least n lock stripes
-// (rounded up to a power of two; n ≤ 0 selects DefaultStripes).
-func NewSharded(n int) *Sharded {
+// (rounded up to a power of two; n ≤ 0 selects DefaultStripes) for
+// vectors of the given width.
+func NewSharded(n, width int) *Sharded {
 	if n <= 0 {
 		n = DefaultStripes
 	}
@@ -45,41 +48,54 @@ func NewSharded(n int) *Sharded {
 		size <<= 1
 	}
 	s := &Sharded{
+		in:      NewInterner(),
+		width:   width,
 		mask:    uint64(size - 1),
-		seed:    maphash.MakeSeed(),
+		seed:    rand.Uint64() | 1,
 		stripes: make([]shardStripe, size),
 	}
 	for i := range s.stripes {
-		s.stripes[i].mem = NewMemory()
+		s.stripes[i].mem = newMemoryShared(s.in, width)
 	}
 	return s
 }
 
-func (s *Sharded) stripe(k CellKey) *shardStripe {
-	var h maphash.Hash
-	h.SetSeed(s.seed)
-	h.WriteString(string(k.C))
-	h.WriteByte(byte(k.M))
-	h.WriteByte(byte(k.M >> 8))
-	h.WriteByte(byte(k.M >> 16))
-	h.WriteByte(byte(k.M >> 24))
-	return &s.stripes[h.Sum64()&s.mask]
+// stripe selects by the constraint id only (splitmix64 finalizer): all of
+// a constraint's subspace cells share one stripe, so its dense
+// subspace-slot array exists in exactly one stripe's Memory instead of
+// being duplicated per stripe. Subspace-partitioned workers touching the
+// same constraint therefore share a stripe lock, but the critical
+// sections are two array indexings — contention stays negligible.
+func (s *Sharded) stripe(ref CellRef) *shardStripe {
+	x := (ref >> 32) ^ s.seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return &s.stripes[x&s.mask]
 }
 
+// Width implements Store.
+func (s *Sharded) Width() int { return s.width }
+
+// Interner implements Store: the table shared by every stripe.
+func (s *Sharded) Interner() *Interner { return s.in }
+
 // Load implements Store.
-func (s *Sharded) Load(k CellKey) []*relation.Tuple {
-	st := s.stripe(k)
+func (s *Sharded) Load(ref CellRef) Cell {
+	st := s.stripe(ref)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.mem.Load(k)
+	return st.mem.Load(ref)
 }
 
 // Save implements Store.
-func (s *Sharded) Save(k CellKey, ts []*relation.Tuple) {
-	st := s.stripe(k)
+func (s *Sharded) Save(ref CellRef, c Cell) {
+	st := s.stripe(ref)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.mem.Save(k, ts)
+	st.mem.Save(ref, c)
 }
 
 // Stats implements Store: the sum of the per-stripe counters, each read
@@ -106,7 +122,7 @@ func (s *Sharded) Close() error { return nil }
 // Walk visits every non-empty cell, holding one stripe lock at a time;
 // used by invariant checkers in tests. The callback must not re-enter the
 // store.
-func (s *Sharded) Walk(fn func(CellKey, []*relation.Tuple)) {
+func (s *Sharded) Walk(fn func(CellKey, Cell)) {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.Lock()

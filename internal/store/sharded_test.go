@@ -1,22 +1,20 @@
 package store
 
 import (
+	"repro/internal/relation"
 	"sync"
 	"testing"
-
-	"repro/internal/lattice"
-	"repro/internal/relation"
 )
 
 func TestShardedStore(t *testing.T) {
-	testStoreBasics(t, NewSharded(4))
+	testStoreBasics(t, NewSharded(4, 2))
 }
 
 func TestShardedStripeRounding(t *testing.T) {
 	for _, tc := range []struct{ n, want int }{
 		{-1, DefaultStripes}, {0, DefaultStripes}, {1, 1}, {2, 2}, {5, 8}, {32, 32},
 	} {
-		s := NewSharded(tc.n)
+		s := NewSharded(tc.n, 2)
 		if len(s.stripes) != tc.want {
 			t.Errorf("NewSharded(%d): %d stripes, want %d", tc.n, len(s.stripes), tc.want)
 		}
@@ -25,14 +23,14 @@ func TestShardedStripeRounding(t *testing.T) {
 
 func TestShardedWalk(t *testing.T) {
 	s := storeSchema(t)
-	st := NewSharded(8)
+	st := NewSharded(8, 2)
 	ts := mkTuples(t, s, 4)
-	st.Save(key(t, s, ts[0], 0b01, 0b01), ts[:2])
-	st.Save(key(t, s, ts[0], 0b10, 0b10), ts[2:])
+	st.Save(ref(t, st, ts[0], 0b01, 0b01), cellOf(2, ts[:2]...))
+	st.Save(ref(t, st, ts[0], 0b10, 0b10), cellOf(2, ts[2:]...))
 	cells, entries := 0, 0
-	st.Walk(func(k CellKey, ts []*relation.Tuple) {
+	st.Walk(func(k CellKey, c Cell) {
 		cells++
-		entries += len(ts)
+		entries += c.Len()
 	})
 	if cells != 2 || entries != 4 {
 		t.Errorf("Walk saw %d cells / %d entries, want 2 / 4", cells, entries)
@@ -40,12 +38,14 @@ func TestShardedWalk(t *testing.T) {
 }
 
 // TestShardedConcurrent mirrors how the parallel discovery driver uses the
-// store: goroutines share one Sharded instance but own disjoint subspace
-// masks, so no two ever touch the same cell. Under -race this validates
-// that the map and the Stats counters are properly guarded.
+// store: goroutines share one Sharded instance (and its interner) but own
+// disjoint cells — here each worker interns its own constraints, with some
+// interleaved interning of shared ones to race the intern table on
+// purpose. Under -race this validates that the index, the intern table
+// and the Stats counters are properly guarded.
 func TestShardedConcurrent(t *testing.T) {
 	s := storeSchema(t)
-	st := NewSharded(4)
+	st := NewSharded(4, 2)
 	ts := mkTuples(t, s, 8)
 	const workers = 8
 	const cellsPer = 64
@@ -54,12 +54,21 @@ func TestShardedConcurrent(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			sub := uint32(w + 1) // disjoint M per worker
 			for i := 0; i < cellsPer; i++ {
-				k := CellKey{C: lattice.KeyFromTuple(ts[i%len(ts)], 0b11), M: sub<<8 | uint32(i)}
-				st.Save(k, append([]*relation.Tuple(nil), ts[:1+i%3]...))
+				// A constraint unique to this (worker, i) pair keeps the
+				// cells disjoint; interning the shared tuples' constraints
+				// alongside races the intern table coherently.
+				own, err := relation.NewTuple(s, int64(w*cellsPer+i),
+					[]int32{int32(w), int32(i)}, []float64{0, 0})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				st.Interner().InternTuple(ts[i%len(ts)], 0b11)
+				k := Ref(st.Interner().InternTuple(own, 0b11), 0b11)
+				st.Save(k, cellOf(2, ts[:1+i%3]...))
 				got := st.Load(k)
-				got, _ = RemoveByID(got, ts[0].ID)
+				got.RemoveID(ts[0].ID)
 				st.Save(k, got)
 			}
 		}(w)

@@ -32,24 +32,35 @@ func mkTuples(t *testing.T, s *relation.Schema, n int) []*relation.Tuple {
 	return out
 }
 
-func key(t *testing.T, s *relation.Schema, tu *relation.Tuple, cm lattice.Mask, sub uint32) CellKey {
+// ref interns the constraint of C^tu selected by cm through the store's
+// interner and packs the cell address.
+func ref(t *testing.T, st Store, tu *relation.Tuple, cm lattice.Mask, sub uint32) CellRef {
 	t.Helper()
-	return CellKey{C: lattice.KeyFromTuple(tu, cm), M: sub}
+	return Ref(st.Interner().InternTuple(tu, cm), sub)
+}
+
+// cellOf builds a SoA cell from tuples.
+func cellOf(w int, ts ...*relation.Tuple) Cell {
+	c := Cell{W: w}
+	for _, tu := range ts {
+		c.Append(tu.ID, tu.Oriented)
+	}
+	return c
 }
 
 func testStoreBasics(t *testing.T, st Store) {
 	s := storeSchema(t)
 	ts := mkTuples(t, s, 5)
-	k1 := key(t, s, ts[0], 0b01, 0b11)
-	k2 := key(t, s, ts[0], 0b11, 0b01)
+	k1 := ref(t, st, ts[0], 0b01, 0b11)
+	k2 := ref(t, st, ts[0], 0b11, 0b01)
 
-	if got := st.Load(k1); len(got) != 0 {
+	if got := st.Load(k1); got.Len() != 0 {
 		t.Fatalf("empty cell load = %v", got)
 	}
-	// The store owns saved slices (the memory store keeps them live and the
+	// The store owns saved cells (the memory store keeps them live and the
 	// Load/mutate/Save protocol edits them in place), so hand over copies.
-	st.Save(k1, append([]*relation.Tuple(nil), ts[:3]...))
-	st.Save(k2, append([]*relation.Tuple(nil), ts[3:4]...))
+	st.Save(k1, cellOf(st.Width(), ts[:3]...))
+	st.Save(k2, cellOf(st.Width(), ts[3:4]...))
 
 	stats := st.Stats()
 	if stats.StoredTuples != 4 {
@@ -60,22 +71,21 @@ func testStoreBasics(t *testing.T, st Store) {
 	}
 
 	got := st.Load(k1)
-	if len(got) != 3 {
-		t.Fatalf("loaded %d tuples, want 3", len(got))
+	if got.Len() != 3 {
+		t.Fatalf("loaded %d tuples, want 3", got.Len())
 	}
-	for i, u := range got {
-		if u.ID != ts[i].ID || u.Raw[0] != ts[i].Raw[0] || u.Oriented[1] != ts[i].Oriented[1] {
-			t.Errorf("tuple %d mismatch: %+v vs %+v", i, u, ts[i])
+	for i := 0; i < got.Len(); i++ {
+		if got.ID(i) != ts[i].ID || got.Row(i)[1] != ts[i].Oriented[1] {
+			t.Errorf("tuple %d mismatch: %v/%v vs %+v", i, got.ID(i), got.Row(i), ts[i])
 		}
 	}
 
 	// Mutate: drop one, save back.
-	got, removed := RemoveByID(got, ts[1].ID)
-	if !removed {
-		t.Fatal("RemoveByID failed")
+	if !got.RemoveID(ts[1].ID) {
+		t.Fatal("RemoveID failed")
 	}
 	st.Save(k1, got)
-	if again := st.Load(k1); len(again) != 2 || ContainsID(again, ts[1].ID) {
+	if again := st.Load(k1); again.Len() != 2 || again.ContainsID(ts[1].ID) {
 		t.Errorf("after removal: %v", again)
 	}
 	if st.Stats().StoredTuples != 3 {
@@ -83,24 +93,24 @@ func testStoreBasics(t *testing.T, st Store) {
 	}
 
 	// Empty a cell: it must disappear.
-	st.Save(k2, nil)
+	st.Save(k2, Cell{W: st.Width()})
 	if st.Stats().Cells != 1 {
 		t.Errorf("Cells after emptying = %d, want 1", st.Stats().Cells)
 	}
-	if got := st.Load(k2); len(got) != 0 {
+	if got := st.Load(k2); got.Len() != 0 {
 		t.Errorf("emptied cell load = %v", got)
 	}
 
 	// Saving empty to an already-empty cell is a no-op, not a write.
 	w := st.Stats().Writes
-	st.Save(k2, nil)
+	st.Save(k2, Cell{W: st.Width()})
 	if st.Stats().Writes != w {
 		t.Error("empty→empty save counted as a write")
 	}
 }
 
 func TestMemoryStore(t *testing.T) {
-	testStoreBasics(t, NewMemory())
+	testStoreBasics(t, NewMemory(2))
 }
 
 func TestFileStore(t *testing.T) {
@@ -120,7 +130,7 @@ func TestFileStoreIOCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := mkTuples(t, s, 3)
-	k := key(t, s, ts[0], 0b11, 0b11)
+	k := ref(t, st, ts[0], 0b11, 0b11)
 
 	// Loads of empty cells must not count as reads (the paper's file-based
 	// cost model: "a file-read operation occurs if µC,M is non-empty").
@@ -128,7 +138,7 @@ func TestFileStoreIOCounters(t *testing.T) {
 	if st.Stats().Reads != 0 {
 		t.Errorf("empty load counted as read")
 	}
-	st.Save(k, ts)
+	st.Save(k, cellOf(st.Width(), ts...))
 	if st.Stats().Writes != 1 {
 		t.Errorf("Writes = %d, want 1", st.Stats().Writes)
 	}
@@ -138,61 +148,124 @@ func TestFileStoreIOCounters(t *testing.T) {
 	}
 }
 
-func TestFileStoreFreshTuples(t *testing.T) {
-	// File store materialises new tuple values per load: identity-based
-	// matching would fail, ID-based must work.
+func TestFileStoreRoundTrip(t *testing.T) {
+	// File store materialises a fresh cell per load; the oriented vectors
+	// must survive the disk round-trip bit-exactly.
 	s := storeSchema(t)
 	st, err := NewFile(t.TempDir(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := mkTuples(t, s, 1)
-	k := key(t, s, ts[0], 0b01, 0b01)
-	st.Save(k, ts)
+	ts := mkTuples(t, s, 2)
+	k := ref(t, st, ts[0], 0b01, 0b01)
+	st.Save(k, cellOf(st.Width(), ts...))
 	got := st.Load(k)
-	if got[0] == ts[0] {
-		t.Error("file store returned the original pointer (unexpected aliasing)")
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d rows, want 2", got.Len())
 	}
-	if _, ok := RemoveByID(got, ts[0].ID); !ok {
-		t.Error("RemoveByID must match file-loaded tuples")
+	for i, tu := range ts {
+		if got.ID(i) != tu.ID {
+			t.Errorf("row %d id = %d, want %d", i, got.ID(i), tu.ID)
+		}
+		for j, v := range tu.Oriented {
+			if got.Row(i)[j] != v {
+				t.Errorf("row %d vec[%d] = %v, want %v", i, j, got.Row(i)[j], v)
+			}
+		}
+	}
+	if !got.RemoveID(ts[0].ID) {
+		t.Error("RemoveID must match file-loaded rows")
 	}
 }
 
 func TestMemoryWalk(t *testing.T) {
 	s := storeSchema(t)
-	m := NewMemory()
+	m := NewMemory(2)
 	ts := mkTuples(t, s, 4)
-	m.Save(key(t, s, ts[0], 0b01, 0b01), ts[:2])
-	m.Save(key(t, s, ts[0], 0b10, 0b10), ts[2:])
+	m.Save(ref(t, m, ts[0], 0b01, 0b01), cellOf(2, ts[:2]...))
+	m.Save(ref(t, m, ts[0], 0b10, 0b10), cellOf(2, ts[2:]...))
 	cells, entries := 0, 0
-	m.Walk(func(k CellKey, ts []*relation.Tuple) {
+	m.Walk(func(k CellKey, c Cell) {
 		cells++
-		entries += len(ts)
+		entries += c.Len()
+		if want := lattice.KeyFromTuple(ts[0], 0b01); c.ContainsID(0) && k.C != want {
+			t.Errorf("Walk decoded key %x, want %x", string(k.C), string(want))
+		}
 	})
 	if cells != 2 || entries != 4 {
 		t.Errorf("Walk saw %d cells / %d entries, want 2 / 4", cells, entries)
 	}
 }
 
-func TestRemoveHelpers(t *testing.T) {
+func TestMemoryLogicalKeyAccess(t *testing.T) {
+	s := storeSchema(t)
+	m := NewMemory(2)
+	ts := mkTuples(t, s, 2)
+	k := CellKey{C: lattice.KeyFromTuple(ts[0], 0b11), M: 0b01}
+	if got := m.LoadKey(k); got.Len() != 0 {
+		t.Fatalf("LoadKey of absent cell = %v", got)
+	}
+	if m.Interner().Len() != 0 {
+		t.Fatal("LoadKey of absent cell grew the intern table")
+	}
+	m.SaveKey(k, cellOf(2, ts...))
+	if got := m.LoadKey(k); got.Len() != 2 || !got.ContainsID(ts[1].ID) {
+		t.Errorf("LoadKey after SaveKey = %v", got)
+	}
+}
+
+func TestCellRemoval(t *testing.T) {
 	s := storeSchema(t)
 	ts := mkTuples(t, s, 3)
-	sl := append([]*relation.Tuple(nil), ts...)
-	sl, ok := Remove(sl, ts[1])
-	if !ok || len(sl) != 2 || sl[0] != ts[0] || sl[1] != ts[2] {
-		t.Errorf("Remove: %v %v", ok, sl)
+	c := cellOf(2, ts...)
+	if !c.RemoveID(ts[1].ID) {
+		t.Fatal("RemoveID missed present tuple")
 	}
-	if _, ok := Remove(sl, ts[1]); ok {
-		t.Error("Remove found an absent tuple")
+	if c.Len() != 2 || c.ID(0) != ts[0].ID || c.ID(1) != ts[2].ID {
+		t.Errorf("RemoveID did not preserve order: %v", c.IDList())
 	}
-	if ContainsID(sl, ts[1].ID) {
+	if c.Row(1)[0] != ts[2].Oriented[0] {
+		t.Errorf("RemoveID left stale vector: %v", c.Rows)
+	}
+	if c.RemoveID(ts[1].ID) {
+		t.Error("RemoveID found an absent tuple")
+	}
+	if c.ContainsID(ts[1].ID) {
 		t.Error("ContainsID found removed tuple")
 	}
-	if !ContainsID(sl, ts[2].ID) {
+	if !c.ContainsID(ts[2].ID) {
 		t.Error("ContainsID missed present tuple")
 	}
-	if _, ok := RemoveByID(sl, 999); ok {
-		t.Error("RemoveByID found an absent ID")
+	if c.RemoveID(999) {
+		t.Error("RemoveID found an absent ID")
+	}
+}
+
+func TestInterner(t *testing.T) {
+	s := storeSchema(t)
+	ts := mkTuples(t, s, 3)
+	in := NewInterner()
+	a := in.InternTuple(ts[0], 0b01)
+	b := in.InternTuple(ts[0], 0b11)
+	if a == b {
+		t.Fatal("distinct constraints interned to the same id")
+	}
+	// ts[0] and ts[2] share dims (i%3, i%2 collide at 0 vs 2? no: 2%3=2);
+	// intern the same logical key via both paths instead.
+	if got := in.Intern(lattice.KeyFromTuple(ts[0], 0b01)); got != a {
+		t.Errorf("Intern(key) = %d, want %d", got, a)
+	}
+	if got, ok := in.Lookup(lattice.KeyFromTuple(ts[0], 0b11)); !ok || got != b {
+		t.Errorf("Lookup = %d/%v, want %d/true", got, ok, b)
+	}
+	if _, ok := in.Lookup(lattice.Key("\xff\xff\xff\xff\xff\xff\xff\xff")); ok {
+		t.Error("Lookup invented an id")
+	}
+	if in.Key(a) != lattice.KeyFromTuple(ts[0], 0b01) {
+		t.Error("Key did not decode id back to its constraint key")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
 	}
 }
 

@@ -208,7 +208,12 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 			return nil, fmt.Errorf("situfact: pool: row %d has %d/%d values for a %d/%d schema",
 				i, len(r.Dims), len(r.Measures), d, m)
 		}
-		if p.wal != nil && (persist.Record{Type: persist.RecAppend, Dims: r.Dims, Measures: r.Measures}).Oversized() {
+		// Pre-check with the batch's widest possible shard index: the
+		// shard varint contributes to the encoded size, and a pre-check
+		// with shard 0 could pass a row that journalAppend's re-check
+		// (with the real shard) rejects mid-batch.
+		if p.wal != nil && (persist.Record{Type: persist.RecAppend, Shard: len(p.shards) - 1,
+			Dims: r.Dims, Measures: r.Measures}).Oversized() {
 			return nil, fmt.Errorf("situfact: pool: row %d: %w (the WAL caps one record at 16 MiB)",
 				i, ErrRowTooLarge)
 		}

@@ -88,12 +88,15 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		StoredTuples: met.StoredTuples, Cells: met.Cells,
 		Reads: met.Reads, Writes: met.Writes,
 	}
-	mem.Walk(func(k store.CellKey, ts []*relation.Tuple) {
-		cell := persist.SnapCell{CKey: string(k.C), M: uint32(k.M), IDs: make([]int64, len(ts))}
-		for i, u := range ts {
-			cell.IDs[i] = u.ID
-		}
-		sf.Cells = append(sf.Cells, cell)
+	// Cells persist in logical key→tuple-id form: the wire format is
+	// independent of the in-memory SoA layout, so snapshots written before
+	// the interned-id refactor restore identically.
+	mem.Walk(func(k store.CellKey, c store.Cell) {
+		sf.Cells = append(sf.Cells, persist.SnapCell{
+			CKey: string(k.C),
+			M:    uint32(k.M),
+			IDs:  c.IDList(),
+		})
 	})
 	return persist.EncodeEngine(w, &sf)
 }
@@ -140,6 +143,14 @@ func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
 		}
 		byID[tu.ID] = tu
 	}
+	// Cells store only tuple ids; the discoverer's registry must be able to
+	// resolve restored ids (TopDown re-homing, SkylineSize) even though
+	// these tuples never went through Process.
+	if rt, ok := eng.disc.(interface{ RegisterTuple(*relation.Tuple) }); ok {
+		for _, tu := range eng.table.Tuples() {
+			rt.RegisterTuple(tu)
+		}
+	}
 	for _, id := range sf.Deleted {
 		if eng.deleted == nil {
 			eng.deleted = make(map[int64]bool)
@@ -150,15 +161,15 @@ func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
 		eng.counter.Restore(sf.Counts)
 	}
 	for _, cell := range sf.Cells {
-		ts := make([]*relation.Tuple, 0, len(cell.IDs))
+		c := store.Cell{W: mem.Width()}
 		for _, id := range cell.IDs {
 			tu, ok := byID[id]
 			if !ok {
 				return nil, fmt.Errorf("situfact: snapshot cell references unknown tuple %d", id)
 			}
-			ts = append(ts, tu)
+			c.Append(tu.ID, tu.Oriented)
 		}
-		mem.Save(store.CellKey{C: lattice.Key(cell.CKey), M: subspace.Mask(cell.M)}, ts)
+		mem.SaveKey(store.CellKey{C: lattice.Key(cell.CKey), M: subspace.Mask(cell.M)}, c)
 	}
 	// Replaying the cells above recomputed StoredTuples/Cells but counted
 	// the replay itself as I/O; overwrite all counters with the saved ones.

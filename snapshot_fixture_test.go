@@ -1,0 +1,145 @@
+package situfact
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+// The testdata fixtures were written by the pre-refactor engine — cells
+// were map[CellKey][]*Tuple then — and pin the snapshot wire format
+// across the interned-id/SoA-cell storage rewrite: a snapshot taken
+// before the refactor must restore into the new layout with identical
+// metrics, identical logical cell contents, and identical discovery
+// behaviour afterwards.
+
+type fixtureGolden struct {
+	Algorithm   string   `json:"algorithm"`
+	Metrics     Metrics  `json:"metrics"`
+	NextFacts   []string `json:"next_facts"`
+	NextMetrics Metrics  `json:"next_metrics"`
+}
+
+var fixtureNextRow = struct {
+	dims     []string
+	measures []float64
+}{
+	[]string{"Strickland", "Feb", "1995-96", "Blazers", "Nets"},
+	[]float64{22, 15, 9},
+}
+
+func fixtureSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchemaBuilder("gamelog").
+		Dimension("player").Dimension("month").Dimension("season").
+		Dimension("team").Dimension("opp_team").
+		Measure("points", LargerBetter).
+		Measure("assists", LargerBetter).
+		Measure("rebounds", LargerBetter).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// canonicalCells renders a decoded snapshot's cells in a stable order:
+// one line per cell, sorted, with member ids in stored order.
+func canonicalCells(sf *persist.EngineSnapshot) []string {
+	out := make([]string, 0, len(sf.Cells))
+	for _, c := range sf.Cells {
+		out = append(out, fmt.Sprintf("%x/%x=%v", c.CKey, c.M, c.IDs))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPreRefactorSnapshotFixtures(t *testing.T) {
+	for _, name := range []string{"prerefactor_bottomup", "prerefactor_topdown"} {
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", name+".golden.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var golden fixtureGolden
+			if err := json.Unmarshal(raw, &golden); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := os.ReadFile(filepath.Join("testdata", name+".snapshot"))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			eng, err := LoadSnapshot(fixtureSchema(t), bytes.NewReader(snap))
+			if err != nil {
+				t.Fatalf("pre-refactor snapshot failed to restore: %v", err)
+			}
+			defer eng.Close()
+			if eng.Algorithm() == "" || string(golden.Algorithm) == "" {
+				t.Fatal("fixture missing algorithm")
+			}
+			if got := eng.Metrics(); got != golden.Metrics {
+				t.Errorf("restored metrics = %+v, want %+v", got, golden.Metrics)
+			}
+
+			// Re-encoding the restored engine must reproduce the fixture's
+			// logical content exactly: same dictionary, tuples, tombstones,
+			// counters, and cell membership (cell order is map-iteration
+			// dependent in both generations, so compare canonically).
+			var buf bytes.Buffer
+			if err := eng.SaveSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			want, err := persist.DecodeEngine(bytes.NewReader(snap))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := persist.DecodeEngine(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCells, gotCells := canonicalCells(want), canonicalCells(got)
+			if len(wantCells) != len(gotCells) {
+				t.Fatalf("re-encoded snapshot has %d cells, fixture %d", len(gotCells), len(wantCells))
+			}
+			for i := range wantCells {
+				if wantCells[i] != gotCells[i] {
+					t.Fatalf("cell %d differs:\n  fixture: %s\n  re-encoded: %s", i, wantCells[i], gotCells[i])
+				}
+			}
+			got.Cells, want.Cells = nil, nil
+			if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+				t.Errorf("re-encoded snapshot header differs:\n  fixture: %+v\n  re-encoded: %+v", want, got)
+			}
+
+			// The restored engine must keep discovering exactly as the
+			// pre-refactor engine did: the recorded follow-up arrival's
+			// facts and cumulative metrics are the golden oracle.
+			arr, err := eng.Append(fixtureNextRow.dims, fixtureNextRow.measures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			facts := make([]string, 0, len(arr.Facts))
+			for _, f := range arr.Facts {
+				facts = append(facts, f.String())
+			}
+			if len(facts) != len(golden.NextFacts) {
+				t.Fatalf("next arrival emitted %d facts, fixture recorded %d", len(facts), len(golden.NextFacts))
+			}
+			for i := range facts {
+				if facts[i] != golden.NextFacts[i] {
+					t.Errorf("fact %d = %q, want %q", i, facts[i], golden.NextFacts[i])
+				}
+			}
+			if got := eng.Metrics(); got != golden.NextMetrics {
+				t.Errorf("metrics after next arrival = %+v, want %+v", got, golden.NextMetrics)
+			}
+		})
+	}
+}
