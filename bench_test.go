@@ -309,55 +309,64 @@ func BenchmarkTable1Quickstart(b *testing.B) {
 // per-row ingest latency — with GOMAXPROCS ≥ the shard count it falls as
 // shards grow, since batches are absorbed by the shards concurrently while
 // per-shard results stay exactly sequential. (On a single-core box the
-// sweep degenerates to measuring fan-out overhead.)
+// sweep degenerates to measuring fan-out overhead.) Each shard count runs
+// both ingest paths: direct (per-shard lock per sub-batch) and pipelined
+// (per-shard batching writers, StartPipeline).
 func BenchmarkPoolAppend(b *testing.B) {
 	const batch = 64
 	const nRows = 4096
 	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			s := newBenchStream(b, "nba", 5, 7)
-			s.tuple(b, nRows-1) // force generation
-			dict := s.tb.Dict()
-			d := s.tb.Schema().NumDims()
-			rows := make([]Row, nRows)
-			for i := range rows {
-				tu := s.tb.At(i)
-				dims := make([]string, d)
-				for j := 0; j < d; j++ {
-					dims[j] = dict.Decode(j, tu.Dims[j])
+		for _, mode := range []string{"direct", "pipelined"} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, mode), func(b *testing.B) {
+				s := newBenchStream(b, "nba", 5, 7)
+				s.tuple(b, nRows-1) // force generation
+				dict := s.tb.Dict()
+				d := s.tb.Schema().NumDims()
+				rows := make([]Row, nRows)
+				for i := range rows {
+					tu := s.tb.At(i)
+					dims := make([]string, d)
+					for j := 0; j < d; j++ {
+						dims[j] = dict.Decode(j, tu.Dims[j])
+					}
+					rows[i] = Row{Dims: dims, Measures: tu.Raw}
 				}
-				rows[i] = Row{Dims: dims, Measures: tu.Raw}
-			}
-			pool, err := NewPool(WrapSchema(s.tb.Schema()), PoolOptions{
-				Shards:   shards,
-				ShardDim: "team",
-				Engine:   Options{MaxBoundDims: 3, MaxMeasureDims: 3},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer pool.Close()
-			// One reusable batch buffer: allocating it inside the timed
-			// loop would charge harness cost to allocs/op, masking the
-			// engine's own allocation behaviour.
-			chunk := make([]Row, batch)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i += batch {
-				n := batch
-				if rem := b.N - i; rem < n {
-					n = rem
-				}
-				for j := 0; j < n; j++ {
-					chunk[j] = rows[(i+j)%nRows]
-				}
-				if _, err := pool.AppendBatch(chunk[:n]); err != nil {
+				pool, err := NewPool(WrapSchema(s.tb.Schema()), PoolOptions{
+					Shards:   shards,
+					ShardDim: "team",
+					Engine:   Options{MaxBoundDims: 3, MaxMeasureDims: 3},
+				})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(pool.Metrics().StoredTuples), "stored-entries")
-		})
+				defer pool.Close()
+				if mode == "pipelined" {
+					if err := pool.StartPipeline(PipelineOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// One reusable batch buffer: allocating it inside the timed
+				// loop would charge harness cost to allocs/op, masking the
+				// engine's own allocation behaviour.
+				chunk := make([]Row, batch)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i += batch {
+					n := batch
+					if rem := b.N - i; rem < n {
+						n = rem
+					}
+					for j := 0; j < n; j++ {
+						chunk[j] = rows[(i+j)%nRows]
+					}
+					if _, err := pool.AppendBatch(chunk[:n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(pool.Metrics().StoredTuples), "stored-entries")
+			})
+		}
 	}
 }
 

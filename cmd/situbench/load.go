@@ -16,6 +16,23 @@ package main
 // handful of shards absorb most of the stream and the reported tail
 // latency reflects hot-shard contention instead of an idealised uniform
 // spread. Other dimensions stay uniform.
+//
+// -load-delete-frac f mixes retractions in: each worker remembers the
+// ids the daemon acknowledged to it and issues DELETE /v1/tuples/{id}
+// for a random remembered id with probability f per request — the
+// ROADMAP's mixed append/delete workload, with deletes riding the same
+// per-shard ordering as the appends they follow.
+//
+// -load-rows n switches to fixed-work mode: the run ends after n
+// appended rows instead of after -load-duration (which then only caps a
+// hung run). Per-row discovery cost grows with the relation, so two
+// configurations are only comparable at equal row counts — duration
+// mode under-reports the faster side, which spends more of its run on a
+// deeper relation.
+//
+// -load-json <path> additionally writes the run's report as one JSON
+// document (schema situbench-load/v1), the format BENCH_PR5.json's
+// before/after load-test comparison is assembled from.
 
 import (
 	"bytes"
@@ -24,22 +41,27 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // loadParams configures one load run.
 type loadParams struct {
-	URL      string        // daemon base URL (e.g. http://localhost:8080)
-	Conns    int           // concurrent connections
-	Duration time.Duration // wall-clock run length
-	Batch    int           // rows per request; 1 = POST /v1/tuples
-	Card     int           // distinct values per dimension attribute
-	Dist     string        // shard-dim value distribution: "uniform" (default) | "zipf"
-	ZipfS    float64       // zipf exponent s > 1; 0 = 1.2
-	Seed     int64         // workload seed
+	URL        string        // daemon base URL (e.g. http://localhost:8080)
+	Conns      int           // concurrent connections
+	Duration   time.Duration // wall-clock run length
+	Batch      int           // rows per request; 1 = POST /v1/tuples
+	Card       int           // distinct values per dimension attribute
+	Dist       string        // shard-dim value distribution: "uniform" (default) | "zipf"
+	ZipfS      float64       // zipf exponent s > 1; 0 = 1.2
+	DeleteFrac float64       // fraction of requests that retract an acked id; 0 = append-only
+	Rows       int64         // stop after this many appended rows (0 = run for Duration)
+	JSONPath   string        // when non-empty, also write the report as JSON here
+	Seed       int64         // workload seed
 }
 
 // loadSchema is the subset of the daemon's GET /v1/schema response the
@@ -65,9 +87,76 @@ type loadBatchBody struct {
 // workerResult accumulates one worker's observations.
 type workerResult struct {
 	rows      int64
+	deletes   int64
 	requests  int64
 	errors    int64
 	latencies []time.Duration // per successful request
+}
+
+// loadArrival / loadBatchArrivals are the slivers of the daemon's append
+// responses the generator needs in delete mode: the acked ids.
+type loadArrival struct {
+	ID string `json:"id"`
+}
+
+type loadBatchArrivals struct {
+	Arrivals []*loadArrival `json:"arrivals"`
+}
+
+// ackRing remembers recently acknowledged tuple ids, capped; take removes
+// a random id so each is deleted at most once.
+type ackRing struct {
+	ids []string
+	rng *rand.Rand
+}
+
+const ackRingCap = 4096
+
+func (a *ackRing) add(id string) {
+	if id == "" {
+		return
+	}
+	if len(a.ids) < ackRingCap {
+		a.ids = append(a.ids, id)
+		return
+	}
+	a.ids[a.rng.Intn(len(a.ids))] = id
+}
+
+func (a *ackRing) take() (string, bool) {
+	if len(a.ids) == 0 {
+		return "", false
+	}
+	i := a.rng.Intn(len(a.ids))
+	id := a.ids[i]
+	a.ids[i] = a.ids[len(a.ids)-1]
+	a.ids = a.ids[:len(a.ids)-1]
+	return id, true
+}
+
+// loadReport is the machine-readable form of one load run (-load-json),
+// the unit BENCH_PR*.json end-to-end comparisons are assembled from.
+type loadReport struct {
+	Schema          string  `json:"schema"` // "situbench-load/v1"
+	Endpoint        string  `json:"endpoint"`
+	Conns           int     `json:"conns"`
+	Batch           int     `json:"batch"`
+	Card            int     `json:"card"`
+	Dist            string  `json:"dist"`
+	ZipfS           float64 `json:"zipf_s,omitempty"`
+	DeleteFrac      float64 `json:"delete_frac,omitempty"`
+	Seed            int64   `json:"seed"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Rows            int64   `json:"rows"`
+	Deletes         int64   `json:"deletes,omitempty"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	RowsPerSec      float64 `json:"rows_per_sec"`
+	ReqPerSec       float64 `json:"req_per_sec"`
+	P50Ms           float64 `json:"p50_ms"`
+	P90Ms           float64 `json:"p90_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	MaxMs           float64 `json:"max_ms"`
 }
 
 // runLoad executes the load run and writes the report to w.
@@ -97,6 +186,9 @@ func runLoad(w io.Writer, p loadParams) error {
 	}
 	if p.Dist == "zipf" && p.ZipfS <= 1 {
 		return fmt.Errorf("-load-zipf-s must be > 1, got %g", p.ZipfS)
+	}
+	if p.DeleteFrac < 0 || p.DeleteFrac >= 1 {
+		return fmt.Errorf("-load-delete-frac must be in [0, 1), got %g", p.DeleteFrac)
 	}
 	base := strings.TrimRight(p.URL, "/")
 	client := &http.Client{
@@ -133,18 +225,43 @@ func runLoad(w io.Writer, p loadParams) error {
 	}
 	results := make([]workerResult, p.Conns)
 	deadline := time.Now().Add(p.Duration)
+	// In fixed-work mode (-load-rows) workers race this shared budget
+	// instead of the clock: comparing two configurations at equal row
+	// counts keeps the relation's end state — and so the per-row engine
+	// cost, which grows with it — identical on both sides.
+	var rowBudget atomic.Int64
+	rowBudget.Store(p.Rows)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < p.Conns; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			gen := newRowGen(rand.New(rand.NewSource(p.Seed+int64(i))), schema, p)
+			rng := rand.New(rand.NewSource(p.Seed + int64(i)))
+			gen := newRowGen(rng, schema, p)
+			acked := &ackRing{rng: rng}
 			res := &results[i]
 			for time.Now().Before(deadline) {
+				if p.DeleteFrac > 0 && rng.Float64() < p.DeleteFrac {
+					if id, ok := acked.take(); ok {
+						t0 := time.Now()
+						res.requests++
+						if !deleteTuple(client, base, id) {
+							res.errors++
+							continue
+						}
+						res.latencies = append(res.latencies, time.Since(t0))
+						res.deletes++
+						continue
+					}
+					// Nothing acked yet to delete; fall through to an append.
+				}
+				if p.Rows > 0 && rowBudget.Add(int64(-p.Batch)) < 0 {
+					break
+				}
 				body, rows := buildBody(gen, p.Batch)
 				t0 := time.Now()
-				ok := post(client, endpoint, body)
+				ids, ok := post(client, endpoint, body, p.DeleteFrac > 0)
 				res.requests++
 				if !ok {
 					res.errors++
@@ -152,6 +269,9 @@ func runLoad(w io.Writer, p loadParams) error {
 				}
 				res.latencies = append(res.latencies, time.Since(t0))
 				res.rows += int64(rows)
+				for _, id := range ids {
+					acked.add(id)
+				}
 			}
 		}(i)
 	}
@@ -161,21 +281,48 @@ func runLoad(w io.Writer, p loadParams) error {
 	var total workerResult
 	for _, r := range results {
 		total.rows += r.rows
+		total.deletes += r.deletes
 		total.requests += r.requests
 		total.errors += r.errors
 		total.latencies = append(total.latencies, r.latencies...)
 	}
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 
+	rep := loadReport{
+		Schema:          "situbench-load/v1",
+		Endpoint:        endpoint,
+		Conns:           p.Conns,
+		Batch:           p.Batch,
+		Card:            p.Card,
+		Dist:            p.Dist,
+		DeleteFrac:      p.DeleteFrac,
+		Seed:            p.Seed,
+		DurationSeconds: elapsed.Seconds(),
+		Rows:            total.rows,
+		Deletes:         total.deletes,
+		Requests:        total.requests,
+		Errors:          total.errors,
+		RowsPerSec:      float64(total.rows) / elapsed.Seconds(),
+		ReqPerSec:       float64(total.requests) / elapsed.Seconds(),
+	}
+	if p.Dist == "zipf" {
+		rep.ZipfS = p.ZipfS
+	}
+	if n := len(total.latencies); n > 0 {
+		rep.P50Ms = float64(percentile(total.latencies, 0.50)) / float64(time.Millisecond)
+		rep.P90Ms = float64(percentile(total.latencies, 0.90)) / float64(time.Millisecond)
+		rep.P99Ms = float64(percentile(total.latencies, 0.99)) / float64(time.Millisecond)
+		rep.MaxMs = float64(total.latencies[n-1]) / float64(time.Millisecond)
+	}
+
 	dist := p.Dist
 	if dist == "zipf" {
 		dist = fmt.Sprintf("zipf(s=%g, shard-dim %q)", p.ZipfS, schema.ShardDim)
 	}
-	fmt.Fprintf(w, "load: %s batch=%d conns=%d dist=%s duration=%s\n",
-		endpoint, p.Batch, p.Conns, dist, elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "ingested %d rows in %d requests (%d errors) — %.1f rows/s, %.1f req/s\n",
-		total.rows, total.requests, total.errors,
-		float64(total.rows)/elapsed.Seconds(), float64(total.requests)/elapsed.Seconds())
+	fmt.Fprintf(w, "load: %s batch=%d conns=%d dist=%s delete-frac=%g duration=%s\n",
+		endpoint, p.Batch, p.Conns, dist, p.DeleteFrac, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "ingested %d rows, deleted %d tuples in %d requests (%d errors) — %.1f rows/s, %.1f req/s\n",
+		total.rows, total.deletes, total.requests, total.errors, rep.RowsPerSec, rep.ReqPerSec)
 	if len(total.latencies) > 0 {
 		fmt.Fprintf(w, "request latency: p50 %s  p90 %s  p99 %s  max %s\n",
 			percentile(total.latencies, 0.50).Round(time.Microsecond),
@@ -183,8 +330,26 @@ func runLoad(w io.Writer, p loadParams) error {
 			percentile(total.latencies, 0.99).Round(time.Microsecond),
 			total.latencies[len(total.latencies)-1].Round(time.Microsecond))
 	}
+	if p.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	if total.errors > 0 {
 		return fmt.Errorf("%d of %d requests failed", total.errors, total.requests)
+	}
+	// A fixed-work run that hit the duration cap is not the run that was
+	// asked for: the whole point of -load-rows is comparing configurations
+	// at equal relation depth, and a silently truncated (slower) side
+	// would be measured against a shallower, cheaper relation. Unclaimed
+	// budget means at least one worker exited on the deadline.
+	if p.Rows > 0 && rowBudget.Load() > 0 {
+		return fmt.Errorf("fixed-work run truncated: %d of %d rows before the %s -load-duration cap; raise -load-duration",
+			total.rows, p.Rows, p.Duration)
 	}
 	return nil
 }
@@ -241,15 +406,52 @@ func buildBody(gen func() loadRow, batch int) ([]byte, int) {
 	return b, batch
 }
 
-// post sends one request, draining the response so connections are reused.
-func post(client *http.Client, url string, body []byte) bool {
+// post sends one append request, draining the response so connections
+// are reused. With wantIDs (delete mode) it parses the acked arrival ids
+// out of the response instead of discarding it.
+func post(client *http.Client, url string, body []byte, wantIDs bool) ([]string, bool) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if !wantIDs || resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode == http.StatusOK
+	}
+	var ids []string
+	if strings.HasSuffix(url, ":batch") {
+		var br loadBatchArrivals
+		if json.NewDecoder(resp.Body).Decode(&br) == nil {
+			for _, a := range br.Arrivals {
+				if a != nil {
+					ids = append(ids, a.ID)
+				}
+			}
+		}
+	} else {
+		var a loadArrival
+		if json.NewDecoder(resp.Body).Decode(&a) == nil {
+			ids = append(ids, a.ID)
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return ids, true
+}
+
+// deleteTuple retracts one acked id, draining the response for reuse.
+func deleteTuple(client *http.Client, base, id string) bool {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/tuples/"+id, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return resp.StatusCode == http.StatusNoContent
 }
 
 // percentile returns the p-quantile (0 < p ≤ 1) of ascending-sorted

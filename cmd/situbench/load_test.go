@@ -3,18 +3,29 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
-// stubDaemon mimics the situfactd surface the load generator touches.
-func stubDaemon(t *testing.T, rows *atomic.Int64) *httptest.Server {
+// stubDaemon mimics the situfactd surface the load generator touches:
+// appends ack unique ids, deletes succeed once per acked id.
+func stubDaemon(t *testing.T, rows, deletes *atomic.Int64) *httptest.Server {
 	t.Helper()
+	var live sync.Map // id -> struct{}
+	nextID := func() string {
+		id := fmt.Sprintf("0:%d", rows.Add(1))
+		live.Store(id, struct{}{})
+		return id
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/schema", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -27,8 +38,7 @@ func stubDaemon(t *testing.T, rows *atomic.Int64) *httptest.Server {
 			http.Error(w, "bad row", http.StatusBadRequest)
 			return
 		}
-		rows.Add(1)
-		w.Write([]byte(`{"id":"0:0","fact_count":0}`))
+		fmt.Fprintf(w, `{"id":%q,"fact_count":0}`, nextID())
 	})
 	mux.HandleFunc("POST /v1/tuples:batch", func(w http.ResponseWriter, r *http.Request) {
 		var body loadBatchBody
@@ -36,8 +46,19 @@ func stubDaemon(t *testing.T, rows *atomic.Int64) *httptest.Server {
 			http.Error(w, "bad batch", http.StatusBadRequest)
 			return
 		}
-		rows.Add(int64(len(body.Rows)))
-		w.Write([]byte(`{"arrivals":[]}`))
+		arrs := make([]*loadArrival, len(body.Rows))
+		for i := range arrs {
+			arrs[i] = &loadArrival{ID: nextID()}
+		}
+		json.NewEncoder(w).Encode(loadBatchArrivals{Arrivals: arrs})
+	})
+	mux.HandleFunc("DELETE /v1/tuples/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := live.LoadAndDelete(r.PathValue("id")); !ok {
+			http.Error(w, "unknown tuple", http.StatusNotFound)
+			return
+		}
+		deletes.Add(1)
+		w.WriteHeader(http.StatusNoContent)
 	})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
@@ -46,7 +67,8 @@ func stubDaemon(t *testing.T, rows *atomic.Int64) *httptest.Server {
 
 func TestRunLoadSingle(t *testing.T) {
 	var rows atomic.Int64
-	ts := stubDaemon(t, &rows)
+	var deletes atomic.Int64
+	ts := stubDaemon(t, &rows, &deletes)
 	var out bytes.Buffer
 	err := runLoad(&out, loadParams{
 		URL: ts.URL, Conns: 2, Duration: 150 * time.Millisecond, Batch: 1, Card: 5, Seed: 1,
@@ -67,7 +89,8 @@ func TestRunLoadSingle(t *testing.T) {
 
 func TestRunLoadBatch(t *testing.T) {
 	var rows atomic.Int64
-	ts := stubDaemon(t, &rows)
+	var deletes atomic.Int64
+	ts := stubDaemon(t, &rows, &deletes)
 	var out bytes.Buffer
 	err := runLoad(&out, loadParams{
 		URL: ts.URL, Conns: 2, Duration: 150 * time.Millisecond, Batch: 16, Card: 5, Seed: 1,
@@ -159,7 +182,8 @@ func TestRowGenZipf(t *testing.T) {
 // skewing the first dimension) and checks parameter validation.
 func TestRunLoadZipf(t *testing.T) {
 	var rows atomic.Int64
-	ts := stubDaemon(t, &rows)
+	var deletes atomic.Int64
+	ts := stubDaemon(t, &rows, &deletes)
 	var out bytes.Buffer
 	err := runLoad(&out, loadParams{
 		URL: ts.URL, Conns: 2, Duration: 150 * time.Millisecond, Batch: 4, Card: 5,
@@ -180,5 +204,121 @@ func TestRunLoadZipf(t *testing.T) {
 	}
 	if err := runLoad(&out, loadParams{URL: ts.URL, Dist: "pareto"}); err == nil {
 		t.Error("unknown distribution accepted")
+	}
+}
+
+// TestRunLoadDeleteMode drives the mixed append/delete workload: a
+// third of the requests retract previously acked ids, in both single
+// and batch mode, and the report accounts for them.
+func TestRunLoadDeleteMode(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			var rows, deletes atomic.Int64
+			ts := stubDaemon(t, &rows, &deletes)
+			var out bytes.Buffer
+			err := runLoad(&out, loadParams{
+				URL: ts.URL, Conns: 2, Duration: 200 * time.Millisecond,
+				Batch: batch, Card: 5, DeleteFrac: 0.3, Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("runLoad: %v\n%s", err, out.String())
+			}
+			if rows.Load() == 0 {
+				t.Fatal("no rows reached the stub daemon")
+			}
+			if deletes.Load() == 0 {
+				t.Error("delete-frac 0.3 issued no deletes")
+			}
+			if !strings.Contains(out.String(), fmt.Sprintf("deleted %d tuples", deletes.Load())) {
+				t.Errorf("report does not account for %d deletes:\n%s", deletes.Load(), out.String())
+			}
+		})
+	}
+	// Validation: the fraction must leave room for appends.
+	var out bytes.Buffer
+	if err := runLoad(&out, loadParams{URL: "http://x", DeleteFrac: 1}); err == nil {
+		t.Error("delete-frac 1 accepted")
+	}
+	if err := runLoad(&out, loadParams{URL: "http://x", DeleteFrac: -0.1}); err == nil {
+		t.Error("negative delete-frac accepted")
+	}
+}
+
+// TestRunLoadFixedWork pins -load-rows: a completed run appends exactly
+// the budget, and a run cut short by the duration cap fails loudly —
+// a silently truncated fixed-work run would be compared at the wrong
+// relation depth.
+func TestRunLoadFixedWork(t *testing.T) {
+	var rows, deletes atomic.Int64
+	ts := stubDaemon(t, &rows, &deletes)
+	var out bytes.Buffer
+	err := runLoad(&out, loadParams{
+		URL: ts.URL, Conns: 2, Duration: 30 * time.Second, Batch: 4, Card: 5,
+		Rows: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("runLoad fixed-work: %v\n%s", err, out.String())
+	}
+	if got := rows.Load(); got != 200 {
+		t.Errorf("stub saw %d rows, want exactly the 200-row budget", got)
+	}
+
+	// Unreachably large budget + tiny duration: must error, not report.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/schema" {
+			w.Write([]byte(`{"dimensions":["d"],"measures":[{"name":"m"}]}`))
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+		w.Write([]byte(`{"id":"0:0","fact_count":0}`))
+	}))
+	defer slow.Close()
+	err = runLoad(&out, loadParams{
+		URL: slow.URL, Conns: 1, Duration: 100 * time.Millisecond, Batch: 1, Rows: 1 << 20, Seed: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("duration-capped fixed-work run returned %v, want a truncation error", err)
+	}
+}
+
+// TestRunLoadJSON pins the machine-readable report: the JSON document
+// must agree with the stub's own counts.
+func TestRunLoadJSON(t *testing.T) {
+	var rows, deletes atomic.Int64
+	ts := stubDaemon(t, &rows, &deletes)
+	path := filepath.Join(t.TempDir(), "load.json")
+	var out bytes.Buffer
+	err := runLoad(&out, loadParams{
+		URL: ts.URL, Conns: 3, Duration: 150 * time.Millisecond,
+		Batch: 4, Card: 5, DeleteFrac: 0.2, JSONPath: path, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, buf)
+	}
+	if rep.Schema != "situbench-load/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Conns != 3 || rep.Batch != 4 {
+		t.Errorf("report carries conns=%d batch=%d, want 3/4", rep.Conns, rep.Batch)
+	}
+	if rep.Rows != rows.Load() {
+		t.Errorf("report rows = %d, stub saw %d", rep.Rows, rows.Load())
+	}
+	if rep.Deletes != deletes.Load() {
+		t.Errorf("report deletes = %d, stub saw %d", rep.Deletes, deletes.Load())
+	}
+	if rep.RowsPerSec <= 0 || rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Errorf("implausible rates/latencies: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("report errors = %d", rep.Errors)
 	}
 }

@@ -11,7 +11,8 @@
 //	          [-addr :8080] [-algo sbottomup] [-shards 4] [-shard-dim team] \
 //	          [-dhat 0] [-mhat 0] [-workers 0] [-state-dir /var/lib/situfactd] \
 //	          [-wal] [-wal-sync 0s] [-wal-segment-bytes 0] \
-//	          [-snapshot-interval 0s] [-topk 128] [-relation stream]
+//	          [-snapshot-interval 0s] [-topk 128] [-relation stream] \
+//	          [-pipeline] [-pipeline-queue 0]
 //
 // Endpoints (wire format in docs/API.md):
 //
@@ -42,6 +43,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the -pprof-addr listener's DefaultServeMux only
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +71,9 @@ func main() {
 	flag.Int64Var(&cfg.walSegBytes, "wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB)")
 	flag.DurationVar(&cfg.snapInterval, "snapshot-interval", 0, "background checkpoint period: snapshot every shard and truncate covered WAL segments (0 = snapshot only on graceful shutdown)")
 	flag.IntVar(&cfg.boardCap, "topk", 128, "capacity of the GET /v1/facts/top leaderboard")
+	flag.BoolVar(&cfg.pipeline, "pipeline", true, "pipelined ingest: per-shard batching writer goroutines journal, fsync and apply whole queue drains at once (false = take the shard locks directly per request)")
+	flag.IntVar(&cfg.pipeQueue, "pipeline-queue", 0, "per-shard ingest queue depth; a full queue blocks producers (0 = 256)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. localhost:6060); empty = off. Keep it on a loopback or firewalled port")
 	flag.Parse()
 	log.SetPrefix("situfactd: ")
 	log.SetFlags(log.LstdFlags)
@@ -88,6 +93,15 @@ func serve(cfg config) error {
 	s, err := newServer(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.pprofAddr != "" {
+		// The profiler gets its own listener and mux: the API surface
+		// (server.routes, guarded by TestAPIDocEndpoints) stays exactly the
+		// documented set, and the debug port can be firewalled separately.
+		go func() {
+			log.Printf("pprof listening on %s", cfg.pprofAddr)
+			log.Printf("pprof server: %v", http.ListenAndServe(cfg.pprofAddr, nil))
+		}()
 	}
 	srv := &http.Server{
 		Addr:              cfg.addr,

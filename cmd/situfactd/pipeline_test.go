@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestServerPipelineEquivalence runs the same stream through a
+// pipelined daemon (-pipeline, the default binary configuration) and a
+// direct-path one: responses, leaderboards and merged work counters must
+// be identical, and the pipelined daemon's /v1/metrics must account for
+// every operation in its ingest block.
+func TestServerPipelineEquivalence(t *testing.T) {
+	direct := gamelogConfig(2, "")
+	piped := gamelogConfig(2, "")
+	piped.pipeline = true
+
+	sd, tsd := startServer(t, direct)
+	sp, tsp := startServer(t, piped)
+	defer sd.close()
+	defer sp.close()
+
+	var rows []rowWire
+	rows = append(rows, table1...)
+	rows = append(rows, wesley)
+	var deleted int
+	for i, row := range rows {
+		var wantArr, gotArr arrivalResponse
+		doJSON(t, http.MethodPost, tsd.URL+"/v1/tuples", reqOf(row), &wantArr)
+		doJSON(t, http.MethodPost, tsp.URL+"/v1/tuples", reqOf(row), &gotArr)
+		if wantArr.ID != gotArr.ID || wantArr.FactCount != gotArr.FactCount {
+			t.Fatalf("row %d: pipelined arrival %s/%d facts, direct %s/%d",
+				i, gotArr.ID, gotArr.FactCount, wantArr.ID, wantArr.FactCount)
+		}
+		// Retract one mid-stream row through both daemons: deletes ride
+		// the same per-shard queues as appends.
+		if i == 2 {
+			for _, url := range []string{tsd.URL, tsp.URL} {
+				req, err := http.NewRequest(http.MethodDelete, url+"/v1/tuples/"+gotArr.ID, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					t.Fatalf("delete %s via %s: status %d", gotArr.ID, url, resp.StatusCode)
+				}
+			}
+			deleted++
+		}
+	}
+	// Batch through both daemons too.
+	var wantBatch, gotBatch batchResponse
+	doJSON(t, http.MethodPost, tsd.URL+"/v1/tuples:batch", batchRequest{Rows: rows}, &wantBatch)
+	doJSON(t, http.MethodPost, tsp.URL+"/v1/tuples:batch", batchRequest{Rows: rows}, &gotBatch)
+	for i := range wantBatch.Arrivals {
+		w, g := wantBatch.Arrivals[i], gotBatch.Arrivals[i]
+		if w.ID != g.ID || w.FactCount != g.FactCount {
+			t.Fatalf("batch row %d: pipelined %s/%d facts, direct %s/%d",
+				i, g.ID, g.FactCount, w.ID, w.FactCount)
+		}
+	}
+
+	var wantM, gotM metricsResponse
+	doJSON(t, http.MethodGet, tsd.URL+"/v1/metrics", nil, &wantM)
+	doJSON(t, http.MethodGet, tsp.URL+"/v1/metrics", nil, &gotM)
+	if gotM.Merged != wantM.Merged {
+		t.Errorf("pipelined merged metrics %+v, direct %+v", gotM.Merged, wantM.Merged)
+	}
+	if gotM.Len != wantM.Len {
+		t.Errorf("pipelined len %d, direct %d", gotM.Len, wantM.Len)
+	}
+	var wantTop, gotTop topFactsResponse
+	doJSON(t, http.MethodGet, tsd.URL+"/v1/facts/top?k=64", nil, &wantTop)
+	doJSON(t, http.MethodGet, tsp.URL+"/v1/facts/top?k=64", nil, &gotTop)
+	if fmt.Sprintf("%+v", gotTop) != fmt.Sprintf("%+v", wantTop) {
+		t.Errorf("pipelined leaderboard diverged from direct path:\n got %+v\nwant %+v", gotTop, wantTop)
+	}
+
+	// The ingest block must account for every operation.
+	if wantM.Ingest.Pipeline {
+		t.Error("direct daemon reports ingest.pipeline = true")
+	}
+	ing := gotM.Ingest
+	if !ing.Pipeline {
+		t.Fatal("pipelined daemon reports ingest.pipeline = false")
+	}
+	wantOps := uint64(2*len(rows) + deleted)
+	if ing.Enqueued != wantOps {
+		t.Errorf("ingest.enqueued = %d, want %d", ing.Enqueued, wantOps)
+	}
+	if ing.QueueDepth != 0 {
+		t.Errorf("ingest.queue_depth = %d after quiescence, want 0", ing.QueueDepth)
+	}
+	if ing.Batches == 0 || ing.MeanBatch <= 0 {
+		t.Errorf("ingest batch summary empty: %+v", ing)
+	}
+	if len(ing.PerShard) != 2 {
+		t.Fatalf("ingest.per_shard has %d rows, want 2", len(ing.PerShard))
+	}
+	var perShardOps uint64
+	var hist uint64
+	for _, sh := range ing.PerShard {
+		perShardOps += sh.Enqueued
+	}
+	for _, c := range ing.BatchHist {
+		hist += c
+	}
+	if perShardOps != wantOps {
+		t.Errorf("per-shard enqueued sums to %d, want %d", perShardOps, wantOps)
+	}
+	if hist != ing.Batches {
+		t.Errorf("batch_hist sums to %d, want %d batches", hist, ing.Batches)
+	}
+}
+
+// TestServerPipelineRecovery checkpoints and restarts a pipelined
+// daemon with a WAL: recovery (which runs on the direct path, before
+// the pipeline starts) must hand the pipelined daemon identical state.
+func TestServerPipelineRecovery(t *testing.T) {
+	stateDir := t.TempDir()
+	cfg := gamelogConfig(2, stateDir)
+	cfg.pipeline = true
+	cfg.wal = true
+	s, ts := startServer(t, cfg)
+	for _, row := range table1 {
+		doJSON(t, http.MethodPost, ts.URL+"/v1/tuples", reqOf(row), nil)
+	}
+	if err := s.saveState(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail past the checkpoint, then stop without snapshotting: the WAL
+	// must carry it into the restarted daemon.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/tuples", reqOf(wesley), nil)
+	var before metricsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &before)
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := startServer(t, cfg)
+	defer s2.close()
+	var after metricsResponse
+	doJSON(t, http.MethodGet, ts2.URL+"/v1/metrics", nil, &after)
+	if after.Merged != before.Merged {
+		t.Errorf("recovered merged metrics %+v, want %+v", after.Merged, before.Merged)
+	}
+	if after.Len != before.Len {
+		t.Errorf("recovered len %d, want %d", after.Len, before.Len)
+	}
+	if !after.Ingest.Pipeline {
+		t.Error("recovered daemon is not running the pipeline")
+	}
+	// Replay happened on the direct path: the fresh pipeline has seen no ops.
+	if after.Ingest.Enqueued != 0 {
+		t.Errorf("recovery enqueued %d ops onto the pipeline; replay must use the direct path", after.Ingest.Enqueued)
+	}
+}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -13,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	situfact "repro"
@@ -36,13 +39,19 @@ type config struct {
 	walSegBytes  int64         // WAL segment rotation threshold (0 = 64 MiB)
 	snapInterval time.Duration // background checkpoint period; 0 = shutdown-only snapshots
 	boardCap     int           // leaderboard capacity for GET /v1/facts/top
+	pipeline     bool          // per-shard batching ingest writers (Pool.StartPipeline)
+	pipeQueue    int           // per-shard ingest queue depth (0 = 256)
+	pprofAddr    string        // extra net/http/pprof listener; "" = off
 }
 
 // server owns the pool and the leaderboard. Append/Delete handlers rely on
-// the Pool's own per-shard locking for safety — the server adds no request
-// serialization of its own, so arrivals racing for one shard are ordered by
-// lock acquisition and different shards proceed in parallel (see
-// docs/ARCHITECTURE.md for why that ordering is sound).
+// the Pool's own ingest discipline for safety — the server adds no request
+// serialization of its own. By default the pool runs the ingest pipeline
+// (-pipeline): handlers enqueue onto per-shard batching writers and
+// arrivals racing for one shard are applied in enqueue order; with
+// -pipeline=false they take the per-shard locks directly and are ordered
+// by lock acquisition. Either way different shards proceed in parallel
+// (see docs/ARCHITECTURE.md for why that ordering is sound).
 type server struct {
 	cfg      config
 	schema   *situfact.Schema
@@ -223,6 +232,15 @@ func newServer(cfg config) (*server, error) {
 		}
 		s.wal = wal
 	}
+	// The pipeline starts last: recovery (restore + replay) runs on the
+	// direct path, and every live request from here on batches through the
+	// per-shard writers.
+	if cfg.pipeline {
+		if err := pool.StartPipeline(situfact.PipelineOptions{QueueDepth: cfg.pipeQueue}); err != nil {
+			s.close()
+			return nil, fmt.Errorf("situfactd: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -364,6 +382,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Segments:   wst.Segments,
 		}
 	}
+	resp.Ingest = toWireIngest(s.pool.PipelineStats())
 	resp.Snapshot = snapshotWire{Enabled: s.cfg.stateDir != "", SecondsSinceLast: -1}
 	s.snapMu.Lock()
 	if !s.lastSnap.IsZero() {
@@ -581,13 +600,50 @@ func deleteStatus(err error) int {
 	}
 }
 
-// decodeBody decodes a size-capped JSON body, writing the error response
-// itself when decoding fails.
+// Buffer pooling: every request used to pay a fresh decoder buffer on
+// the way in and a fresh encoder state on the way out — per-request
+// garbage that grows with connection count. Request bodies are slurped
+// into pooled buffers, and responses are encoded through pooled
+// buffer+encoder pairs before one Write (which also yields a
+// Content-Length). Buffers that ballooned serving a large batch are
+// dropped rather than pooled, so a burst of big requests cannot pin
+// their high-water memory forever.
+
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
+
+// jsonEncoder is a pooled response encoder bound to its own buffer.
+type jsonEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := new(jsonEncoder)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// decodeBody decodes a size-capped JSON body through a pooled read
+// buffer, writing the error response itself when decoding fails.
 func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeErr(w, http.StatusRequestEntityTooLarge, err.Error())
@@ -596,14 +652,33 @@ func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) b
 		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return false
 	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
 	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Nothing has been written yet, so a plain 500 is still possible.
+		log.Printf("encode response: %v", err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		encPool.Put(e)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	if _, err := w.Write(e.buf.Bytes()); err != nil {
 		log.Printf("write response: %v", err)
+	}
+	if e.buf.Cap() <= maxPooledBuf {
+		encPool.Put(e)
 	}
 }
 
@@ -620,6 +695,24 @@ type leaderboard struct {
 	mu      sync.Mutex
 	cap     int
 	entries []boardEntry
+	// floorBits/full cache the rejection threshold for lock-free reads
+	// (floor): floorBits is the Float64bits of the weakest entry's
+	// prominence, full whether the board is at capacity. Updated under mu
+	// (updateFloor); readers may see a momentarily stale pair, which can
+	// only admit extra candidates — offerAll rechecks under the lock.
+	floorBits atomic.Uint64
+	full      atomic.Bool
+}
+
+// updateFloor refreshes the lock-free threshold cache; caller holds mu.
+func (b *leaderboard) updateFloor() {
+	if len(b.entries) < b.cap {
+		b.full.Store(false)
+		b.floorBits.Store(0)
+		return
+	}
+	b.floorBits.Store(math.Float64bits(b.entries[len(b.entries)-1].Prominence))
+	b.full.Store(true)
 }
 
 // offerAll inserts the entries in descending-prominence order (stable for
@@ -662,6 +755,7 @@ func (b *leaderboard) offerAll(entries []boardEntry) {
 			b.entries = b.entries[:b.cap]
 		}
 	}
+	b.updateFloor()
 }
 
 // marshal serialises the board for the checkpoint sidecar.
@@ -688,19 +782,19 @@ func (b *leaderboard) restore(data []byte) error {
 	}
 	b.mu.Lock()
 	b.entries = entries
+	b.updateFloor()
 	b.mu.Unlock()
 	return nil
 }
 
 // floor returns the prominence of the board's weakest entry and whether
 // the board is at capacity (only then is the floor a rejection threshold).
+// It is lock-free — the ingest hot path calls it per arrival, and after
+// warmup almost every arrival stops here — reading the cache offerAll
+// and restore maintain; a stale read only admits extra candidates, which
+// offerAll re-filters under its lock.
 func (b *leaderboard) floor() (float64, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.entries) < b.cap {
-		return 0, false
-	}
-	return b.entries[len(b.entries)-1].Prominence, true
+	return math.Float64frombits(b.floorBits.Load()), b.full.Load()
 }
 
 // top returns the k highest-prominence entries.

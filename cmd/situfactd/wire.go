@@ -125,6 +125,74 @@ type walWire struct {
 	Segments int `json:"segments"`
 }
 
+// ingestShardWire is one shard writer's row of the ingest block.
+type ingestShardWire struct {
+	Shard int `json:"shard"`
+	// QueueDepth is the writer's current pending-operation count.
+	QueueDepth int `json:"queue_depth"`
+	// Enqueued / Batches count accepted operations and drain wakeups;
+	// their ratio is the shard's mean drained-batch size.
+	Enqueued uint64 `json:"enqueued"`
+	Batches  uint64 `json:"batches"`
+	MaxBatch int    `json:"max_batch"`
+	// FullWaits counts producer blocks on a full queue (backpressure).
+	FullWaits uint64 `json:"full_waits"`
+}
+
+// ingestWire is the ingest-pipeline block of GET /v1/metrics.
+type ingestWire struct {
+	// Pipeline reports whether the per-shard batching writers are running
+	// (-pipeline); false means requests take the direct locked path and
+	// the remaining fields are zero.
+	Pipeline bool `json:"pipeline"`
+	// QueueDepth is the pending-operation count summed over all shards.
+	QueueDepth int    `json:"queue_depth"`
+	Enqueued   uint64 `json:"enqueued"`
+	Batches    uint64 `json:"batches"`
+	// MeanBatch and MaxBatch summarise drained-batch sizes across shards.
+	MeanBatch float64 `json:"mean_batch"`
+	MaxBatch  int     `json:"max_batch"`
+	// FullWaits sums the shards' backpressure (queue-full) events.
+	FullWaits uint64 `json:"full_waits"`
+	// BatchHist is the merged drained-batch-size histogram: bucket i
+	// counts batches of size (2^(i-1), 2^i], the last bucket everything
+	// larger.
+	BatchHist []uint64          `json:"batch_hist,omitempty"`
+	PerShard  []ingestShardWire `json:"per_shard,omitempty"`
+}
+
+// toWireIngest merges per-shard writer snapshots into the wire block;
+// nil stats (pipeline off) yield the zero block.
+func toWireIngest(stats []situfact.IngestStats) ingestWire {
+	out := ingestWire{Pipeline: stats != nil}
+	if stats == nil {
+		return out
+	}
+	hist := make([]uint64, len(situfact.IngestStats{}.BatchHist))
+	out.PerShard = make([]ingestShardWire, len(stats))
+	for i, st := range stats {
+		out.QueueDepth += st.Depth
+		out.Enqueued += st.Enqueued
+		out.Batches += st.Batches
+		out.FullWaits += st.FullWaits
+		if st.MaxBatch > out.MaxBatch {
+			out.MaxBatch = st.MaxBatch
+		}
+		for b, c := range st.BatchHist {
+			hist[b] += c
+		}
+		out.PerShard[i] = ingestShardWire{
+			Shard: i, QueueDepth: st.Depth, Enqueued: st.Enqueued,
+			Batches: st.Batches, MaxBatch: st.MaxBatch, FullWaits: st.FullWaits,
+		}
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(out.Enqueued) / float64(out.Batches)
+	}
+	out.BatchHist = hist
+	return out
+}
+
 // snapshotWire is the checkpoint block of GET /v1/metrics.
 type snapshotWire struct {
 	// Enabled reports whether the daemon persists snapshots (-state-dir).
@@ -146,6 +214,7 @@ type metricsResponse struct {
 	Merged        metricsWire  `json:"merged"`
 	PerShard      []shardWire  `json:"per_shard"`
 	WAL           walWire      `json:"wal"`
+	Ingest        ingestWire   `json:"ingest"`
 	Snapshot      snapshotWire `json:"snapshot"`
 }
 

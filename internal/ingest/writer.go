@@ -1,0 +1,168 @@
+// Package ingest provides the batching half of the pipelined ingest
+// path: a long-lived writer goroutine fed by a bounded queue, draining
+// whatever has accumulated since its last wakeup into one batch.
+//
+// The package is deliberately generic and dependency-free — it knows
+// nothing about rows, journals or shards. The pool builds one Writer per
+// shard and supplies a process function that journals, applies and
+// completes the drained operations; Writer contributes the queueing
+// discipline (FIFO per writer, bounded, blocking on overflow) and the
+// monitoring counters (queue depth, drained-batch-size histogram,
+// backpressure waits) that /v1/metrics reports.
+package ingest
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// batchHistBuckets is the number of power-of-two drained-batch-size
+// buckets: bucket i counts batches of size in (2^(i-1), 2^i], so bucket 0
+// is single-op batches (no batching win) and the top bucket is everything
+// past 2^(batchHistBuckets-2).
+const batchHistBuckets = 9
+
+// Writer is one batching queue/goroutine pair. Enqueue is safe for any
+// number of producers; the single consumer goroutine drains the queue
+// into maximal batches and hands each to the process function, so per-op
+// costs the function can amortise (locks, journal passes, fsyncs) are
+// paid once per batch under load and once per op when idle.
+type Writer[T any] struct {
+	mu      sync.Mutex
+	notFull sync.Cond // waits: producers blocked on a full queue
+	wake    sync.Cond // waits: the consumer, on an empty queue
+	queue   []T       // pending ops, FIFO
+	spare   []T       // drained buffer recycled between wakeups
+	cap     int
+	closed  bool
+	done    chan struct{}
+
+	// Monitoring counters, maintained under mu.
+	enqueued  uint64
+	batches   uint64
+	maxBatch  int
+	fullWaits uint64 // producer blocks on a full queue (backpressure)
+	hist      [batchHistBuckets]uint64
+}
+
+// Stats is a monitoring snapshot of one Writer.
+type Stats struct {
+	// Depth is the current queue depth (ops accepted, not yet drained).
+	Depth int
+	// Enqueued is the total ops accepted since start.
+	Enqueued uint64
+	// Batches is the number of drain wakeups; Enqueued/Batches is the
+	// mean drained-batch size.
+	Batches uint64
+	// MaxBatch is the largest batch drained in one wakeup.
+	MaxBatch int
+	// FullWaits counts producer blocks on a full queue — each is one
+	// backpressure event where ingest outran the writer.
+	FullWaits uint64
+	// BatchHist is a power-of-two histogram of drained batch sizes:
+	// bucket i counts batches of size (2^(i-1), 2^i], the last bucket
+	// counts everything larger.
+	BatchHist [batchHistBuckets]uint64
+}
+
+// NewWriter starts a writer whose queue holds at most capacity ops
+// (<= 0 selects 256). process receives each drained batch on the writer
+// goroutine; it must not call back into this Writer.
+func NewWriter[T any](capacity int, process func(batch []T)) *Writer[T] {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	w := &Writer[T]{cap: capacity, done: make(chan struct{})}
+	w.notFull.L = &w.mu
+	w.wake.L = &w.mu
+	go w.run(process)
+	return w
+}
+
+// Enqueue appends op to the queue, blocking while the queue is full. It
+// reports false when the writer is closed (the op was not accepted) —
+// callers fall back to their direct path.
+func (w *Writer[T]) Enqueue(op T) bool {
+	w.mu.Lock()
+	for len(w.queue) >= w.cap && !w.closed {
+		w.fullWaits++
+		w.notFull.Wait()
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return false
+	}
+	w.queue = append(w.queue, op)
+	w.enqueued++
+	w.mu.Unlock()
+	w.wake.Signal()
+	return true
+}
+
+// run is the writer goroutine: drain everything queued, process it as
+// one batch, repeat until closed and empty.
+func (w *Writer[T]) run(process func([]T)) {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.wake.Wait()
+		}
+		if len(w.queue) == 0 { // closed and drained
+			w.mu.Unlock()
+			return
+		}
+		// Swap buffers so producers refill w.queue while this batch is
+		// processed outside the lock.
+		batch := w.queue
+		w.queue = w.spare[:0]
+		w.batches++
+		if len(batch) > w.maxBatch {
+			w.maxBatch = len(batch)
+		}
+		w.hist[histBucket(len(batch))]++
+		w.mu.Unlock()
+		w.notFull.Broadcast()
+
+		process(batch)
+
+		clear(batch) // drop op references so pooled ops are collectable
+		w.spare = batch
+	}
+}
+
+// histBucket maps a batch size to its power-of-two bucket.
+func histBucket(n int) int {
+	b := bits.Len(uint(n - 1)) // ceil(log2 n); 0 for n == 1
+	if b >= batchHistBuckets {
+		b = batchHistBuckets - 1
+	}
+	return b
+}
+
+// Close stops accepting ops, waits for the queue to drain and the writer
+// goroutine to exit. Safe to call twice; Enqueue returns false afterwards.
+func (w *Writer[T]) Close() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		w.wake.Signal()
+		w.notFull.Broadcast()
+	}
+	w.mu.Unlock()
+	<-w.done
+}
+
+// Stats returns a monitoring snapshot.
+func (w *Writer[T]) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Depth:     len(w.queue),
+		Enqueued:  w.enqueued,
+		Batches:   w.batches,
+		MaxBatch:  w.maxBatch,
+		FullWaits: w.fullWaits,
+		BatchHist: w.hist,
+	}
+}

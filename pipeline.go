@@ -1,0 +1,371 @@
+package situfact
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ingest"
+	"repro/internal/persist"
+)
+
+// Pipelined ingest: StartPipeline gives every shard a long-lived writer
+// goroutine fed by a bounded queue, decoupling accept → journal → apply
+// → respond. Append/AppendBatch/Delete keep their synchronous APIs —
+// the caller still returns only after its operation is applied and (with
+// a WAL) durable — but instead of taking the shard lock and journaling
+// per row, they enqueue an operation and wait on its future. The writer
+// drains whatever has queued since its last wakeup and pays the per-row
+// overheads once per batch: one WAL append pass (persist.WAL.AppendAll),
+// one shard-lock acquisition covering journal + apply, and one
+// group-committed fsync. Under load, batches grow and per-row cost
+// amortises toward the engine's own apply time; when idle, batches are
+// single ops and the path degenerates to the direct one.
+//
+// Invariants carried over from the direct path, exactly:
+//   - journal-before-apply, under the owning shard's lock, so each
+//     shard's journal order equals its apply order (Checkpoint's
+//     truncation-cover proof depends on this atomicity);
+//   - acknowledgement only after the record's group-committed fsync
+//     (ack-after-fsync), durability mode per WALOptions;
+//   - per-shard FIFO: operations racing for one shard are applied in
+//     enqueue order, and one caller's ordered operations stay ordered.
+//
+// Lifecycle: start the pipeline after recovery (ReplayWAL + AttachWAL)
+// and before serving traffic; stop it after in-flight operations have
+// drained. Stopping while calls are in flight is a lifecycle race like
+// AttachWAL's — in-flight operations still complete correctly (they fall
+// back to the direct path), but ordering with the draining writers is no
+// longer guaranteed.
+
+// PipelineOptions configures Pool.StartPipeline.
+type PipelineOptions struct {
+	// QueueDepth bounds each shard's pending-operation queue; a full
+	// queue blocks producers until the writer drains (backpressure,
+	// counted in IngestStats.FullWaits). <= 0 selects 256.
+	QueueDepth int
+}
+
+// IngestStats is one shard writer's monitoring snapshot: queue depth,
+// drained-batch-size histogram, and backpressure counters.
+type IngestStats = ingest.Stats
+
+// pipeline is the running per-shard writer set plus the shared
+// group-committer; Pool.pipe holds it.
+type pipeline struct {
+	writers []*ingest.Writer[*ingestOp]
+	// commits feeds journaled-and-applied batches to the committer
+	// goroutine, which coalesces their durability waits into shared
+	// fsyncs and completes the futures. Writers hand a batch off here
+	// instead of blocking on its fsync themselves, so a shard keeps
+	// journaling and applying its next batch while the previous one is
+	// being made durable — the fsync rate self-paces to the device
+	// (one fsync in flight, everything queued meanwhile joins the next)
+	// instead of tracking the batch rate.
+	commits    chan commitGroup
+	commitDone chan struct{}
+}
+
+// commitGroup is one drained batch awaiting durability: every op is
+// journaled (≤ lsn) and applied, none are acknowledged yet.
+type commitGroup struct {
+	lsn uint64
+	ops []*ingestOp
+}
+
+// ingestOp is one queued operation plus its completion future. The
+// writer goroutine fills arr/err and calls wg.Done exactly once; the
+// enqueuing caller owns the op again after wg.Wait returns.
+type ingestOp struct {
+	rec persist.Record // Type + Shard, Dims/Measures (append) or TupleID (delete)
+	arr *Arrival       // result of a successful append
+	err error
+	wg  *sync.WaitGroup
+}
+
+// opPool recycles ingestOps: steady-state ingest costs no future
+// allocations beyond the caller's stack WaitGroup.
+var opPool = sync.Pool{New: func() any { return new(ingestOp) }}
+
+func getOp() *ingestOp { return opPool.Get().(*ingestOp) }
+
+func putOp(op *ingestOp) {
+	*op = ingestOp{}
+	opPool.Put(op)
+}
+
+// StartPipeline starts one batching writer per shard and routes every
+// subsequent Append/AppendBatch/Delete through it. Call after recovery
+// (ReplayWAL/AttachWAL), before serving traffic. A pool accepts one
+// pipeline at a time; StopPipeline (or Close) tears it down.
+func (p *Pool) StartPipeline(opt PipelineOptions) error {
+	pipe := &pipeline{
+		writers:    make([]*ingest.Writer[*ingestOp], len(p.shards)),
+		commits:    make(chan commitGroup, 4*len(p.shards)),
+		commitDone: make(chan struct{}),
+	}
+	for i := range pipe.writers {
+		shard := i
+		// recs is the writer's private journal-batch scratch: the writer
+		// goroutine is the only user, so one slice serves every batch.
+		var recs []persist.Record
+		pipe.writers[i] = ingest.NewWriter(opt.QueueDepth, func(batch []*ingestOp) {
+			recs = p.processShardBatch(pipe, shard, batch, recs[:0])
+		})
+	}
+	go p.commitLoop(pipe)
+	if !p.pipe.CompareAndSwap(nil, pipe) {
+		for _, w := range pipe.writers {
+			w.Close()
+		}
+		close(pipe.commits)
+		<-pipe.commitDone
+		return fmt.Errorf("situfact: pool already has an ingest pipeline")
+	}
+	return nil
+}
+
+// StopPipeline detaches the pipeline, drains every shard's queue, stops
+// the writers and the committer; the pool reverts to the direct ingest
+// path. A no-op when no pipeline is running.
+func (p *Pool) StopPipeline() {
+	pipe := p.pipe.Swap(nil)
+	if pipe == nil {
+		return
+	}
+	for _, w := range pipe.writers {
+		w.Close()
+	}
+	// Writers are drained and stopped; nothing feeds the committer now.
+	close(pipe.commits)
+	<-pipe.commitDone
+}
+
+// commitLoop is the pipeline's durability stage: it gathers every batch
+// the writers have handed off, waits out ONE fsync covering the highest
+// LSN among them, and completes all their futures. While that fsync is
+// on disk more batches queue up and join the next pass — cross-shard
+// group commit at the granularity of whole batches.
+func (p *Pool) commitLoop(pipe *pipeline) {
+	defer close(pipe.commitDone)
+	var pending []commitGroup
+	for {
+		grp, ok := <-pipe.commits
+		if !ok {
+			return
+		}
+		pending = append(pending[:0], grp)
+		closed := false
+	gather:
+		for {
+			select {
+			case g, ok := <-pipe.commits:
+				if !ok {
+					closed = true
+					break gather
+				}
+				pending = append(pending, g)
+			default:
+				break gather
+			}
+		}
+		var top uint64
+		for _, g := range pending {
+			if g.lsn > top {
+				top = g.lsn
+			}
+		}
+		err := p.wal.commit(top)
+		var werr error
+		if err != nil {
+			werr = fmt.Errorf("%w: %w", ErrWALFailed, err)
+		}
+		for _, g := range pending {
+			for _, op := range g.ops {
+				// A failed durability wait reports ErrWALFailed even where
+				// the apply succeeded (matching the direct path); an apply
+				// error that already happened keeps its own, more specific
+				// error.
+				if werr != nil && op.err == nil {
+					op.arr, op.err = nil, werr
+				}
+				op.wg.Done()
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// PipelineStats returns one monitoring snapshot per shard writer, nil
+// when no pipeline is running.
+func (p *Pool) PipelineStats() []IngestStats {
+	pipe := p.pipe.Load()
+	if pipe == nil {
+		return nil
+	}
+	out := make([]IngestStats, len(pipe.writers))
+	for i, w := range pipe.writers {
+		out[i] = w.Stats()
+	}
+	return out
+}
+
+// processShardBatch is the shard writer's drain handler: one WAL append
+// pass and one shard-lock acquisition cover the whole batch. The lock
+// spans journal + apply so the shard's journal order equals its apply
+// order — the same atomicity the direct path gets from journaling under
+// the lock, which Checkpoint's truncation cover relies on. Journaled
+// batches are then handed to the committer, which completes the futures
+// once a group fsync covers them — this writer immediately drains its
+// next batch instead of waiting. Unjournaled batches (no WAL) complete
+// inline. Errors are stored unwrapped (no "situfact:" prefix); the
+// enqueuing caller adds its own context, mirroring journalAppend's
+// contract.
+func (p *Pool) processShardBatch(pipe *pipeline, shard int, ops []*ingestOp, recs []persist.Record) []persist.Record {
+	sh := &p.shards[shard]
+	sh.mu.Lock()
+	var lastLSN, firstLSN uint64
+	if p.wal != nil {
+		for _, op := range ops {
+			recs = append(recs, op.rec)
+		}
+		last, err := p.wal.w.AppendAll(recs)
+		if err != nil {
+			sh.mu.Unlock()
+			werr := fmt.Errorf("%w: %w", ErrWALFailed, err)
+			for _, op := range ops {
+				op.err = werr
+				op.wg.Done()
+			}
+			return recs
+		}
+		lastLSN = last
+		firstLSN = last - uint64(len(ops)) + 1
+	}
+	for i, op := range ops {
+		var lsn uint64
+		if lastLSN > 0 {
+			lsn = firstLSN + uint64(i)
+		}
+		switch op.rec.Type {
+		case persist.RecAppend:
+			arr, err := sh.eng.Append(op.rec.Dims, op.rec.Measures)
+			if err != nil {
+				// Journaled but failed to apply: replay re-fails the record
+				// identically, exactly as on the direct path.
+				op.err = err
+				continue
+			}
+			if lsn > 0 {
+				sh.lastLSN = lsn
+			}
+			arr.Shard = shard
+			op.arr = arr
+		case persist.RecDelete:
+			err := sh.eng.Delete(op.rec.TupleID)
+			if err == nil && lsn > 0 {
+				sh.lastLSN = lsn
+			}
+			op.err = err
+		}
+	}
+	sh.mu.Unlock()
+	if lastLSN > 0 {
+		// Hand the batch to the committer. The ops are copied out because
+		// the writer recycles its batch slice as soon as this returns.
+		pipe.commits <- commitGroup{lsn: lastLSN, ops: append([]*ingestOp(nil), ops...)}
+		return recs
+	}
+	for _, op := range ops {
+		op.wg.Done()
+	}
+	return recs
+}
+
+// enqueueWait enqueues op on shard's writer and waits out its future.
+// ok reports whether the pipeline accepted the op; when false (the
+// pipeline stopped mid-call) the caller must run its direct path.
+func (p *Pool) enqueueWait(pipe *pipeline, shard int, op *ingestOp) (ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	op.wg = &wg
+	if !pipe.writers[shard].Enqueue(op) {
+		return false
+	}
+	wg.Wait()
+	return true
+}
+
+// pipelineAppend runs one append through the pipeline. handled reports
+// whether the pipeline took the operation; when false the caller falls
+// back to the direct path.
+func (p *Pool) pipelineAppend(pipe *pipeline, shard int, dims []string, measures []float64) (arr *Arrival, err error, handled bool) {
+	op := getOp()
+	op.rec = persist.Record{Type: persist.RecAppend, Shard: shard, Dims: dims, Measures: measures}
+	if !p.enqueueWait(pipe, shard, op) {
+		putOp(op)
+		return nil, nil, false
+	}
+	arr, err = op.arr, op.err
+	putOp(op)
+	if err != nil && errors.Is(err, ErrWALFailed) {
+		err = fmt.Errorf("situfact: pool: %w", err)
+	}
+	return arr, err, true
+}
+
+// pipelineDelete runs one delete through the pipeline — the same queue
+// as appends, so a shard's deletes order with its appends exactly as
+// they were enqueued. handled is as in pipelineAppend.
+func (p *Pool) pipelineDelete(pipe *pipeline, shard int, tupleID int64) (err error, handled bool) {
+	op := getOp()
+	op.rec = persist.Record{Type: persist.RecDelete, Shard: shard, TupleID: tupleID}
+	if !p.enqueueWait(pipe, shard, op) {
+		putOp(op)
+		return nil, false
+	}
+	err = op.err
+	putOp(op)
+	if err != nil && errors.Is(err, ErrWALFailed) {
+		err = fmt.Errorf("situfact: pool: %w", err)
+	}
+	return err, true
+}
+
+// pipelineAppendBatch fans rows across the shard writers and waits for
+// every future. Rows keep input order within each shard (enqueue order =
+// apply order); the returned arrivals are in input order. Unlike the
+// direct path, an engine error on one row does not stop that shard's
+// later rows — every row is journaled and attempted, and errors are
+// joined per row.
+func (p *Pool) pipelineAppendBatch(pipe *pipeline, rows []Row) ([]*Arrival, error) {
+	ops := make([]*ingestOp, len(rows))
+	var wg sync.WaitGroup
+	wg.Add(len(rows))
+	for i, r := range rows {
+		shard := p.ShardFor(r.Dims[p.shardDim])
+		op := getOp()
+		op.rec = persist.Record{Type: persist.RecAppend, Shard: shard, Dims: r.Dims, Measures: r.Measures}
+		op.wg = &wg
+		ops[i] = op
+		if !pipe.writers[shard].Enqueue(op) {
+			// Pipeline stopped mid-call (a lifecycle race the API forbids);
+			// resolve this row directly so the batch still completes.
+			op.arr, op.err = p.directAppend(shard, r.Dims, r.Measures)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	out := make([]*Arrival, len(rows))
+	var errs []error
+	for i, op := range ops {
+		out[i] = op.arr
+		if op.err != nil {
+			errs = append(errs, fmt.Errorf("situfact: pool shard %d, row %d: %w", op.rec.Shard, i, op.err))
+		}
+		putOp(op)
+	}
+	return out, errors.Join(errs...)
+}

@@ -1,0 +1,427 @@
+package situfact
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// newPipelinedPool builds a pool with the ingest pipeline running.
+func newPipelinedPool(t *testing.T, shards int, depth int) *Pool {
+	t.Helper()
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: shards, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartPipeline(PipelineOptions{QueueDepth: depth}); err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestPipelineEquivalence is the pipeline's acceptance property: routed
+// through the per-shard batching writers, every arrival's facts and the
+// pool's final metrics are bit-identical to the direct Pool.Append path
+// over the same substream — via Append, AppendBatch, and interleaved
+// Deletes.
+func TestPipelineEquivalence(t *testing.T) {
+	rows := poolRows(200)
+	direct, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	piped := newPipelinedPool(t, 3, 0)
+
+	for i, r := range rows {
+		want, err := direct.Append(r.Dims, r.Measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := piped.Append(r.Dims, r.Measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Shard != want.Shard {
+			t.Fatalf("row %d routed to shard %d, direct path routed to %d", i, got.Shard, want.Shard)
+		}
+		factsEqual(t, fmt.Sprintf("row %d (pipelined Append)", i), want, got)
+		// Interleave deletes so the queue carries both op types in order.
+		if i%17 == 3 {
+			if err := direct.Delete(want.Shard, want.TupleID); err != nil {
+				t.Fatal(err)
+			}
+			if err := piped.Delete(got.Shard, got.TupleID); err != nil {
+				t.Fatalf("pipelined delete of %d:%d: %v", got.Shard, got.TupleID, err)
+			}
+		}
+	}
+	if dm, pm := direct.Metrics(), piped.Metrics(); dm != pm {
+		t.Errorf("pipelined metrics %+v != direct %+v", pm, dm)
+	}
+	if direct.Len() != piped.Len() {
+		t.Errorf("pipelined Len %d != direct %d", piped.Len(), direct.Len())
+	}
+
+	// AppendBatch through the pipeline, against the same direct reference.
+	directB, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer directB.Close()
+	pipedB := newPipelinedPool(t, 3, 8) // small queue: batches must split
+	var wantArrs, gotArrs []*Arrival
+	for lo := 0; lo < len(rows); lo += 32 {
+		hi := min(lo+32, len(rows))
+		w, err := directB.AppendBatch(rows[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := pipedB.AppendBatch(rows[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantArrs = append(wantArrs, w...)
+		gotArrs = append(gotArrs, g...)
+	}
+	for i := range wantArrs {
+		factsEqual(t, fmt.Sprintf("row %d (pipelined AppendBatch)", i), wantArrs[i], gotArrs[i])
+	}
+	if dm, pm := directB.Metrics(), pipedB.Metrics(); dm != pm {
+		t.Errorf("pipelined batch metrics %+v != direct %+v", pm, dm)
+	}
+}
+
+// TestPipelineWALReplay journals a pipelined stream (appends + deletes),
+// then replays the log into a fresh pool: recovered metrics and length
+// must equal the original — the batched journal pass preserves
+// journal-order-equals-apply-order per shard.
+func TestPipelineWALReplay(t *testing.T) {
+	rows := poolRows(120)
+	dir := t.TempDir()
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(p, dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartPipeline(PipelineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var arrs []*Arrival
+	for _, r := range rows {
+		arr, err := p.Append(r.Dims, r.Measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrs = append(arrs, arr)
+	}
+	for i := 0; i < len(arrs); i += 13 {
+		if err := p.Delete(arrs[i].Shard, arrs[i].TupleID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMetrics, wantLen := p.Metrics(), p.Len()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	w2, err := OpenWAL(r, dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	stats, err := r.ReplayWAL(w2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed > 0 {
+		t.Errorf("replay re-failed %d records of a clean stream", stats.Failed)
+	}
+	if got := r.Metrics(); got != wantMetrics {
+		t.Errorf("replayed metrics %+v, want %+v", got, wantMetrics)
+	}
+	if r.Len() != wantLen {
+		t.Errorf("replayed Len %d, want %d", r.Len(), wantLen)
+	}
+}
+
+// TestPipelineCheckpointTail checkpoints mid-stream with the pipeline
+// running, keeps ingesting, and recovers snapshot + tail: the per-shard
+// LSN watermarks captured under the shard lock must stay exact even
+// though journaling is batched.
+func TestPipelineCheckpointTail(t *testing.T) {
+	rows := poolRows(160)
+	dir := t.TempDir()
+	snapDir := t.TempDir()
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(p, dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartPipeline(PipelineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[:100] {
+		if _, err := p.Append(r.Dims, r.Measures); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Checkpoint(snapDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[100:] {
+		if _, err := p.Append(r.Dims, r.Measures); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMetrics, wantLen := p.Metrics(), p.Len()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, _, err := RestorePool(poolSchema(t), snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	w2, err := OpenWAL(r, dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	stats, err := r.ReplayWAL(w2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped == 0 {
+		t.Error("replay skipped nothing; the checkpoint's watermarks were lost")
+	}
+	if got := r.Metrics(); got != wantMetrics {
+		t.Errorf("recovered metrics %+v, want %+v", got, wantMetrics)
+	}
+	if r.Len() != wantLen {
+		t.Errorf("recovered Len %d, want %d", r.Len(), wantLen)
+	}
+}
+
+// TestPipelineStress hammers one pipelined pool from many goroutines —
+// mixed Append, AppendBatch and Delete, with a WAL attached and a small
+// queue so backpressure engages. Run under -race (CI does); the
+// assertions are conservation properties: every acknowledged row is
+// either live or deleted, and the stats counters account for every op.
+func TestPipelineStress(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 4, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w, err := OpenWAL(p, dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartPipeline(PipelineOptions{QueueDepth: 16}); err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 60
+	rows := poolRows(workers * perWorker)
+	var appended, deleted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := rows[g*perWorker : (g+1)*perWorker]
+			for i := 0; i < len(mine); {
+				if g%3 == 0 && i+8 <= len(mine) { // every third worker batches
+					arrs, err := p.AppendBatch(mine[i : i+8])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					appended += int64(len(arrs))
+					mu.Unlock()
+					i += 8
+					continue
+				}
+				arr, err := p.Append(mine[i].Dims, mine[i].Measures)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				appended++
+				mu.Unlock()
+				if i%9 == 4 { // delete my own acked row: per-shard FIFO orders it after the append
+					if err := p.Delete(arr.Shard, arr.TupleID); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					deleted++
+					mu.Unlock()
+				}
+				i++
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if want := int(appended - deleted); p.Len() != want {
+		t.Errorf("Len = %d, want %d (appended %d − deleted %d)", p.Len(), want, appended, deleted)
+	}
+	var enq uint64
+	for _, st := range p.PipelineStats() {
+		enq += st.Enqueued
+		var hist uint64
+		for _, c := range st.BatchHist {
+			hist += c
+		}
+		if hist != st.Batches {
+			t.Errorf("shard histogram sums to %d, want %d batches", hist, st.Batches)
+		}
+	}
+	if want := uint64(appended + deleted); enq != want {
+		t.Errorf("writers enqueued %d ops, want %d", enq, want)
+	}
+	// The log must carry exactly one record per acknowledged op.
+	if st := w.Stats(); st.LastLSN != uint64(appended+deleted) {
+		t.Errorf("wal holds %d records, want %d", st.LastLSN, appended+deleted)
+	}
+}
+
+// TestPipelineLifecycle pins start/stop semantics: double start errors,
+// stop reverts to the direct path, and both paths ingest correctly.
+func TestPipelineLifecycle(t *testing.T) {
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 2, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.StartPipeline(PipelineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartPipeline(PipelineOptions{}); err == nil {
+		t.Fatal("second StartPipeline succeeded")
+	} else if !strings.Contains(err.Error(), "already has an ingest pipeline") {
+		t.Fatalf("second StartPipeline error = %v", err)
+	}
+	if p.PipelineStats() == nil {
+		t.Fatal("PipelineStats = nil while running")
+	}
+	rows := poolRows(10)
+	if _, err := p.Append(rows[0].Dims, rows[0].Measures); err != nil {
+		t.Fatal(err)
+	}
+	p.StopPipeline()
+	if p.PipelineStats() != nil {
+		t.Fatal("PipelineStats non-nil after stop")
+	}
+	if _, err := p.Append(rows[1].Dims, rows[1].Measures); err != nil {
+		t.Fatalf("direct append after StopPipeline: %v", err)
+	}
+	p.StopPipeline() // idempotent
+	if err := p.StartPipeline(PipelineOptions{}); err != nil {
+		t.Fatalf("restart after stop: %v", err)
+	}
+	if _, err := p.Append(rows[2].Dims, rows[2].Measures); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+}
+
+// TestPipelineRejectsBadRows pins the pre-queue validation: malformed
+// and oversized rows fail synchronously, are never journaled, and never
+// reach the writers.
+func TestPipelineRejectsBadRows(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 2, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w, err := OpenWAL(p, dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartPipeline(PipelineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append([]string{"only-one"}, []float64{1, 2}); err == nil {
+		t.Error("short row accepted")
+	}
+	huge := strings.Repeat("x", 17<<20)
+	if _, err := p.Append([]string{huge, "p", "Jan"}, []float64{1, 2}); !errors.Is(err, ErrRowTooLarge) {
+		t.Errorf("oversized row error = %v, want ErrRowTooLarge", err)
+	}
+	if _, err := p.AppendBatch([]Row{{Dims: []string{huge, "p", "Jan"}, Measures: []float64{1, 2}}}); !errors.Is(err, ErrRowTooLarge) {
+		t.Errorf("oversized batch row error = %v, want ErrRowTooLarge", err)
+	}
+	if st := w.Stats(); st.LastLSN != 0 {
+		t.Errorf("rejected rows left %d WAL records", st.LastLSN)
+	}
+	for _, st := range p.PipelineStats() {
+		if st.Enqueued != 0 {
+			t.Errorf("rejected rows reached a writer queue (enqueued %d)", st.Enqueued)
+		}
+	}
+	// Unsupported deletes are rejected before the queue and the journal.
+	tp, err := NewPool(poolSchema(t), PoolOptions{Shards: 2, ShardDim: "team",
+		Engine: Options{Algorithm: AlgoSTopDown}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	if err := tp.StartPipeline(PipelineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Delete(0, 0); !errors.Is(err, ErrDeleteUnsupported) {
+		t.Errorf("TopDown pipelined delete error = %v, want ErrDeleteUnsupported", err)
+	}
+	for _, st := range tp.PipelineStats() {
+		if st.Enqueued != 0 {
+			t.Errorf("unsupported delete reached a writer queue")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/persist"
 )
@@ -45,6 +46,9 @@ type Pool struct {
 	// is replayed or attached. Watermarks are discarded against a log
 	// with a different epoch (see Pool.adoptWAL in wal.go).
 	walEpoch string
+	// pipe, when non-nil, is the running ingest pipeline: one batching
+	// writer goroutine per shard (see pipeline.go). Nil = direct path.
+	pipe atomic.Pointer[pipeline]
 }
 
 type poolShard struct {
@@ -130,7 +134,9 @@ func (p *Pool) ShardFor(value string) int {
 
 // Append routes one arriving row to the shard owning its partition value
 // and processes it there. It may be called from any number of goroutines;
-// arrivals racing for one shard are serialised in lock-acquisition order.
+// arrivals racing for one shard are serialised in lock-acquisition order
+// (direct path) or enqueue order (with the ingest pipeline running —
+// see StartPipeline); either way each shard applies them sequentially.
 func (p *Pool) Append(dims []string, measures []float64) (*Arrival, error) {
 	// Validated before journaling (the engine would reject these too, but
 	// a rejected row must not leave a permanent record in the WAL).
@@ -143,6 +149,25 @@ func (p *Pool) Append(dims []string, measures []float64) (*Arrival, error) {
 			len(measures), p.schema.rs.NumMeasures())
 	}
 	shard := p.ShardFor(dims[p.shardDim])
+	// Oversized rows are rejected before the queue or the journal sees
+	// them: one defective row must fail alone, not poison a whole drained
+	// batch (and must never leave a permanent record in the WAL).
+	if p.wal != nil && (persist.Record{Type: persist.RecAppend, Shard: shard,
+		Dims: dims, Measures: measures}).Oversized() {
+		return nil, fmt.Errorf("situfact: pool: %w (the WAL caps one record at 16 MiB)", ErrRowTooLarge)
+	}
+	if pipe := p.pipe.Load(); pipe != nil {
+		if arr, err, handled := p.pipelineAppend(pipe, shard, dims, measures); handled {
+			return arr, err
+		}
+	}
+	return p.directAppend(shard, dims, measures)
+}
+
+// directAppend is the unpipelined ingest path: journal and apply under
+// the shard's lock, then wait out the record's fsync. The caller has
+// already validated the row and resolved its shard.
+func (p *Pool) directAppend(shard int, dims []string, measures []float64) (*Arrival, error) {
 	s := &p.shards[shard]
 	s.mu.Lock()
 	lsn, err := p.journalAppend(shard, dims, measures)
@@ -200,7 +225,11 @@ func (p *Pool) journalAppend(shard int, dims []string, measures []float64) (uint
 // any row is processed. An engine error mid-batch stops that shard and is
 // reported after the remaining shards finish; arrivals already produced
 // (including later rows of unaffected shards) are returned alongside the
-// error, with the failed shard's unprocessed entries left nil.
+// error, with the failed shard's unprocessed entries left nil. With the
+// ingest pipeline running (StartPipeline) the rows fan out to the shard
+// writers instead: every row is journaled and attempted — an engine error
+// on one row no longer stops that shard's later rows — and failures are
+// joined per row, with only the failed rows' entries nil.
 func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 	d, m := p.schema.rs.NumDims(), p.schema.rs.NumMeasures()
 	for i, r := range rows {
@@ -217,6 +246,9 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 			return nil, fmt.Errorf("situfact: pool: row %d: %w (the WAL caps one record at 16 MiB)",
 				i, ErrRowTooLarge)
 		}
+	}
+	if pipe := p.pipe.Load(); pipe != nil {
+		return p.pipelineAppendBatch(pipe, rows)
 	}
 	perShard := make([][]int, len(p.shards))
 	for i, r := range rows {
@@ -289,6 +321,11 @@ func (p *Pool) Delete(shard int, tupleID int64) error {
 		// delete would abort every future replay of the log.
 		return fmt.Errorf("situfact: pool: Delete requires the BottomUp family; engines run %s: %w",
 			p.Algorithm(), ErrDeleteUnsupported)
+	}
+	if pipe := p.pipe.Load(); pipe != nil {
+		if err, handled := p.pipelineDelete(pipe, shard, tupleID); handled {
+			return err
+		}
 	}
 	s := &p.shards[shard]
 	s.mu.Lock()
@@ -380,8 +417,10 @@ func (p *Pool) Metrics() Metrics {
 }
 
 // Close releases every shard's resources; all shards are closed even if
-// some fail, and the failures are joined.
+// some fail, and the failures are joined. A running ingest pipeline is
+// drained and stopped first.
 func (p *Pool) Close() error {
+	p.StopPipeline()
 	var errs []error
 	for i := range p.shards {
 		if p.shards[i].eng == nil {

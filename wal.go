@@ -210,6 +210,9 @@ func (p *Pool) ReplayWAL(w *WAL, onArrival func(*Arrival)) (ReplayStats, error) 
 	if p.wal != nil {
 		return ReplayStats{}, fmt.Errorf("situfact: replay after AttachWAL would re-journal the log into itself")
 	}
+	if p.pipe.Load() != nil {
+		return ReplayStats{}, fmt.Errorf("situfact: replay with the ingest pipeline running would race its writers; replay before StartPipeline")
+	}
 	if w.meta != p.walMeta() {
 		return ReplayStats{}, fmt.Errorf("situfact: WAL was opened under %q, not this pool's %q", w.meta, p.walMeta())
 	}
