@@ -42,6 +42,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -72,6 +73,35 @@ type loadSchema struct {
 		Name string `json:"name"`
 	} `json:"measures"`
 	ShardDim string `json:"shard_dim"`
+	Shards   int    `json:"shards"`
+	Workers  int    `json:"workers"`
+}
+
+// loadIngestScrape is the sliver of GET /v1/metrics the report needs: the
+// ingest queues' current capacity and resize count, sampled before and
+// after the run so the report carries the run's own deltas.
+type loadIngestScrape struct {
+	Ingest struct {
+		QueueCap int    `json:"queue_cap"`
+		Resizes  uint64 `json:"resizes"`
+	} `json:"ingest"`
+}
+
+// scrapeIngest samples the daemon's ingest metrics; ok is false when the
+// endpoint is unreachable or predates the fields (the report then omits
+// them).
+func scrapeIngest(client *http.Client, base string) (loadIngestScrape, bool) {
+	var s loadIngestScrape
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return s, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return s, false
+	}
+	return s, json.NewDecoder(resp.Body).Decode(&s) == nil
 }
 
 // loadRow mirrors the daemon's row wire type.
@@ -137,11 +167,24 @@ func (a *ackRing) take() (string, bool) {
 // loadReport is the machine-readable form of one load run (-load-json),
 // the unit BENCH_PR*.json end-to-end comparisons are assembled from.
 type loadReport struct {
-	Schema          string  `json:"schema"` // "situbench-load/v1"
-	Endpoint        string  `json:"endpoint"`
-	Conns           int     `json:"conns"`
-	Batch           int     `json:"batch"`
-	Card            int     `json:"card"`
+	Schema   string `json:"schema"` // "situbench-load/v1"
+	Endpoint string `json:"endpoint"`
+	Conns    int    `json:"conns"`
+	Batch    int    `json:"batch"`
+	Card     int    `json:"card"`
+	// GoMaxProcs is the generator host's GOMAXPROCS — on the usual
+	// same-host setup, the cores the daemon and generator shared. A
+	// report without it predates the multicore matrix.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Shards and Workers describe the daemon (GET /v1/schema): pool
+	// shard count and discovery goroutines per shard engine.
+	Shards  int `json:"shards,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// QueueCap is the ingest queues' summed capacity at run end;
+	// QueueResizes the adaptive grow/shrink count during the run
+	// (/v1/metrics ingest deltas; both 0 on a fixed-depth daemon).
+	QueueCap        int     `json:"queue_cap,omitempty"`
+	QueueResizes    uint64  `json:"queue_resizes,omitempty"`
 	Dist            string  `json:"dist"`
 	ZipfS           float64 `json:"zipf_s,omitempty"`
 	DeleteFrac      float64 `json:"delete_frac,omitempty"`
@@ -159,8 +202,28 @@ type loadReport struct {
 	MaxMs           float64 `json:"max_ms"`
 }
 
-// runLoad executes the load run and writes the report to w.
+// runLoad executes the load run, writes the human summary to w and, with
+// JSONPath set, the machine report alongside. A run that saw request
+// errors or fixed-work truncation still writes its reports before the
+// error returns.
 func runLoad(w io.Writer, p loadParams) error {
+	rep, runErr := executeLoad(w, p)
+	if rep != nil && p.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return runErr
+}
+
+// executeLoad runs one load measurement and returns its report — nil only
+// when setup fails before any load ran. The matrix runner (matrix.go)
+// calls it per grid point; runLoad adds the -load-json file around it.
+func executeLoad(w io.Writer, p loadParams) (*loadReport, error) {
 	if p.Conns <= 0 {
 		p.Conns = 8
 	}
@@ -182,13 +245,13 @@ func runLoad(w io.Writer, p loadParams) error {
 	switch p.Dist {
 	case "uniform", "zipf":
 	default:
-		return fmt.Errorf("unknown -load-dist %q (want uniform or zipf)", p.Dist)
+		return nil, fmt.Errorf("unknown -load-dist %q (want uniform or zipf)", p.Dist)
 	}
 	if p.Dist == "zipf" && p.ZipfS <= 1 {
-		return fmt.Errorf("-load-zipf-s must be > 1, got %g", p.ZipfS)
+		return nil, fmt.Errorf("-load-zipf-s must be > 1, got %g", p.ZipfS)
 	}
 	if p.DeleteFrac < 0 || p.DeleteFrac >= 1 {
-		return fmt.Errorf("-load-delete-frac must be in [0, 1), got %g", p.DeleteFrac)
+		return nil, fmt.Errorf("-load-delete-frac must be in [0, 1), got %g", p.DeleteFrac)
 	}
 	base := strings.TrimRight(p.URL, "/")
 	client := &http.Client{
@@ -201,23 +264,24 @@ func runLoad(w io.Writer, p loadParams) error {
 
 	resp, err := client.Get(base + "/v1/schema")
 	if err != nil {
-		return fmt.Errorf("fetch schema: %w", err)
+		return nil, fmt.Errorf("fetch schema: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		resp.Body.Close()
-		return fmt.Errorf("fetch schema: %s returned %s: %s",
+		return nil, fmt.Errorf("fetch schema: %s returned %s: %s",
 			base+"/v1/schema", resp.Status, strings.TrimSpace(string(body)))
 	}
 	var schema loadSchema
 	err = json.NewDecoder(resp.Body).Decode(&schema)
 	resp.Body.Close()
 	if err != nil {
-		return fmt.Errorf("decode schema: %w", err)
+		return nil, fmt.Errorf("decode schema: %w", err)
 	}
 	if len(schema.Dimensions) == 0 || len(schema.Measures) == 0 {
-		return fmt.Errorf("daemon reported an empty schema")
+		return nil, fmt.Errorf("daemon reported an empty schema")
 	}
+	before, scraped := scrapeIngest(client, base)
 
 	endpoint := base + "/v1/tuples"
 	if p.Batch > 1 {
@@ -294,6 +358,9 @@ func runLoad(w io.Writer, p loadParams) error {
 		Conns:           p.Conns,
 		Batch:           p.Batch,
 		Card:            p.Card,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Shards:          schema.Shards,
+		Workers:         schema.Workers,
 		Dist:            p.Dist,
 		DeleteFrac:      p.DeleteFrac,
 		Seed:            p.Seed,
@@ -307,6 +374,10 @@ func runLoad(w io.Writer, p loadParams) error {
 	}
 	if p.Dist == "zipf" {
 		rep.ZipfS = p.ZipfS
+	}
+	if after, ok := scrapeIngest(client, base); ok && scraped {
+		rep.QueueCap = after.Ingest.QueueCap
+		rep.QueueResizes = after.Ingest.Resizes - before.Ingest.Resizes
 	}
 	if n := len(total.latencies); n > 0 {
 		rep.P50Ms = float64(percentile(total.latencies, 0.50)) / float64(time.Millisecond)
@@ -330,17 +401,8 @@ func runLoad(w io.Writer, p loadParams) error {
 			percentile(total.latencies, 0.99).Round(time.Microsecond),
 			total.latencies[len(total.latencies)-1].Round(time.Microsecond))
 	}
-	if p.JSONPath != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(p.JSONPath, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-	}
 	if total.errors > 0 {
-		return fmt.Errorf("%d of %d requests failed", total.errors, total.requests)
+		return &rep, fmt.Errorf("%d of %d requests failed", total.errors, total.requests)
 	}
 	// A fixed-work run that hit the duration cap is not the run that was
 	// asked for: the whole point of -load-rows is comparing configurations
@@ -348,10 +410,10 @@ func runLoad(w io.Writer, p loadParams) error {
 	// would be measured against a shallower, cheaper relation. Unclaimed
 	// budget means at least one worker exited on the deadline.
 	if p.Rows > 0 && rowBudget.Load() > 0 {
-		return fmt.Errorf("fixed-work run truncated: %d of %d rows before the %s -load-duration cap; raise -load-duration",
+		return &rep, fmt.Errorf("fixed-work run truncated: %d of %d rows before the %s -load-duration cap; raise -load-duration",
 			total.rows, p.Rows, p.Duration)
 	}
-	return nil
+	return &rep, nil
 }
 
 // newRowGen returns a generator of random rows under p's distribution.

@@ -12,7 +12,8 @@
 //	          [-dhat 0] [-mhat 0] [-workers 0] [-state-dir /var/lib/situfactd] \
 //	          [-wal] [-wal-sync 0s] [-wal-segment-bytes 0] \
 //	          [-snapshot-interval 0s] [-topk 128] [-relation stream] \
-//	          [-pipeline] [-pipeline-queue 0]
+//	          [-pipeline] [-pipeline-queue 0] [-pipeline-adaptive] \
+//	          [-shard-workers 0]
 //
 // Endpoints (wire format in docs/API.md):
 //
@@ -65,6 +66,7 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "pool shard count (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.shardDim, "shard-dim", "", "dimension attribute whose value routes a row to its shard (default: first of -dims)")
 	flag.IntVar(&cfg.workers, "workers", 0, "goroutines per engine for the parallel-* algorithms (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.shardWorkers, "shard-workers", 0, "run each shard's discovery with this many parallel-bottomup workers (shorthand for -algo parallel-bottomup -workers N; 0/1 = keep -algo; incompatible with -state-dir)")
 	flag.StringVar(&cfg.stateDir, "state-dir", "", "snapshot directory: restore on start, save on graceful shutdown (empty = no persistence)")
 	flag.BoolVar(&cfg.wal, "wal", false, "write-ahead log under <state-dir>/wal: journal every ingest before applying it, replay the tail on start (requires -state-dir)")
 	flag.DurationVar(&cfg.walSync, "wal-sync", 0, "WAL durability: 0 fsyncs (group-committed) before acknowledging each request; >0 fsyncs in the background on this interval, risking up to one interval of acknowledged records on crash")
@@ -73,6 +75,7 @@ func main() {
 	flag.IntVar(&cfg.boardCap, "topk", 128, "capacity of the GET /v1/facts/top leaderboard")
 	flag.BoolVar(&cfg.pipeline, "pipeline", true, "pipelined ingest: per-shard batching writer goroutines journal, fsync and apply whole queue drains at once (false = take the shard locks directly per request)")
 	flag.IntVar(&cfg.pipeQueue, "pipeline-queue", 0, "per-shard ingest queue depth; a full queue blocks producers (0 = 256)")
+	flag.BoolVar(&cfg.pipeAdaptive, "pipeline-adaptive", true, "let each shard's queue capacity float between a floor and -pipeline-queue, growing on backpressure and shrinking when calm (false = fixed at -pipeline-queue)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. localhost:6060); empty = off. Keep it on a loopback or firewalled port")
 	flag.Parse()
 	log.SetPrefix("situfactd: ")

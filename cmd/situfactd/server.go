@@ -33,6 +33,7 @@ type config struct {
 	shards       int           // pool shard count
 	shardDim     string        // dimension routing rows to shards; "" = first dimension
 	workers      int           // worker count for the parallel-* algorithms
+	shardWorkers int           // >1 = parallel-bottomup with N workers per shard
 	stateDir     string        // snapshot directory; "" disables persistence
 	wal          bool          // journal ingest to <stateDir>/wal, replay on start
 	walSync      time.Duration // 0 = fsync before every ack; >0 = background interval fsync
@@ -41,6 +42,7 @@ type config struct {
 	boardCap     int           // leaderboard capacity for GET /v1/facts/top
 	pipeline     bool          // per-shard batching ingest writers (Pool.StartPipeline)
 	pipeQueue    int           // per-shard ingest queue depth (0 = 256)
+	pipeAdaptive bool          // adaptive queue capacities (PipelineOptions.AdaptiveQueue)
 	pprofAddr    string        // extra net/http/pprof listener; "" = off
 }
 
@@ -114,6 +116,20 @@ func newServer(cfg config) (*server, error) {
 	if algo == "" {
 		algo = string(situfact.AlgoSBottomUp)
 	}
+	workers := cfg.workers
+	if cfg.shardWorkers > 1 {
+		// -shard-workers is shorthand for "apply each shard's batches with
+		// N discovery goroutines": it upgrades the bottomup family to
+		// parallel-bottomup. An explicit -algo outside that family is a
+		// contradiction, not something to silently override.
+		switch situfact.Algorithm(algo) {
+		case situfact.AlgoBottomUp, situfact.AlgoSBottomUp, situfact.AlgoParallelBottomUp:
+			algo = string(situfact.AlgoParallelBottomUp)
+			workers = cfg.shardWorkers
+		default:
+			return nil, fmt.Errorf("situfactd: -shard-workers %d runs parallel-bottomup per shard, which conflicts with -algo %s", cfg.shardWorkers, algo)
+		}
+	}
 	var pool *situfact.Pool
 	var sidecars map[string][]byte
 	if cfg.stateDir != "" {
@@ -152,7 +168,7 @@ func newServer(cfg config) (*server, error) {
 				Algorithm:      situfact.Algorithm(algo),
 				MaxBoundDims:   cfg.dhat,
 				MaxMeasureDims: cfg.mhat,
-				Workers:        cfg.workers,
+				Workers:        workers,
 			},
 		})
 		if err != nil {
@@ -236,7 +252,10 @@ func newServer(cfg config) (*server, error) {
 	// direct path, and every live request from here on batches through the
 	// per-shard writers.
 	if cfg.pipeline {
-		if err := pool.StartPipeline(situfact.PipelineOptions{QueueDepth: cfg.pipeQueue}); err != nil {
+		if err := pool.StartPipeline(situfact.PipelineOptions{
+			QueueDepth:    cfg.pipeQueue,
+			AdaptiveQueue: cfg.pipeAdaptive,
+		}); err != nil {
 			s.close()
 			return nil, fmt.Errorf("situfactd: %w", err)
 		}
@@ -350,6 +369,7 @@ func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		ShardDim:   s.pool.ShardDim(),
 		Shards:     s.pool.Shards(),
 		Algorithm:  s.pool.Algorithm(),
+		Workers:    s.pool.Workers(),
 	})
 }
 
@@ -382,7 +402,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Segments:   wst.Segments,
 		}
 	}
-	resp.Ingest = toWireIngest(s.pool.PipelineStats())
+	resp.Ingest = toWireIngest(s.pool.IngestSummary())
 	resp.Snapshot = snapshotWire{Enabled: s.cfg.stateDir != "", SecondsSinceLast: -1}
 	s.snapMu.Lock()
 	if !s.lastSnap.IsZero() {

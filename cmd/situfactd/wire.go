@@ -89,6 +89,9 @@ type schemaResponse struct {
 	ShardDim   string        `json:"shard_dim"`
 	Shards     int           `json:"shards"`
 	Algorithm  string        `json:"algorithm"`
+	// Workers is the discovery goroutines per shard engine (1 for the
+	// single-threaded algorithms; >1 under -shard-workers).
+	Workers int `json:"workers"`
 }
 
 // metricsWire mirrors situfact.Metrics.
@@ -128,8 +131,11 @@ type walWire struct {
 // ingestShardWire is one shard writer's row of the ingest block.
 type ingestShardWire struct {
 	Shard int `json:"shard"`
-	// QueueDepth is the writer's current pending-operation count.
+	// QueueDepth is the writer's current pending-operation count;
+	// QueueCap the queue's current capacity (fixed at -pipeline-queue, or
+	// floating below it under -pipeline-adaptive).
 	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
 	// Enqueued / Batches count accepted operations and drain wakeups;
 	// their ratio is the shard's mean drained-batch size.
 	Enqueued uint64 `json:"enqueued"`
@@ -137,6 +143,8 @@ type ingestShardWire struct {
 	MaxBatch int    `json:"max_batch"`
 	// FullWaits counts producer blocks on a full queue (backpressure).
 	FullWaits uint64 `json:"full_waits"`
+	// Resizes counts adaptive capacity changes (grows and shrinks).
+	Resizes uint64 `json:"resizes"`
 }
 
 // ingestWire is the ingest-pipeline block of GET /v1/metrics.
@@ -145,8 +153,10 @@ type ingestWire struct {
 	// (-pipeline); false means requests take the direct locked path and
 	// the remaining fields are zero.
 	Pipeline bool `json:"pipeline"`
-	// QueueDepth is the pending-operation count summed over all shards.
+	// QueueDepth and QueueCap sum the shards' pending-operation counts
+	// and current queue capacities.
 	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
 	Enqueued   uint64 `json:"enqueued"`
 	Batches    uint64 `json:"batches"`
 	// MeanBatch and MaxBatch summarise drained-batch sizes across shards.
@@ -154,6 +164,8 @@ type ingestWire struct {
 	MaxBatch  int     `json:"max_batch"`
 	// FullWaits sums the shards' backpressure (queue-full) events.
 	FullWaits uint64 `json:"full_waits"`
+	// Resizes sums the shards' adaptive capacity changes.
+	Resizes uint64 `json:"resizes"`
 	// BatchHist is the merged drained-batch-size histogram: bucket i
 	// counts batches of size (2^(i-1), 2^i], the last bucket everything
 	// larger.
@@ -161,35 +173,33 @@ type ingestWire struct {
 	PerShard  []ingestShardWire `json:"per_shard,omitempty"`
 }
 
-// toWireIngest merges per-shard writer snapshots into the wire block;
-// nil stats (pipeline off) yield the zero block.
-func toWireIngest(stats []situfact.IngestStats) ingestWire {
-	out := ingestWire{Pipeline: stats != nil}
-	if stats == nil {
+// toWireIngest maps the library's merged summary (Pool.IngestSummary —
+// sums, mean batch and histogram are computed there, once) onto the wire
+// block; the pipeline-off summary yields the zero block.
+func toWireIngest(sum situfact.IngestSummary) ingestWire {
+	out := ingestWire{
+		Pipeline:   sum.Pipeline,
+		QueueDepth: sum.QueueDepth,
+		QueueCap:   sum.QueueCap,
+		Enqueued:   sum.Enqueued,
+		Batches:    sum.Batches,
+		MeanBatch:  sum.MeanBatch,
+		MaxBatch:   sum.MaxBatch,
+		FullWaits:  sum.FullWaits,
+		Resizes:    sum.Resizes,
+		BatchHist:  sum.BatchHist,
+	}
+	if !sum.Pipeline {
 		return out
 	}
-	hist := make([]uint64, len(situfact.IngestStats{}.BatchHist))
-	out.PerShard = make([]ingestShardWire, len(stats))
-	for i, st := range stats {
-		out.QueueDepth += st.Depth
-		out.Enqueued += st.Enqueued
-		out.Batches += st.Batches
-		out.FullWaits += st.FullWaits
-		if st.MaxBatch > out.MaxBatch {
-			out.MaxBatch = st.MaxBatch
-		}
-		for b, c := range st.BatchHist {
-			hist[b] += c
-		}
+	out.PerShard = make([]ingestShardWire, len(sum.PerShard))
+	for i, st := range sum.PerShard {
 		out.PerShard[i] = ingestShardWire{
-			Shard: i, QueueDepth: st.Depth, Enqueued: st.Enqueued,
-			Batches: st.Batches, MaxBatch: st.MaxBatch, FullWaits: st.FullWaits,
+			Shard: i, QueueDepth: st.Depth, QueueCap: st.Cap,
+			Enqueued: st.Enqueued, Batches: st.Batches, MaxBatch: st.MaxBatch,
+			FullWaits: st.FullWaits, Resizes: st.Resizes,
 		}
 	}
-	if out.Batches > 0 {
-		out.MeanBatch = float64(out.Enqueued) / float64(out.Batches)
-	}
-	out.BatchHist = hist
 	return out
 }
 

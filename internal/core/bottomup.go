@@ -132,32 +132,35 @@ func (a *BottomUp) traverse(t *relation.Tuple, m subspace.Mask, root bool, facts
 		a.met.Traversed++
 		ref := a.cellRef(t, c, m)
 		cell := a.st.Load(ref)
-		dominated, changed := false, false
-		for i := 0; i < cell.Len(); {
-			a.met.Comparisons++
-			if root {
+		// Batched scan (kernel.go): four stored rows per pass, stopping at
+		// the first one dominating t. One Comparison is charged per row
+		// visited — the same sequence of logical rows the old
+		// row-at-a-time loop walked (removals were order-preserving), so
+		// the counter stays bit-identical.
+		visited, dominated, rem := scanFirstDom(tv, cell.Rows, cell.Len(), stride, idx, a.remIdx[:0])
+		a.met.Comparisons += int64(visited)
+		if root {
+			// Record one Proposition-4 relation per visited distinct tuple,
+			// in row order, off the still-uncompacted page — the same uids
+			// in the same order the interleaved loop recorded them.
+			for i := 0; i < visited; i++ {
 				if uid := cell.ID(i); !a.recSeen[uid] {
 					a.recSeen[uid] = true
 					u := a.tupleByID(uid)
 					a.recs = append(a.recs, pairRec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
 				}
 			}
-			k := i * stride
-			dom, doms := cmpVecs(tv, cell.Rows[k+1:k+stride], idx)
-			if dom {
-				dominated = true
-				// Prune C and all its ancestors (Alg. 4 lines 11–12).
-				a.markSubmasksPruned(c)
-				break
-			}
-			if doms {
-				cell.RemoveAt(i)
-				changed = true
-				continue
-			}
-			i++
 		}
-		if !dominated {
+		changed := false
+		if len(rem) > 0 {
+			cell.RemoveSorted(rem)
+			changed = true
+		}
+		a.remIdx = rem[:0]
+		if dominated {
+			// Prune C and all its ancestors (Alg. 4 lines 11–12).
+			a.markSubmasksPruned(c)
+		} else {
 			if emitting {
 				facts = a.emit(t, c, m, facts)
 			}

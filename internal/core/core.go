@@ -130,6 +130,13 @@ type base struct {
 	cids     []store.ConstraintID
 	vals     []int32 // fact-constraint arena (see emit)
 	factCap  int     // last arrival's fact count, seeds the next facts slice
+
+	// Scratch of the batched cell scans (kernel.go): row indices the
+	// candidate dominates / is dominated by in the cell under scan, and
+	// the evictees' tuple ids resolved before the cell is compacted.
+	remIdx    []int
+	domIdx    []int
+	rehomeIDs []int64
 }
 
 // newFacts allocates the per-arrival facts slice, pre-sized to the

@@ -1,0 +1,188 @@
+package core
+
+import "math/bits"
+
+// Batched dominance kernels. The discovery algorithms spend most of their
+// time comparing an arriving tuple's oriented vector against the packed
+// rows of a µ(C,M) cell (stride 1+W: one id slot, then the vector). The
+// single-row kernel cmpVecs (core.go) streams one row per call; the
+// kernels here walk the flat row page directly and test the candidate
+// against two or four stored rows per pass, so the candidate's
+// coordinates and the subspace's index list load once per pass instead of
+// once per row. Per-row verdicts are bit-identical to cmpVecs; only the
+// early-exit granularity moves — a multi-row pass bails out when EVERY
+// lane has become incomparable, where the single-row kernel bails per
+// row. Work counters are unaffected: callers charge Comparisons per row
+// VISITED, which the scan helpers report independently of how many float
+// compares a pass actually executed.
+//
+// Lane encoding: bit l of the returned masks refers to row l of the pass.
+// dom bit set = that row dominates the candidate (t ≺ u); doms bit set =
+// the candidate dominates that row (t ≻ u).
+
+// cmpVecs2 compares tv against the two rows starting at element offsets
+// k0 and k1 of the packed page (vector at offset +1 of each row), over
+// the measure indices idx.
+func cmpVecs2(tv, rows []float64, k0, k1 int, idx []uint8) (dom, doms uint8) {
+	var gt, lt uint8
+	for _, j := range idx {
+		a, o := tv[j], int(j)+1
+		b0, b1 := rows[k0+o], rows[k1+o]
+		if a > b0 {
+			gt |= 1
+		} else if a < b0 {
+			lt |= 1
+		}
+		if a > b1 {
+			gt |= 2
+		} else if a < b1 {
+			lt |= 2
+		}
+		if gt&lt == 3 { // every lane incomparable: no verdict can emerge
+			return 0, 0
+		}
+	}
+	return lt &^ gt, gt &^ lt
+}
+
+// cmpVecs4 is the four-row form of cmpVecs2 — the production pass width
+// of the cell scans below.
+func cmpVecs4(tv, rows []float64, k0, k1, k2, k3 int, idx []uint8) (dom, doms uint8) {
+	var gt, lt uint8
+	for _, j := range idx {
+		a, o := tv[j], int(j)+1
+		b0, b1, b2, b3 := rows[k0+o], rows[k1+o], rows[k2+o], rows[k3+o]
+		if a > b0 {
+			gt |= 1
+		} else if a < b0 {
+			lt |= 1
+		}
+		if a > b1 {
+			gt |= 2
+		} else if a < b1 {
+			lt |= 2
+		}
+		if a > b2 {
+			gt |= 4
+		} else if a < b2 {
+			lt |= 4
+		}
+		if a > b3 {
+			gt |= 8
+		} else if a < b3 {
+			lt |= 8
+		}
+		if gt&lt == 15 {
+			return 0, 0
+		}
+	}
+	return lt &^ gt, gt &^ lt
+}
+
+// scanFirstDom walks a cell's n packed rows front to back, four per pass,
+// comparing tv against each stored vector. It stops at the first row that
+// dominates tv — BottomUp's Invariant-1 break — and returns the number of
+// rows visited (the caller's Comparisons charge: every row up to and
+// including the dominator, or all n), whether a dominator was found, and
+// rem extended with the indices of visited rows tv dominates. Rows past
+// the first dominator are never reported even when a wide pass happened
+// to test them, so verdict order matches the row-at-a-time scan exactly.
+func scanFirstDom(tv, rows []float64, n, stride int, idx []uint8, rem []int) (visited int, dominated bool, _ []int) {
+	i, k := 0, 0
+	for ; i+4 <= n; i, k = i+4, k+4*stride {
+		dom, doms := cmpVecs4(tv, rows, k, k+stride, k+2*stride, k+3*stride, idx)
+		if dom|doms == 0 {
+			continue
+		}
+		for l := 0; l < 4; l++ {
+			if dom&(1<<l) != 0 {
+				return i + l + 1, true, rem
+			}
+			if doms&(1<<l) != 0 {
+				rem = append(rem, i+l)
+			}
+		}
+	}
+	for ; i < n; i, k = i+1, k+stride {
+		d, ds := cmpVecs(tv, rows[k+1:k+stride], idx)
+		if d {
+			return i + 1, true, rem
+		}
+		if ds {
+			rem = append(rem, i)
+		}
+	}
+	return n, false, rem
+}
+
+// scanAll compares tv against every one of the n packed rows, four per
+// pass, appending the indices of rows that dominate tv to dom and of rows
+// tv dominates to doms (both in row order). TopDown visits every row of a
+// cell — no early break — so the caller charges n Comparisons.
+func scanAll(tv, rows []float64, n, stride int, idx []uint8, dom, doms []int) ([]int, []int) {
+	i, k := 0, 0
+	for ; i+4 <= n; i, k = i+4, k+4*stride {
+		db, dsb := cmpVecs4(tv, rows, k, k+stride, k+2*stride, k+3*stride, idx)
+		for b := db; b != 0; b &= b - 1 {
+			dom = append(dom, i+bits.TrailingZeros8(b))
+		}
+		for b := dsb; b != 0; b &= b - 1 {
+			doms = append(doms, i+bits.TrailingZeros8(b))
+		}
+	}
+	for ; i < n; i, k = i+1, k+stride {
+		d, ds := cmpVecs(tv, rows[k+1:k+stride], idx)
+		if d {
+			dom = append(dom, i)
+		}
+		if ds {
+			doms = append(doms, i)
+		}
+	}
+	return dom, doms
+}
+
+// scanFirstDom1 and scanFirstDom2 are the one- and two-row-per-pass
+// forms of scanFirstDom, kept as benchmark baselines (scanFirstDom1 is
+// the shape of the pre-batching inner loop): BenchmarkCmpKernel pins the
+// production four-row kernel against them at Fig-7 warm points.
+func scanFirstDom1(tv, rows []float64, n, stride int, idx []uint8, rem []int) (visited int, dominated bool, _ []int) {
+	for i, k := 0, 0; i < n; i, k = i+1, k+stride {
+		d, ds := cmpVecs(tv, rows[k+1:k+stride], idx)
+		if d {
+			return i + 1, true, rem
+		}
+		if ds {
+			rem = append(rem, i)
+		}
+	}
+	return n, false, rem
+}
+
+func scanFirstDom2(tv, rows []float64, n, stride int, idx []uint8, rem []int) (visited int, dominated bool, _ []int) {
+	i, k := 0, 0
+	for ; i+2 <= n; i, k = i+2, k+2*stride {
+		dom, doms := cmpVecs2(tv, rows, k, k+stride, idx)
+		if dom|doms == 0 {
+			continue
+		}
+		for l := 0; l < 2; l++ {
+			if dom&(1<<l) != 0 {
+				return i + l + 1, true, rem
+			}
+			if doms&(1<<l) != 0 {
+				rem = append(rem, i+l)
+			}
+		}
+	}
+	if i < n {
+		d, ds := cmpVecs(tv, rows[k+1:k+stride], idx)
+		if d {
+			return i + 1, true, rem
+		}
+		if ds {
+			rem = append(rem, i)
+		}
+	}
+	return n, false, rem
+}

@@ -107,32 +107,43 @@ func (a *TopDown) traverseRoot(t *relation.Tuple, m subspace.Mask, record bool, 
 		a.met.Traversed++
 		ref := a.cellRef(t, c, m)
 		cell := a.st.Load(ref)
-		changed := false
-		for i := 0; i < cell.Len(); {
-			uid := cell.ID(i)
-			a.met.Comparisons++
-			if record && !a.recSeen[uid] {
-				a.recSeen[uid] = true
-				u := a.tupleByID(uid)
-				a.recs = append(a.recs, pairRec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
-			}
-			k := i * stride
-			dom, doms := cmpVecs(tv, cell.Rows[k+1:k+stride], idx)
-			switch {
-			case dom:
-				// Dominated procedure: prune C^{t,u}. Do NOT break — other
-				// tuples here may prune different intersection lattices.
-				a.markSubmasksPruned(sharedOf(t, a.tupleByID(uid)))
-				i++
-			case doms:
-				// Dominates procedure: evict u and re-home it.
-				cell.RemoveAt(i)
-				changed = true
-				a.rehome(t, uid, c, m)
-			default:
-				i++
+		n := cell.Len()
+		// Batched scan (kernel.go): every row is visited — TopDown cannot
+		// break at a dominator, other stored tuples may prune different
+		// intersection lattices — so n Comparisons are charged, exactly as
+		// the row-at-a-time loop did.
+		dom, doms := scanAll(tv, cell.Rows, n, stride, idx, a.domIdx[:0], a.remIdx[:0])
+		a.met.Comparisons += int64(n)
+		if record {
+			for i := 0; i < n; i++ {
+				if uid := cell.ID(i); !a.recSeen[uid] {
+					a.recSeen[uid] = true
+					u := a.tupleByID(uid)
+					a.recs = append(a.recs, pairRec{sharedOf(t, u), subspace.Compare(t, u, a.m)})
+				}
 			}
 		}
+		// Dominated procedure: prune C^{t,u} per dominating row.
+		for _, i := range dom {
+			a.markSubmasksPruned(sharedOf(t, a.tupleByID(cell.ID(i))))
+		}
+		a.domIdx = dom[:0]
+		// Dominates procedure: evict every dominated row in one compaction
+		// (ids resolved first — compaction shifts them), then re-home each
+		// evictee, in row order as before.
+		changed := false
+		if len(doms) > 0 {
+			a.rehomeIDs = a.rehomeIDs[:0]
+			for _, i := range doms {
+				a.rehomeIDs = append(a.rehomeIDs, cell.ID(i))
+			}
+			cell.RemoveSorted(doms)
+			changed = true
+			for _, uid := range a.rehomeIDs {
+				a.rehome(t, uid, c, m)
+			}
+		}
+		a.remIdx = doms[:0]
 		if a.pruned[c] != a.epoch {
 			if emitting {
 				facts = a.emit(t, c, m, facts)
@@ -179,19 +190,25 @@ func (a *TopDown) traverseNode(t *relation.Tuple, m subspace.Mask, facts []Fact)
 			facts = a.emit(t, c, m, facts)
 			ref := a.cellRef(t, c, m)
 			cell := a.st.Load(ref)
+			n := cell.Len()
+			// The pre-pruning is complete for this pass (no stored row can
+			// dominate t at a non-pruned constraint), so only the evictions
+			// matter; the batched scan's dominator list stays empty.
+			_, doms := scanAll(tv, cell.Rows, n, stride, idx, a.domIdx[:0], a.remIdx[:0])
+			a.met.Comparisons += int64(n)
 			changed := false
-			for i := 0; i < cell.Len(); {
-				a.met.Comparisons++
-				k := i * stride
-				if _, doms := cmpVecs(tv, cell.Rows[k+1:k+stride], idx); doms {
-					uid := cell.ID(i)
-					cell.RemoveAt(i)
-					changed = true
-					a.rehome(t, uid, c, m)
-					continue
+			if len(doms) > 0 {
+				a.rehomeIDs = a.rehomeIDs[:0]
+				for _, i := range doms {
+					a.rehomeIDs = append(a.rehomeIDs, cell.ID(i))
 				}
-				i++
+				cell.RemoveSorted(doms)
+				changed = true
+				for _, uid := range a.rehomeIDs {
+					a.rehome(t, uid, c, m)
+				}
 			}
+			a.remIdx = doms[:0]
 			if a.inAnces[c] != a.epoch {
 				cell.Append(t.ID, tv)
 				changed = true

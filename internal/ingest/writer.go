@@ -22,6 +22,22 @@ import (
 // past 2^(batchHistBuckets-2).
 const batchHistBuckets = 9
 
+// Adaptive-capacity tuning (NewAdaptiveWriter). The queue capacity floats
+// between a floor and a ceiling, driven by the two signals the writer
+// already collects: producer blocks on a full queue (backpressure — the
+// queue is too small for the arrival rate) and drained batch sizes (a
+// batch much smaller than the capacity means the queue is oversized and
+// only adds worst-case latency and memory).
+const (
+	// shrinkWindow is the number of consecutive calm drains — no full
+	// waits, batch at most cap/shrinkFactor — before the capacity halves.
+	shrinkWindow = 32
+	// shrinkFactor is the headroom a calm drain must leave: only batches
+	// ≤ cap/shrinkFactor count toward shrinking, so capacity settles at
+	// two doublings above the observed batch size, not flush against it.
+	shrinkFactor = 4
+)
+
 // Writer is one batching queue/goroutine pair. Enqueue is safe for any
 // number of producers; the single consumer goroutine drains the queue
 // into maximal batches and hands each to the process function, so per-op
@@ -33,7 +49,9 @@ type Writer[T any] struct {
 	wake    sync.Cond // waits: the consumer, on an empty queue
 	queue   []T       // pending ops, FIFO
 	spare   []T       // drained buffer recycled between wakeups
-	cap     int
+	cap     int       // current capacity; floats in [floor, ceil]
+	floor   int       // adaptive lower bound; floor == ceil means fixed
+	ceil    int       // adaptive upper bound (the configured depth)
 	closed  bool
 	done    chan struct{}
 
@@ -42,13 +60,25 @@ type Writer[T any] struct {
 	batches   uint64
 	maxBatch  int
 	fullWaits uint64 // producer blocks on a full queue (backpressure)
+	resizes   uint64 // adaptive capacity changes (grow + shrink)
 	hist      [batchHistBuckets]uint64
+
+	// Adaptation state, maintained under mu (see adapt).
+	fullSinceDrain uint64 // full waits observed since the last drain
+	calmDrains     int    // consecutive drains qualifying for a shrink
 }
 
 // Stats is a monitoring snapshot of one Writer.
 type Stats struct {
 	// Depth is the current queue depth (ops accepted, not yet drained).
 	Depth int
+	// Cap is the current queue capacity. Fixed writers report their
+	// configured depth; adaptive writers report where in [floor, ceiling]
+	// the capacity currently sits.
+	Cap int
+	// Resizes counts adaptive capacity changes (grows and shrinks); 0 for
+	// a fixed writer.
+	Resizes uint64
 	// Enqueued is the total ops accepted since start.
 	Enqueued uint64
 	// Batches is the number of drain wakeups; Enqueued/Batches is the
@@ -72,7 +102,35 @@ func NewWriter[T any](capacity int, process func(batch []T)) *Writer[T] {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	w := &Writer[T]{cap: capacity, done: make(chan struct{})}
+	return startWriter(capacity, capacity, process)
+}
+
+// NewAdaptiveWriter starts a writer whose queue capacity floats between
+// floor and ceil (each <= 0 selects a default: ceiling 256, floor
+// ceiling/16 but at least 16), beginning at the floor. Backpressure since
+// the last drain doubles the capacity toward the ceiling; shrinkWindow
+// consecutive calm drains halve it toward the floor — so an idle or
+// lightly loaded shard holds a small queue (small worst-case batch, small
+// ack latency, small memory) and a hot shard earns the configured depth.
+// Stats.Cap and Stats.Resizes expose the current state.
+func NewAdaptiveWriter[T any](floor, ceil int, process func(batch []T)) *Writer[T] {
+	if ceil <= 0 {
+		ceil = 256
+	}
+	if floor <= 0 {
+		floor = ceil / 16
+		if floor < 16 {
+			floor = 16
+		}
+	}
+	if floor > ceil {
+		floor = ceil
+	}
+	return startWriter(floor, ceil, process)
+}
+
+func startWriter[T any](floor, ceil int, process func(batch []T)) *Writer[T] {
+	w := &Writer[T]{cap: floor, floor: floor, ceil: ceil, done: make(chan struct{})}
 	w.notFull.L = &w.mu
 	w.wake.L = &w.mu
 	go w.run(process)
@@ -86,6 +144,7 @@ func (w *Writer[T]) Enqueue(op T) bool {
 	w.mu.Lock()
 	for len(w.queue) >= w.cap && !w.closed {
 		w.fullWaits++
+		w.fullSinceDrain++
 		w.notFull.Wait()
 	}
 	if w.closed {
@@ -121,13 +180,61 @@ func (w *Writer[T]) run(process func([]T)) {
 			w.maxBatch = len(batch)
 		}
 		w.hist[histBucket(len(batch))]++
+		w.adapt(len(batch))
 		w.mu.Unlock()
+		// Broadcast covers both the freed queue space and any capacity
+		// grow adapt just applied.
 		w.notFull.Broadcast()
 
 		process(batch)
 
 		clear(batch) // drop op references so pooled ops are collectable
 		w.spare = batch
+	}
+}
+
+// adapt applies the capacity policy at drain time (caller holds mu; the
+// drained batch's size is batchLen). The state machine has three moves:
+//
+//	grow:   any producer blocked on the full queue since the last drain →
+//	        double toward the ceiling, reset the calm streak;
+//	calm:   no backpressure and the batch left shrinkFactor× headroom →
+//	        extend the streak; shrinkWindow in a row halve toward the
+//	        floor and restart the streak;
+//	steady: no backpressure but a substantial batch → restart the streak,
+//	        keep the capacity.
+//
+// Shrinking never evicts queued ops: Enqueue blocks while len(queue) ≥
+// cap, and the next drain always takes the whole queue, so a shrink only
+// delays producers until the writer catches up.
+func (w *Writer[T]) adapt(batchLen int) {
+	if w.floor == w.ceil {
+		return // fixed-capacity writer
+	}
+	full := w.fullSinceDrain
+	w.fullSinceDrain = 0
+	switch {
+	case full > 0:
+		w.calmDrains = 0
+		if w.cap < w.ceil {
+			w.cap *= 2
+			if w.cap > w.ceil {
+				w.cap = w.ceil
+			}
+			w.resizes++
+		}
+	case w.cap > w.floor && batchLen*shrinkFactor <= w.cap:
+		w.calmDrains++
+		if w.calmDrains >= shrinkWindow {
+			w.calmDrains = 0
+			w.cap /= 2
+			if w.cap < w.floor {
+				w.cap = w.floor
+			}
+			w.resizes++
+		}
+	default:
+		w.calmDrains = 0
 	}
 }
 
@@ -159,6 +266,8 @@ func (w *Writer[T]) Stats() Stats {
 	defer w.mu.Unlock()
 	return Stats{
 		Depth:     len(w.queue),
+		Cap:       w.cap,
+		Resizes:   w.resizes,
 		Enqueued:  w.enqueued,
 		Batches:   w.batches,
 		MaxBatch:  w.maxBatch,

@@ -197,6 +197,29 @@ func (c *Cell) RemoveAt(i int) {
 	c.Rows = c.Rows[:len(c.Rows)-stride]
 }
 
+// RemoveSorted deletes the members at the given ascending indices in one
+// order-preserving compaction pass. The batched dominance scan collects
+// every row the candidate dominates and removes them together: one O(n)
+// memmove instead of one per removal (RemoveAt restarts its copy at every
+// call, so r removals cost O(r·n) there).
+func (c *Cell) RemoveSorted(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	stride := c.W + 1
+	n := c.Len()
+	dst, k := idxs[0], 0
+	for i := idxs[0]; i < n; i++ {
+		if k < len(idxs) && idxs[k] == i {
+			k++
+			continue
+		}
+		copy(c.Rows[dst*stride:(dst+1)*stride], c.Rows[i*stride:(i+1)*stride])
+		dst++
+	}
+	c.Rows = c.Rows[:dst*stride]
+}
+
 // RemoveID deletes the member with the given tuple id (order-preserving),
 // reporting whether a removal happened.
 func (c *Cell) RemoveID(id int64) bool {

@@ -241,6 +241,50 @@ func TestCellRemoval(t *testing.T) {
 	}
 }
 
+// TestCellRemoveSorted pins the batched removal path (the dominance
+// kernel removes every row a candidate dominates in one compaction pass)
+// against repeated RemoveAt, which is its semantic definition.
+func TestCellRemoveSorted(t *testing.T) {
+	mk := func(n int) Cell {
+		c := Cell{W: 2}
+		for i := 0; i < n; i++ {
+			c.Append(int64(100+i), []float64{float64(i), float64(-i)})
+		}
+		return c
+	}
+	cases := [][]int{
+		nil,
+		{0},
+		{7},
+		{0, 1, 2},
+		{5, 6, 7},
+		{0, 3, 6},
+		{1, 2, 5, 6},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+	}
+	for _, idxs := range cases {
+		got, want := mk(8), mk(8)
+		got.RemoveSorted(idxs)
+		for i := len(idxs) - 1; i >= 0; i-- {
+			want.RemoveAt(idxs[i])
+		}
+		if got.Len() != want.Len() {
+			t.Errorf("RemoveSorted(%v): Len %d, want %d", idxs, got.Len(), want.Len())
+			continue
+		}
+		for i := 0; i < want.Len(); i++ {
+			if got.ID(i) != want.ID(i) {
+				t.Errorf("RemoveSorted(%v): ID(%d) = %d, want %d", idxs, i, got.ID(i), want.ID(i))
+			}
+			for j, v := range want.Row(i) {
+				if got.Row(i)[j] != v {
+					t.Errorf("RemoveSorted(%v): Row(%d)[%d] = %g, want %g", idxs, i, j, got.Row(i)[j], v)
+				}
+			}
+		}
+	}
+}
+
 func TestInterner(t *testing.T) {
 	s := storeSchema(t)
 	ts := mkTuples(t, s, 3)

@@ -44,11 +44,79 @@ type PipelineOptions struct {
 	// queue blocks producers until the writer drains (backpressure,
 	// counted in IngestStats.FullWaits). <= 0 selects 256.
 	QueueDepth int
+	// AdaptiveQueue lets each shard's queue capacity float between a
+	// floor (QueueDepth/16, at least 16) and QueueDepth instead of
+	// sitting at QueueDepth: backpressure grows it, sustained calm
+	// shrinks it, so idle shards hold small queues (small worst-case
+	// batches and ack latency) while hot shards earn the full depth.
+	// IngestStats.Cap and Resizes expose the movement.
+	AdaptiveQueue bool
 }
 
 // IngestStats is one shard writer's monitoring snapshot: queue depth,
 // drained-batch-size histogram, and backpressure counters.
 type IngestStats = ingest.Stats
+
+// IngestSummary is the pool-wide merge of the shard writers' snapshots —
+// the one place the derived figures (sums, mean batch size, merged
+// histogram) are computed, so every consumer (the daemon's /v1/metrics,
+// bench reports) agrees on the derivation instead of re-deriving per
+// scrape.
+type IngestSummary struct {
+	// Pipeline reports whether a pipeline is running; false means the
+	// remaining fields are zero.
+	Pipeline bool
+	// QueueDepth and QueueCap sum the shards' pending operations and
+	// current queue capacities.
+	QueueDepth int
+	QueueCap   int
+	Enqueued   uint64
+	Batches    uint64
+	// MeanBatch is Enqueued/Batches (0 before the first drain).
+	MeanBatch float64
+	MaxBatch  int
+	FullWaits uint64
+	// Resizes sums the shards' adaptive capacity changes.
+	Resizes uint64
+	// BatchHist is the merged drained-batch-size histogram.
+	BatchHist []uint64
+	// PerShard holds the underlying snapshots, index = shard.
+	PerShard []IngestStats
+}
+
+// MergeIngestStats folds per-shard writer snapshots (Pool.PipelineStats)
+// into an IngestSummary; nil yields the zero (pipeline-off) summary.
+func MergeIngestStats(stats []IngestStats) IngestSummary {
+	out := IngestSummary{Pipeline: stats != nil, PerShard: stats}
+	if stats == nil {
+		return out
+	}
+	out.BatchHist = make([]uint64, len(IngestStats{}.BatchHist))
+	for _, st := range stats {
+		out.QueueDepth += st.Depth
+		out.QueueCap += st.Cap
+		out.Enqueued += st.Enqueued
+		out.Batches += st.Batches
+		out.FullWaits += st.FullWaits
+		out.Resizes += st.Resizes
+		if st.MaxBatch > out.MaxBatch {
+			out.MaxBatch = st.MaxBatch
+		}
+		for b, c := range st.BatchHist {
+			out.BatchHist[b] += c
+		}
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(out.Enqueued) / float64(out.Batches)
+	}
+	return out
+}
+
+// IngestSummary returns the merged monitoring view of the running
+// pipeline (the zero summary when none is running).
+func (p *Pool) IngestSummary() IngestSummary {
+	return MergeIngestStats(p.PipelineStats())
+}
 
 // pipeline is the running per-shard writer set plus the shared
 // group-committer; Pool.pipe holds it.
@@ -64,6 +132,26 @@ type pipeline struct {
 	// instead of tracking the batch rate.
 	commits    chan commitGroup
 	commitDone chan struct{}
+	// completions feeds durably-committed batches to the completion
+	// worker pool, which wakes the waiting callers. The committer hands
+	// completed groups off here instead of calling wg.Done itself, so a
+	// slow waiter (descheduled caller, contended runqueue) never delays
+	// the next group fsync.
+	completions chan completion
+	compWG      sync.WaitGroup
+}
+
+// completionWorkers is the completion pool's size. Completion is cheap
+// (flip two fields, wg.Done) — the pool exists to overlap wakeup latency
+// with the committer's next fsync, not to parallelise compute, so a
+// small fixed pool suffices at any shard count.
+const completionWorkers = 4
+
+// completion is one durably-committed batch whose futures are ready to
+// complete; err is the group fsync's failure, if any.
+type completion struct {
+	ops []*ingestOp
+	err error
 }
 
 // commitGroup is one drained batch awaiting durability: every op is
@@ -100,18 +188,42 @@ func putOp(op *ingestOp) {
 // pipeline at a time; StopPipeline (or Close) tears it down.
 func (p *Pool) StartPipeline(opt PipelineOptions) error {
 	pipe := &pipeline{
-		writers:    make([]*ingest.Writer[*ingestOp], len(p.shards)),
-		commits:    make(chan commitGroup, 4*len(p.shards)),
-		commitDone: make(chan struct{}),
+		writers:     make([]*ingest.Writer[*ingestOp], len(p.shards)),
+		commits:     make(chan commitGroup, 4*len(p.shards)),
+		commitDone:  make(chan struct{}),
+		completions: make(chan completion, 4*len(p.shards)),
 	}
 	for i := range pipe.writers {
 		shard := i
 		// recs is the writer's private journal-batch scratch: the writer
 		// goroutine is the only user, so one slice serves every batch.
 		var recs []persist.Record
-		pipe.writers[i] = ingest.NewWriter(opt.QueueDepth, func(batch []*ingestOp) {
+		process := func(batch []*ingestOp) {
 			recs = p.processShardBatch(pipe, shard, batch, recs[:0])
-		})
+		}
+		if opt.AdaptiveQueue {
+			pipe.writers[i] = ingest.NewAdaptiveWriter(0, opt.QueueDepth, process)
+		} else {
+			pipe.writers[i] = ingest.NewWriter(opt.QueueDepth, process)
+		}
+	}
+	pipe.compWG.Add(completionWorkers)
+	for i := 0; i < completionWorkers; i++ {
+		go func() {
+			defer pipe.compWG.Done()
+			for c := range pipe.completions {
+				for _, op := range c.ops {
+					// A failed durability wait reports ErrWALFailed even
+					// where the apply succeeded (matching the direct path);
+					// an apply error that already happened keeps its own,
+					// more specific error.
+					if c.err != nil && op.err == nil {
+						op.arr, op.err = nil, c.err
+					}
+					op.wg.Done()
+				}
+			}
+		}()
 	}
 	go p.commitLoop(pipe)
 	if !p.pipe.CompareAndSwap(nil, pipe) {
@@ -143,11 +255,19 @@ func (p *Pool) StopPipeline() {
 
 // commitLoop is the pipeline's durability stage: it gathers every batch
 // the writers have handed off, waits out ONE fsync covering the highest
-// LSN among them, and completes all their futures. While that fsync is
-// on disk more batches queue up and join the next pass — cross-shard
-// group commit at the granularity of whole batches.
+// LSN among them, and hands the completed groups to the completion pool.
+// While that fsync is on disk more batches queue up and join the next
+// pass — cross-shard group commit at the granularity of whole batches.
+// Futures complete off this goroutine so a slow waiter never stalls the
+// next group fsync.
 func (p *Pool) commitLoop(pipe *pipeline) {
 	defer close(pipe.commitDone)
+	// Runs before commitDone closes (LIFO): the completion pool drains
+	// every handed-off group, so StopPipeline's wait covers all futures.
+	defer func() {
+		close(pipe.completions)
+		pipe.compWG.Wait()
+	}()
 	var pending []commitGroup
 	for {
 		grp, ok := <-pipe.commits
@@ -181,16 +301,7 @@ func (p *Pool) commitLoop(pipe *pipeline) {
 			werr = fmt.Errorf("%w: %w", ErrWALFailed, err)
 		}
 		for _, g := range pending {
-			for _, op := range g.ops {
-				// A failed durability wait reports ErrWALFailed even where
-				// the apply succeeded (matching the direct path); an apply
-				// error that already happened keeps its own, more specific
-				// error.
-				if werr != nil && op.err == nil {
-					op.arr, op.err = nil, werr
-				}
-				op.wg.Done()
-			}
+			pipe.completions <- completion{ops: g.ops, err: werr}
 		}
 		if closed {
 			return

@@ -96,6 +96,155 @@ func TestPipelineEquivalence(t *testing.T) {
 	}
 }
 
+// TestPipelineAdaptiveEquivalence is TestPipelineEquivalence with every
+// multicore feature on at once: adaptive queue depths, parallel-bottomup
+// shard engines, and the completion worker pool (always on under the
+// pipeline). Facts and metrics must stay bit-identical both to the
+// direct path over the same engines and to a fixed-depth pipeline —
+// queue-capacity movement is pure mechanics, invisible to discovery.
+func TestPipelineAdaptiveEquivalence(t *testing.T) {
+	eng := Options{Algorithm: AlgoParallelBottomUp, Workers: 2}
+	newP := func(pipelined, adaptive bool) *Pool {
+		p, err := NewPool(poolSchema(t), PoolOptions{Shards: 3, ShardDim: "team", Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		if pipelined {
+			if err := p.StartPipeline(PipelineOptions{QueueDepth: 64, AdaptiveQueue: adaptive}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	direct, fixed, adaptive := newP(false, false), newP(true, false), newP(true, true)
+	for i, r := range poolRows(180) {
+		want, err := direct.Append(r.Dims, r.Measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, err := fixed.Append(r.Dims, r.Measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga, err := adaptive.Append(r.Dims, r.Measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factsEqual(t, fmt.Sprintf("row %d (fixed-depth)", i), want, gf)
+		factsEqual(t, fmt.Sprintf("row %d (adaptive-depth)", i), want, ga)
+		if i%13 == 5 {
+			for name, p := range map[string]*Pool{"direct": direct, "fixed": fixed, "adaptive": adaptive} {
+				if err := p.Delete(want.Shard, want.TupleID); err != nil {
+					t.Fatalf("row %d: %s delete: %v", i, name, err)
+				}
+			}
+		}
+	}
+	dm := direct.Metrics()
+	if fm := fixed.Metrics(); fm != dm {
+		t.Errorf("fixed-depth metrics %+v != direct %+v", fm, dm)
+	}
+	if am := adaptive.Metrics(); am != dm {
+		t.Errorf("adaptive-depth metrics %+v != direct %+v", am, dm)
+	}
+	if direct.Len() != fixed.Len() || direct.Len() != adaptive.Len() {
+		t.Errorf("Len: direct %d, fixed %d, adaptive %d", direct.Len(), fixed.Len(), adaptive.Len())
+	}
+	// The adaptive writers must report capacities inside [floor, ceiling];
+	// the fixed ones must sit exactly at the configured depth.
+	for i, st := range adaptive.PipelineStats() {
+		if st.Cap < 16 || st.Cap > 64 {
+			t.Errorf("adaptive shard %d cap = %d, want within [16, 64]", i, st.Cap)
+		}
+	}
+	for i, st := range fixed.PipelineStats() {
+		if st.Cap != 64 || st.Resizes != 0 {
+			t.Errorf("fixed shard %d cap = %d resizes = %d, want 64 and 0", i, st.Cap, st.Resizes)
+		}
+	}
+	if sum := adaptive.IngestSummary(); !sum.Pipeline || sum.Enqueued == 0 || sum.QueueCap < 3*16 {
+		t.Errorf("adaptive IngestSummary = %+v, want a live pipeline with summed caps", sum)
+	}
+}
+
+// TestPipelineCompletionStress hammers a journaled adaptive pipeline
+// from many goroutines while the pipeline is stopped and restarted
+// mid-flight: every acknowledged op must be applied exactly once, and
+// shutdown must drain the completion pool (a lost wg.Done here deadlocks
+// the test). Run under -race in CI with -count=3.
+func TestPipelineCompletionStress(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPool(poolSchema(t), PoolOptions{Shards: 4, ShardDim: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	w, err := OpenWAL(p, dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := p.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	start := func() {
+		// Tiny ceiling: queues fill constantly, so grows, full-wait blocks
+		// and many small commit groups all happen under the race detector.
+		if err := p.StartPipeline(PipelineOptions{QueueDepth: 8, AdaptiveQueue: true}); err != nil {
+			t.Error(err)
+		}
+	}
+	start()
+	const workers, perWorker = 8, 50
+	rows := poolRows(workers * perWorker)
+	var appended, deleted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, r := range rows[g*perWorker : (g+1)*perWorker] {
+				arr, err := p.Append(r.Dims, r.Measures)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				appended++
+				mu.Unlock()
+				if i%7 == 2 {
+					if err := p.Delete(arr.Shard, arr.TupleID); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					deleted++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	// Bounce the pipeline mid-flight: racing ops fall back to the direct
+	// path, and the restart races new enqueues against fresh writers.
+	for i := 0; i < 3; i++ {
+		p.StopPipeline()
+		start()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if want := int(appended - deleted); p.Len() != want {
+		t.Errorf("Len = %d, want %d (appended %d − deleted %d)", p.Len(), want, appended, deleted)
+	}
+	p.StopPipeline()
+	if st := w.Stats(); st.LastLSN != st.SyncedLSN {
+		t.Errorf("wal last LSN %d != synced %d after stop", st.LastLSN, st.SyncedLSN)
+	}
+}
+
 // TestPipelineWALReplay journals a pipelined stream (appends + deletes),
 // then replays the log into a fresh pool: recovered metrics and length
 // must equal the original — the batched journal pass preserves

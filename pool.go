@@ -366,6 +366,10 @@ func (p *Pool) Algorithm() string { return p.shards[0].eng.Algorithm() }
 // BottomUp family; all shards run the same algorithm).
 func (p *Pool) CanDelete() bool { return p.shards[0].eng.CanDelete() }
 
+// Workers returns the discovery goroutines per shard engine (1 for the
+// single-threaded algorithms; all shards run the same configuration).
+func (p *Pool) Workers() int { return p.shards[0].eng.Workers() }
+
 // ShardStat describes one shard of a pool for monitoring.
 type ShardStat struct {
 	// Shard is the shard index.

@@ -419,6 +419,16 @@ func (e *Engine) Len() int { return e.table.Len() - len(e.deleted) }
 // Algorithm returns the name of the underlying algorithm.
 func (e *Engine) Algorithm() string { return e.disc.Name() }
 
+// Workers returns the number of discovery goroutines one Process call
+// runs: the Parallel* engines' (possibly clamped) worker count, 1 for
+// every single-threaded algorithm.
+func (e *Engine) Workers() int {
+	if p, ok := e.disc.(*core.Parallel); ok {
+		return p.Workers()
+	}
+	return 1
+}
+
 // Metrics returns a snapshot of the work counters.
 func (e *Engine) Metrics() Metrics {
 	m := e.disc.Metrics()
