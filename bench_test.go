@@ -370,6 +370,65 @@ func BenchmarkPoolAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolQuery measures the read path against a warmed pool on the
+// NBA feed: ns/op is one QueryFacts page (limit 100, cursor-advanced so
+// successive iterations walk the whole fact set) while the "mixed" mode
+// interleaves one appended row per page, so the page pays for read-lock
+// acquisition against live ingest rather than an idle pool.
+func BenchmarkPoolQuery(b *testing.B) {
+	const nRows = 4096
+	const pageLimit = 100
+	for _, shards := range []int{1, 4} {
+		for _, mode := range []string{"page", "mixed"} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, mode), func(b *testing.B) {
+				s := newBenchStream(b, "nba", 5, 7)
+				s.tuple(b, nRows-1)
+				dict := s.tb.Dict()
+				d := s.tb.Schema().NumDims()
+				rows := make([]Row, nRows)
+				for i := range rows {
+					tu := s.tb.At(i)
+					dims := make([]string, d)
+					for j := 0; j < d; j++ {
+						dims[j] = dict.Decode(j, tu.Dims[j])
+					}
+					rows[i] = Row{Dims: dims, Measures: tu.Raw}
+				}
+				pool, err := NewPool(WrapSchema(s.tb.Schema()), PoolOptions{
+					Shards:   shards,
+					ShardDim: "team",
+					Engine:   Options{MaxBoundDims: 3, MaxMeasureDims: 3},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pool.Close()
+				if _, err := pool.AppendBatch(rows); err != nil {
+					b.Fatal(err)
+				}
+				filter := FactFilter{Shard: AllShards, TupleID: -1}
+				cursor := ""
+				next := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "mixed" {
+						if _, err := pool.Append(rows[next%nRows].Dims, rows[next%nRows].Measures); err != nil {
+							b.Fatal(err)
+						}
+						next++
+					}
+					page, err := pool.QueryFacts(filter, cursor, pageLimit)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cursor = page.NextCursor // wraps to "" at the end: restart
+				}
+			})
+		}
+	}
+}
+
 // TestMain keeps the benchmark file's imports exercised under plain
 // `go test` as well.
 func TestMain(m *testing.M) {

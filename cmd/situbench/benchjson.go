@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	situfact "repro"
 	"repro/internal/core"
 	"repro/internal/harness"
 )
@@ -117,6 +118,65 @@ func benchWarmPoint(id harness.AlgorithmID, warm int) (benchPoint, error) {
 	return p, nil
 }
 
+// benchQueryPoint measures the pool read path warm point: one QueryFacts
+// page (limit 100, cursor advanced across iterations) against a
+// 4-shard pool warmed with warm NBA rows — the first read-path entry of
+// the perf trajectory.
+func benchQueryPoint(warm int) (benchPoint, error) {
+	const d, m, dhat = 5, 7, 3
+	tb, err := harness.StreamSpec{Dataset: "nba", D: d, M: m, N: warm, Seed: 42}.Build()
+	if err != nil {
+		return benchPoint{}, err
+	}
+	dict := tb.Dict()
+	rows := make([]situfact.Row, warm)
+	for i := range rows {
+		tu := tb.At(i)
+		dims := make([]string, d)
+		for j := 0; j < d; j++ {
+			dims[j] = dict.Decode(j, tu.Dims[j])
+		}
+		rows[i] = situfact.Row{Dims: dims, Measures: tu.Raw}
+	}
+	pool, err := situfact.NewPool(situfact.WrapSchema(tb.Schema()), situfact.PoolOptions{
+		Shards:   4,
+		ShardDim: "team",
+		Engine:   situfact.Options{MaxBoundDims: dhat, MaxMeasureDims: 3},
+	})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	defer pool.Close()
+	if _, err := pool.AppendBatch(rows); err != nil {
+		return benchPoint{}, err
+	}
+	filter := situfact.FactFilter{Shard: situfact.AllShards, TupleID: -1}
+	cursor := ""
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			page, err := pool.QueryFacts(filter, cursor, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cursor = page.NextCursor
+		}
+	})
+	return benchPoint{
+		Figure:        "read-path",
+		Algorithm:     "pool-query/shards=4",
+		D:             d,
+		M:             m,
+		MaxBound:      dhat,
+		Warmup:        warm,
+		Iterations:    res.N,
+		NsPerOp:       float64(res.NsPerOp()),
+		AllocsPerOp:   res.AllocsPerOp(),
+		BytesPerOp:    res.AllocedBytesPerOp(),
+		StoredEntries: pool.Metrics().StoredTuples,
+	}, nil
+}
+
 // runBenchJSON measures every warm point and writes the JSON document.
 func runBenchJSON(path string, progress io.Writer) error {
 	doc := benchDoc{
@@ -136,6 +196,13 @@ func runBenchJSON(path string, progress io.Writer) error {
 			id, p.NsPerOp, p.AllocsPerOp, p.CmpPerTuple)
 		doc.Points = append(doc.Points, p)
 	}
+	fmt.Fprintf(progress, "bench pool-query...\n")
+	q, err := benchQueryPoint(2048)
+	if err != nil {
+		return fmt.Errorf("bench pool-query: %w", err)
+	}
+	fmt.Fprintf(progress, "  pool-query: %.0f ns/op per page, %d allocs/op\n", q.NsPerOp, q.AllocsPerOp)
+	doc.Points = append(doc.Points, q)
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

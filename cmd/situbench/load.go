@@ -30,6 +30,14 @@ package main
 // mode under-reports the faster side, which spends more of its run on a
 // deeper relation.
 //
+// -load-read-frac f mixes reads in: each worker issues a query —
+// alternating GET /v1/facts/top and a GET /v1/facts page, against
+// -load-read-url when set (a follower), the write target otherwise —
+// with probability f per request. Reads never consume the -load-rows
+// budget, so a mixed fixed-work run still appends exactly the asked-for
+// rows; the report adds read throughput and the read target's cache
+// hit/miss deltas.
+//
 // -load-json <path> additionally writes the run's report as one JSON
 // document (schema situbench-load/v1), the format BENCH_PR5.json's
 // before/after load-test comparison is assembled from.
@@ -60,6 +68,8 @@ type loadParams struct {
 	Dist       string        // shard-dim value distribution: "uniform" (default) | "zipf"
 	ZipfS      float64       // zipf exponent s > 1; 0 = 1.2
 	DeleteFrac float64       // fraction of requests that retract an acked id; 0 = append-only
+	ReadFrac   float64       // fraction of requests that query facts; 0 = write-only
+	ReadURL    string        // base URL reads go to ("" = URL — same daemon)
 	Rows       int64         // stop after this many appended rows (0 = run for Duration)
 	JSONPath   string        // when non-empty, also write the report as JSON here
 	Seed       int64         // workload seed
@@ -85,6 +95,11 @@ type loadIngestScrape struct {
 		QueueCap int    `json:"queue_cap"`
 		Resizes  uint64 `json:"resizes"`
 	} `json:"ingest"`
+	ReadCache struct {
+		Enabled bool   `json:"enabled"`
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+	} `json:"read_cache"`
 }
 
 // scrapeIngest samples the daemon's ingest metrics; ok is false when the
@@ -118,9 +133,11 @@ type loadBatchBody struct {
 type workerResult struct {
 	rows      int64
 	deletes   int64
+	reads     int64
 	requests  int64
 	errors    int64
 	latencies []time.Duration // per successful request
+	readLats  []time.Duration // per successful read
 }
 
 // loadArrival / loadBatchArrivals are the slivers of the daemon's append
@@ -176,6 +193,11 @@ type loadReport struct {
 	// same-host setup, the cores the daemon and generator shared. A
 	// report without it predates the multicore matrix.
 	GoMaxProcs int `json:"gomaxprocs"`
+	// ReadFrac / ReadURL describe a mixed read workload (-load-read-frac):
+	// the fraction of requests that queried facts, and where the reads
+	// went when it was not the write target (a follower).
+	ReadFrac float64 `json:"read_frac,omitempty"`
+	ReadURL  string  `json:"read_url,omitempty"`
 	// Shards and Workers describe the daemon (GET /v1/schema): pool
 	// shard count and discovery goroutines per shard engine.
 	Shards  int `json:"shards,omitempty"`
@@ -192,14 +214,23 @@ type loadReport struct {
 	DurationSeconds float64 `json:"duration_seconds"`
 	Rows            int64   `json:"rows"`
 	Deletes         int64   `json:"deletes,omitempty"`
+	Reads           int64   `json:"reads,omitempty"`
 	Requests        int64   `json:"requests"`
 	Errors          int64   `json:"errors"`
 	RowsPerSec      float64 `json:"rows_per_sec"`
 	ReqPerSec       float64 `json:"req_per_sec"`
-	P50Ms           float64 `json:"p50_ms"`
-	P90Ms           float64 `json:"p90_ms"`
-	P99Ms           float64 `json:"p99_ms"`
-	MaxMs           float64 `json:"max_ms"`
+	ReadsPerSec     float64 `json:"reads_per_sec,omitempty"`
+	// ReadP50Ms/ReadP99Ms are the read requests' own latency quantiles;
+	// CacheHits/CacheMisses the read target's read_cache deltas over the
+	// run (absent when the target runs without -read-cache-ttl).
+	ReadP50Ms   float64 `json:"read_p50_ms,omitempty"`
+	ReadP99Ms   float64 `json:"read_p99_ms,omitempty"`
+	CacheHits   uint64  `json:"cache_hits,omitempty"`
+	CacheMisses uint64  `json:"cache_misses,omitempty"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
 }
 
 // runLoad executes the load run, writes the human summary to w and, with
@@ -253,7 +284,14 @@ func executeLoad(w io.Writer, p loadParams) (*loadReport, error) {
 	if p.DeleteFrac < 0 || p.DeleteFrac >= 1 {
 		return nil, fmt.Errorf("-load-delete-frac must be in [0, 1), got %g", p.DeleteFrac)
 	}
+	if p.ReadFrac < 0 || p.ReadFrac >= 1 {
+		return nil, fmt.Errorf("-load-read-frac must be in [0, 1), got %g", p.ReadFrac)
+	}
 	base := strings.TrimRight(p.URL, "/")
+	readBase := base
+	if p.ReadURL != "" {
+		readBase = strings.TrimRight(p.ReadURL, "/")
+	}
 	client := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        p.Conns,
@@ -282,6 +320,11 @@ func executeLoad(w io.Writer, p loadParams) (*loadReport, error) {
 		return nil, fmt.Errorf("daemon reported an empty schema")
 	}
 	before, scraped := scrapeIngest(client, base)
+	// Cache counters live on the read target, which may be a follower.
+	readBefore, readScraped := before, scraped
+	if readBase != base {
+		readBefore, readScraped = scrapeIngest(client, readBase)
+	}
 
 	endpoint := base + "/v1/tuples"
 	if p.Batch > 1 {
@@ -306,6 +349,25 @@ func executeLoad(w io.Writer, p loadParams) (*loadReport, error) {
 			acked := &ackRing{rng: rng}
 			res := &results[i]
 			for time.Now().Before(deadline) {
+				if p.ReadFrac > 0 && rng.Float64() < p.ReadFrac {
+					// Alternate the two hot read endpoints; reads never touch
+					// the fixed-work row budget.
+					url := readBase + "/v1/facts/top?k=10"
+					if res.reads%2 == 1 {
+						url = readBase + "/v1/facts?limit=50"
+					}
+					t0 := time.Now()
+					res.requests++
+					if !getOK(client, url) {
+						res.errors++
+						continue
+					}
+					lat := time.Since(t0)
+					res.latencies = append(res.latencies, lat)
+					res.readLats = append(res.readLats, lat)
+					res.reads++
+					continue
+				}
 				if p.DeleteFrac > 0 && rng.Float64() < p.DeleteFrac {
 					if id, ok := acked.take(); ok {
 						t0 := time.Now()
@@ -346,11 +408,14 @@ func executeLoad(w io.Writer, p loadParams) (*loadReport, error) {
 	for _, r := range results {
 		total.rows += r.rows
 		total.deletes += r.deletes
+		total.reads += r.reads
 		total.requests += r.requests
 		total.errors += r.errors
 		total.latencies = append(total.latencies, r.latencies...)
+		total.readLats = append(total.readLats, r.readLats...)
 	}
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+	sort.Slice(total.readLats, func(i, j int) bool { return total.readLats[i] < total.readLats[j] })
 
 	rep := loadReport{
 		Schema:          "situbench-load/v1",
@@ -375,9 +440,25 @@ func executeLoad(w io.Writer, p loadParams) (*loadReport, error) {
 	if p.Dist == "zipf" {
 		rep.ZipfS = p.ZipfS
 	}
+	if p.ReadFrac > 0 {
+		rep.ReadFrac = p.ReadFrac
+		rep.Reads = total.reads
+		rep.ReadsPerSec = float64(total.reads) / elapsed.Seconds()
+		if readBase != base {
+			rep.ReadURL = readBase
+		}
+		if n := len(total.readLats); n > 0 {
+			rep.ReadP50Ms = float64(percentile(total.readLats, 0.50)) / float64(time.Millisecond)
+			rep.ReadP99Ms = float64(percentile(total.readLats, 0.99)) / float64(time.Millisecond)
+		}
+	}
 	if after, ok := scrapeIngest(client, base); ok && scraped {
 		rep.QueueCap = after.Ingest.QueueCap
 		rep.QueueResizes = after.Ingest.Resizes - before.Ingest.Resizes
+	}
+	if after, ok := scrapeIngest(client, readBase); ok && readScraped && after.ReadCache.Enabled {
+		rep.CacheHits = after.ReadCache.Hits - readBefore.ReadCache.Hits
+		rep.CacheMisses = after.ReadCache.Misses - readBefore.ReadCache.Misses
 	}
 	if n := len(total.latencies); n > 0 {
 		rep.P50Ms = float64(percentile(total.latencies, 0.50)) / float64(time.Millisecond)
@@ -394,6 +475,14 @@ func executeLoad(w io.Writer, p loadParams) (*loadReport, error) {
 		endpoint, p.Batch, p.Conns, dist, p.DeleteFrac, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "ingested %d rows, deleted %d tuples in %d requests (%d errors) — %.1f rows/s, %.1f req/s\n",
 		total.rows, total.deletes, total.requests, total.errors, rep.RowsPerSec, rep.ReqPerSec)
+	if p.ReadFrac > 0 {
+		hitRate := "no cache"
+		if denom := rep.CacheHits + rep.CacheMisses; denom > 0 {
+			hitRate = fmt.Sprintf("%.1f%% cache hits", 100*float64(rep.CacheHits)/float64(denom))
+		}
+		fmt.Fprintf(w, "reads: %d against %s — %.1f reads/s, p50 %.3fms p99 %.3fms (%s)\n",
+			total.reads, readBase, rep.ReadsPerSec, rep.ReadP50Ms, rep.ReadP99Ms, hitRate)
+	}
 	if len(total.latencies) > 0 {
 		fmt.Fprintf(w, "request latency: p50 %s  p90 %s  p99 %s  max %s\n",
 			percentile(total.latencies, 0.50).Round(time.Microsecond),
@@ -499,6 +588,17 @@ func post(client *http.Client, url string, body []byte, wantIDs bool) ([]string,
 	}
 	io.Copy(io.Discard, resp.Body)
 	return ids, true
+}
+
+// getOK issues one read request, draining the response for reuse.
+func getOK(client *http.Client, url string) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // deleteTuple retracts one acked id, draining the response for reuse.

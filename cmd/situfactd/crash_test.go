@@ -134,12 +134,27 @@ type daemon struct {
 // rotation and truncation both happen inside the test.
 func startDaemon(t *testing.T, bin, stateDir string) *daemon {
 	t.Helper()
+	return startDaemonAt(t, bin, stateDir, freeAddr(t))
+}
+
+// freeAddr reserves a loopback port and returns it, so a daemon can be
+// restarted on the same address after a crash.
+func freeAddr(t *testing.T) string {
+	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := l.Addr().String()
 	l.Close()
+	return addr
+}
+
+// startDaemonAt is startDaemon on a caller-chosen address; extra flags
+// are appended after the defaults (the flag package keeps the last
+// occurrence, so callers can override any of them).
+func startDaemonAt(t *testing.T, bin, stateDir, addr string, extra ...string) *daemon {
+	t.Helper()
 	args := []string{
 		"-addr", addr,
 		"-dims", "team,player",
@@ -152,6 +167,7 @@ func startDaemon(t *testing.T, bin, stateDir string) *daemon {
 		"-snapshot-interval", "150ms",
 		"-topk", "64",
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(bin, args...)
 	var logs bytes.Buffer
 	cmd.Stdout = &logs

@@ -13,17 +13,28 @@
 //	          [-wal] [-wal-sync 0s] [-wal-segment-bytes 0] \
 //	          [-snapshot-interval 0s] [-topk 128] [-relation stream] \
 //	          [-pipeline] [-pipeline-queue 0] [-pipeline-adaptive] \
-//	          [-shard-workers 0]
+//	          [-shard-workers 0] [-read-cache-ttl 0s] \
+//	          [-follow http://leader:8080] [-follow-poll 500ms] [-follow-max-lag 0]
 //
 // Endpoints (wire format in docs/API.md):
 //
 //	POST   /v1/tuples        one arrival → its ranked facts (optional narration)
 //	POST   /v1/tuples:batch  many arrivals, fanned across shards concurrently
 //	DELETE /v1/tuples/{id}   retract an arrival by its "<shard>:<tuple_id>" handle
+//	GET    /v1/facts         page through the live fact set with filters
 //	GET    /v1/facts/top?k=  highest-prominence facts since startup
+//	GET    /v1/tuples/{id}   point read of one ingested row
 //	GET    /v1/metrics       merged work counters + per-shard breakdown
 //	GET    /v1/schema        the relation schema the daemon was started with
-//	GET    /healthz          liveness
+//	GET    /v1/snapshot      checkpoint stream a follower bootstraps from
+//	GET    /v1/wal           journaled records from a given LSN on
+//	GET    /healthz          liveness (503 on a lagging or broken follower)
+//
+// With -follow the daemon runs as a read-only follower of another
+// situfactd: it bootstraps from the leader's snapshot stream, replays the
+// leader's WAL tail continuously, rejects every write endpoint with 403,
+// and degrades /healthz when replication lag exceeds -follow-max-lag or
+// the leader's log identity changes.
 //
 // With -state-dir, SIGINT/SIGTERM triggers a graceful shutdown: in-flight
 // requests drain, then every shard's state is snapshotted into the
@@ -77,6 +88,10 @@ func main() {
 	flag.IntVar(&cfg.pipeQueue, "pipeline-queue", 0, "per-shard ingest queue depth; a full queue blocks producers (0 = 256)")
 	flag.BoolVar(&cfg.pipeAdaptive, "pipeline-adaptive", true, "let each shard's queue capacity float between a floor and -pipeline-queue, growing on backpressure and shrinking when calm (false = fixed at -pipeline-queue)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. localhost:6060); empty = off. Keep it on a loopback or firewalled port")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only follower of this leader base URL (e.g. http://leader:8080): bootstrap from its snapshot, replay its WAL tail; requires -state-dir as bootstrap scratch")
+	flag.DurationVar(&cfg.followPoll, "follow-poll", 500*time.Millisecond, "follower WAL-tail poll period")
+	flag.Uint64Var(&cfg.followMaxLag, "follow-max-lag", 0, "replication lag in records beyond which the follower's /healthz degrades to 503 (0 = no bound)")
+	flag.DurationVar(&cfg.readCacheTTL, "read-cache-ttl", 0, "front /v1/facts and /v1/facts/top with a TTL'd singleflight cache; staleness is bounded by the TTL on a leader and by replication progress on a follower (0 = off)")
 	flag.Parse()
 	log.SetPrefix("situfactd: ")
 	log.SetFlags(log.LstdFlags)
@@ -118,7 +133,7 @@ func serve(cfg config) error {
 	// checkpoint in flight when the shutdown signal lands must finish
 	// before the pool and WAL are closed under it.
 	snapDone := make(chan struct{})
-	if cfg.stateDir != "" && cfg.snapInterval > 0 {
+	if cfg.stateDir != "" && cfg.snapInterval > 0 && cfg.follow == "" {
 		go func() {
 			defer close(snapDone)
 			s.snapshotLoop(ctx, cfg.snapInterval)
@@ -157,7 +172,7 @@ func serve(cfg config) error {
 	if drainErr != nil {
 		errs = append(errs, fmt.Errorf("drain: %w", drainErr))
 	}
-	if cfg.stateDir != "" {
+	if cfg.stateDir != "" && cfg.follow == "" {
 		if drainErr != nil {
 			// Handlers may still be appending: a snapshot taken now could
 			// omit writes already acked 200. The previous snapshot

@@ -1,0 +1,481 @@
+package main
+
+// Follower mode (-follow <leader-url>) and the leader endpoints backing
+// it. A follower bootstraps by downloading the leader's snapshot stream
+// (GET /v1/snapshot), restoring it like a local restart would, and then
+// polls the leader's WAL tail (GET /v1/wal) forever, applying each batch
+// through Pool.ApplyTail — the same per-record path crash recovery uses,
+// which is what makes follower state converge to the leader's bit for
+// bit. The follower pins the leader's WAL epoch at bootstrap: a tail from
+// any other log instance (leader re-initialised, wrong leader) is a fatal
+// error, as is a gap in the dense LSN sequence (the leader truncated the
+// tail away before the follower read it). Fatal errors stop replication
+// and degrade /healthz to 503 until the operator re-bootstraps by
+// restarting the follower; transient poll errors just retry.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	situfact "repro"
+	"repro/internal/persist"
+)
+
+// snapshotStreamMagic heads the GET /v1/snapshot byte stream; each file
+// follows as [uvarint name length][name][uvarint size][bytes], shard
+// files first and the manifest last (its presence commits the download —
+// a partial stream leaves no manifest and the next bootstrap starts
+// clean).
+const snapshotStreamMagic = "situfact-snapshot-stream/v1\n"
+
+const (
+	walTailDefaultMax = 4096
+	walTailMaxMax     = 65536
+)
+
+// ---------------------------------------------------------------- leader
+
+// handleSnapshot ships a fresh checkpoint as one self-contained stream.
+// stateMu is held across the checkpoint AND the file reads, so a
+// concurrent checkpoint cannot replace the generation mid stream.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.repl != nil {
+		writeErr(w, http.StatusConflict, "followers do not ship snapshots: bootstrap from the leader")
+		return
+	}
+	if s.cfg.stateDir == "" || s.wal == nil {
+		writeErr(w, http.StatusConflict, "snapshot shipping requires -state-dir and -wal (a follower needs the log tail after the snapshot)")
+		return
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	stats, err := s.checkpointLocked()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "checkpoint: "+err.Error())
+		return
+	}
+	names := make([]string, 0, s.pool.Shards()+1)
+	for i := 0; i < s.pool.Shards(); i++ {
+		names = append(names, persist.ShardSnapshotName(i, stats.Generation))
+	}
+	names = append(names, persist.ManifestName) // last: the commit record
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := io.WriteString(w, snapshotStreamMagic); err != nil {
+		return
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(s.cfg.stateDir, name))
+		if err != nil {
+			// Headers are out; aborting mid stream is the only option. The
+			// follower sees a truncated stream (no manifest) and retries.
+			log.Printf("snapshot stream: %v", err)
+			return
+		}
+		n := binary.PutUvarint(hdr[:], uint64(len(name)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return
+		}
+		if _, err := io.WriteString(w, name); err != nil {
+			return
+		}
+		n = binary.PutUvarint(hdr[:], uint64(len(data)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return
+		}
+		if _, err := w.Write(data); err != nil {
+			return
+		}
+	}
+}
+
+// handleWALTail serves a batch of journaled records from from_lsn on —
+// the poll target of follower catch-up.
+func (s *server) handleWALTail(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeErr(w, http.StatusConflict, "no write-ahead log to read: run the leader with -wal")
+		return
+	}
+	from := uint64(1)
+	if v := r.URL.Query().Get("from_lsn"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad from_lsn %q", v))
+			return
+		}
+		from = n
+	}
+	max := walTailDefaultMax
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad max %q", v))
+			return
+		}
+		max = min(n, walTailMaxMax)
+	}
+	recs, lastLSN, more, err := s.wal.ReadTail(from, max)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := walTailResponse{
+		Epoch:   s.wal.Epoch(),
+		LastLSN: lastLSN,
+		Records: make([]walRecordWire, len(recs)),
+		More:    more,
+	}
+	for i, rec := range recs {
+		resp.Records[i] = walRecordWire{
+			LSN: rec.LSN, Op: rec.Op, Shard: rec.Shard,
+			Dims: rec.Dims, Measures: rec.Measures, TupleID: rec.TupleID,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// -------------------------------------------------------------- follower
+
+// replState is a follower's replication runtime.
+type replState struct {
+	client *http.Client
+	leader string // leader base URL, no trailing slash
+	epoch  string // leader WAL epoch pinned at bootstrap
+	maxLag uint64 // 0 = no health bound
+	poll   time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	nextLSN   uint64 // next LSN to fetch; nextLSN-1 is applied through
+	leaderLSN uint64 // leader's highest LSN at the last successful poll
+	lastPoll  time.Time
+	lastErr   string // transient; cleared by the next successful poll
+	fatal     string // terminal; replication stopped
+	applied   situfact.ReplayStats
+}
+
+// newFollower bootstraps a read-only follower: snapshot download, restore,
+// then the background tail loop. The follower carries the leader's exact
+// schema flags (-dims/-measures/-relation) — the restored manifest
+// validates them — and uses -state-dir only as scratch for the bootstrap
+// download (a follower never checkpoints; its durable state is the
+// leader's).
+func newFollower(cfg config) (*server, error) {
+	schema, wires, err := buildSchema(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.stateDir == "" {
+		return nil, fmt.Errorf("situfactd: -follow requires -state-dir (scratch space for the snapshot bootstrap)")
+	}
+	if cfg.wal {
+		return nil, fmt.Errorf("situfactd: -wal conflicts with -follow: a follower replays the leader's log, it does not journal its own")
+	}
+	leader := strings.TrimRight(cfg.follow, "/")
+	client := &http.Client{Timeout: 5 * time.Minute}
+	bootstrapDir := filepath.Join(cfg.stateDir, "bootstrap")
+	// Re-bootstrap from scratch on every start: follower state is a cache
+	// of the leader's, so a stale or torn download is never worth salvaging.
+	if err := os.RemoveAll(bootstrapDir); err != nil {
+		return nil, fmt.Errorf("situfactd: clearing %s: %w", bootstrapDir, err)
+	}
+	if err := os.MkdirAll(bootstrapDir, 0o755); err != nil {
+		return nil, fmt.Errorf("situfactd: %w", err)
+	}
+	if err := fetchSnapshot(client, leader, bootstrapDir); err != nil {
+		return nil, fmt.Errorf("situfactd: bootstrap from %s: %w", leader, err)
+	}
+	pool, sidecars, err := situfact.RestorePool(schema, bootstrapDir)
+	if err != nil {
+		return nil, fmt.Errorf("situfactd: restoring leader snapshot: %w", err)
+	}
+	epoch := pool.WALEpoch()
+	if epoch == "" {
+		pool.Close()
+		return nil, fmt.Errorf("situfactd: leader snapshot carries no WAL epoch: the leader must run -wal")
+	}
+	bcap := cfg.boardCap
+	if bcap <= 0 {
+		bcap = 128
+	}
+	// The follower never checkpoints (stateDir was scratch for the
+	// bootstrap only), and the ingest pipeline would race ApplyTail.
+	cfg.stateDir = ""
+	cfg.pipeline = false
+	s := &server{
+		cfg:      cfg,
+		schema:   schema,
+		measures: wires,
+		pool:     pool,
+		board:    &leaderboard{cap: bcap},
+		started:  time.Now(),
+		cache:    newReadCache(cfg),
+	}
+	if lb, ok := sidecars[sidecarLeaderboard]; ok {
+		if err := s.board.restore(lb); err != nil {
+			log.Printf("warning: leaderboard sidecar unreadable, starting it empty: %v", err)
+		}
+	}
+	poll := cfg.followPoll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	next := pool.TailCursor()
+	s.repl = &replState{
+		client:    client,
+		leader:    leader,
+		epoch:     epoch,
+		maxLag:    cfg.followMaxLag,
+		poll:      poll,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		nextLSN:   next,
+		leaderLSN: next - 1, // lag 0 until the first poll says otherwise
+	}
+	log.Printf("following %s from lsn %d (epoch %s, %d tuples bootstrapped)",
+		leader, next, epoch, pool.Len())
+	go s.repl.run(s)
+	return s, nil
+}
+
+// fetchSnapshot downloads the leader's snapshot stream into dir. Each
+// file lands via an atomic write; the manifest arrives last, so a
+// truncated stream leaves no manifest and the error below fires instead
+// of a half-restored pool.
+func fetchSnapshot(client *http.Client, leader, dir string) error {
+	resp, err := client.Get(leader + "/v1/snapshot")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("leader returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	br := bufio.NewReader(resp.Body)
+	magic := make([]byte, len(snapshotStreamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("reading stream header: %w", err)
+	}
+	if string(magic) != snapshotStreamMagic {
+		return fmt.Errorf("not a snapshot stream (bad magic %q)", magic)
+	}
+	for {
+		nameLen, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading file header: %w", err)
+		}
+		if nameLen == 0 || nameLen > 4096 {
+			return fmt.Errorf("implausible file name length %d", nameLen)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return fmt.Errorf("reading file name: %w", err)
+		}
+		name := string(nameBytes)
+		// The stream names files, not paths: refuse anything that would
+		// escape dir.
+		if name != filepath.Base(name) || name == "." || name == ".." {
+			return fmt.Errorf("unsafe file name %q in snapshot stream", name)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("reading size of %s: %w", name, err)
+		}
+		err = persist.WriteFileAtomic(filepath.Join(dir, name), func(w io.Writer) error {
+			_, err := io.CopyN(w, br, int64(size))
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, persist.ManifestName)); err != nil {
+		return fmt.Errorf("stream ended without the manifest (truncated download)")
+	}
+	return nil
+}
+
+// shutdown stops the tail loop and waits it out; safe to call twice.
+func (r *replState) shutdown() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// run is the follower's tail loop: drain the leader's WAL on every poll
+// tick until stopped or a fatal error.
+func (r *replState) run(s *server) {
+	defer close(r.done)
+	r.drain(s) // catch up immediately rather than idling one poll period
+	t := time.NewTicker(r.poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.drain(s)
+		}
+	}
+}
+
+// drain polls and applies WAL batches until the leader has no more, a
+// transient error says try next tick, or a fatal error stops replication.
+func (r *replState) drain(s *server) {
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.mu.Lock()
+		if r.fatal != "" {
+			r.mu.Unlock()
+			return
+		}
+		from := r.nextLSN
+		r.mu.Unlock()
+
+		resp, err := r.pollTail(from)
+		if err != nil {
+			r.mu.Lock()
+			r.lastErr = err.Error()
+			r.mu.Unlock()
+			return
+		}
+		if resp.Epoch != r.epoch {
+			r.setFatal(fmt.Sprintf("leader wal epoch changed (%s -> %s): this follower's state belongs to the old log; restart it to re-bootstrap", r.epoch, resp.Epoch))
+			return
+		}
+		if len(resp.Records) > 0 && resp.Records[0].LSN > from {
+			// LSNs are dense; a gap means the leader truncated records the
+			// follower never saw.
+			r.setFatal(fmt.Sprintf("leader truncated wal records %d..%d before they replicated; restart this follower to re-bootstrap", from, resp.Records[0].LSN-1))
+			return
+		}
+		if len(resp.Records) > 0 {
+			recs := make([]situfact.TailRecord, len(resp.Records))
+			for i, rec := range resp.Records {
+				recs[i] = situfact.TailRecord{
+					LSN: rec.LSN, Op: rec.Op, Shard: rec.Shard,
+					Dims: rec.Dims, Measures: rec.Measures, TupleID: rec.TupleID,
+				}
+			}
+			stats, err := s.pool.ApplyTail(resp.Epoch, recs, func(arr *situfact.Arrival) { s.feedBoard(arr) })
+			r.mu.Lock()
+			r.applied.Records += stats.Records
+			r.applied.Applied += stats.Applied
+			r.applied.Skipped += stats.Skipped
+			r.applied.Failed += stats.Failed
+			r.mu.Unlock()
+			if err != nil {
+				r.setFatal("applying wal tail: " + err.Error())
+				return
+			}
+			r.mu.Lock()
+			r.nextLSN = recs[len(recs)-1].LSN + 1
+			r.mu.Unlock()
+			// Reads must see the advance: drop every cached response.
+			if s.cache != nil {
+				s.cache.Invalidate()
+			}
+		}
+		r.mu.Lock()
+		r.leaderLSN = resp.LastLSN
+		r.lastPoll = time.Now()
+		r.lastErr = ""
+		r.mu.Unlock()
+		if !resp.More {
+			return
+		}
+	}
+}
+
+// pollTail fetches one WAL batch from the leader.
+func (r *replState) pollTail(from uint64) (*walTailResponse, error) {
+	url := fmt.Sprintf("%s/v1/wal?from_lsn=%d&max=%d", r.leader, from, walTailDefaultMax)
+	resp, err := r.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("leader returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var tail walTailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tail); err != nil {
+		return nil, fmt.Errorf("decoding wal tail: %w", err)
+	}
+	return &tail, nil
+}
+
+func (r *replState) setFatal(msg string) {
+	r.mu.Lock()
+	if r.fatal == "" {
+		r.fatal = msg
+		log.Printf("replication stopped: %s", msg)
+	}
+	r.mu.Unlock()
+}
+
+// unhealthy returns the reason this follower should not serve reads, or
+// "" when it is fine — the /healthz gate.
+func (r *replState) unhealthy() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fatal != "" {
+		return "replication stopped: " + r.fatal
+	}
+	if applied := r.nextLSN - 1; r.maxLag > 0 && r.leaderLSN > applied && r.leaderLSN-applied > r.maxLag {
+		return fmt.Sprintf("replication lag %d records exceeds -follow-max-lag %d", r.leaderLSN-applied, r.maxLag)
+	}
+	return ""
+}
+
+// wire snapshots the replication state for GET /v1/metrics.
+func (r *replState) wire() replicationWire {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	applied := r.nextLSN - 1
+	var lag uint64
+	if r.leaderLSN > applied {
+		lag = r.leaderLSN - applied
+	}
+	out := replicationWire{
+		Follower:         true,
+		Leader:           r.leader,
+		Epoch:            r.epoch,
+		AppliedLSN:       applied,
+		LeaderLSN:        r.leaderLSN,
+		LagRecords:       lag,
+		MaxLagRecords:    r.maxLag,
+		Applied:          r.applied.Applied,
+		Skipped:          r.applied.Skipped,
+		Failed:           r.applied.Failed,
+		SecondsSincePoll: -1,
+		LastError:        r.lastErr,
+		Fatal:            r.fatal,
+	}
+	if !r.lastPoll.IsZero() {
+		out.SecondsSincePoll = time.Since(r.lastPoll).Seconds()
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// followerOf starts an in-process read-only follower of the given leader
+// URL with a fast poll, sharing the leader's schema shape.
+func followerOf(t *testing.T, leaderURL string, shards int) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := gamelogConfig(shards, t.TempDir())
+	cfg.follow = leaderURL
+	cfg.followPoll = 20 * time.Millisecond
+	return startServer(t, cfg)
+}
+
+// waitApplied blocks until the follower reports applied_lsn >= want with
+// zero lag, or fails the test after 30s.
+func waitApplied(t *testing.T, url string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		m, err := tryMetrics(url)
+		if err == nil && m.Replication != nil &&
+			m.Replication.AppliedLSN >= want && m.Replication.LagRecords == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m, _ := tryMetrics(url)
+	t.Fatalf("follower never applied LSN %d: replication state %+v", want, m.Replication)
+}
+
+// getBody GETs a URL and returns the status code and the raw body.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// factsPages drains the /v1/facts pagination for one query, returning
+// every page's raw body. Cursors come out of the previous page, so two
+// stores returning byte-identical pages walk identical cursor chains.
+func factsPages(t *testing.T, base, query string, limit int) [][]byte {
+	t.Helper()
+	cursor := ""
+	var pages [][]byte
+	for {
+		url := fmt.Sprintf("%s/v1/facts?%s&limit=%d", base, query, limit)
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		status, body := getBody(t, url)
+		if status != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", url, status, body)
+		}
+		pages = append(pages, body)
+		var page factsResponse
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+		if page.NextCursor == "" {
+			return pages
+		}
+		cursor = page.NextCursor
+		if len(pages) > 10000 {
+			t.Fatalf("query %q: runaway pagination", query)
+		}
+	}
+}
+
+// assertSameReads is the divergence detector: for a set of queries, every
+// /v1/facts page, the leaderboard, and a tuple lookup must be
+// byte-identical between the two daemons.
+func assertSameReads(t *testing.T, leaderURL, followerURL string, queries []string) {
+	t.Helper()
+	for _, q := range queries {
+		lp := factsPages(t, leaderURL, q, 3)
+		fp := factsPages(t, followerURL, q, 3)
+		if len(lp) != len(fp) {
+			t.Fatalf("query %q: leader returned %d pages, follower %d", q, len(lp), len(fp))
+		}
+		for i := range lp {
+			if !bytes.Equal(lp[i], fp[i]) {
+				t.Errorf("query %q page %d diverged:\nleader   %s\nfollower %s", q, i, lp[i], fp[i])
+			}
+		}
+	}
+	_, ltop := getBody(t, leaderURL+"/v1/facts/top?k=16")
+	_, ftop := getBody(t, followerURL+"/v1/facts/top?k=16")
+	if !bytes.Equal(ltop, ftop) {
+		t.Errorf("leaderboard diverged:\nleader   %s\nfollower %s", ltop, ftop)
+	}
+	ls, lb := getBody(t, leaderURL+"/v1/tuples/0:0")
+	fs, fb := getBody(t, followerURL+"/v1/tuples/0:0")
+	if ls != fs || !bytes.Equal(lb, fb) {
+		t.Errorf("tuple lookup diverged: leader %d %s, follower %d %s", ls, lb, fs, fb)
+	}
+}
+
+var gamelogQueries = []string{
+	"",
+	"shard=1",
+	"where=month=Feb",
+	"where=month=Feb&measures=assists",
+	"where=player=Wesley&where=season=1995-96",
+}
+
+// TestFollowerServesIdenticalFacts is the core replication acceptance
+// test: a follower bootstrapped from a leader snapshot and tailing its
+// WAL must serve byte-identical query results — after the bootstrap,
+// and again after further appends and a delete — while rejecting writes
+// and staying healthy.
+func TestFollowerServesIdenticalFacts(t *testing.T) {
+	cfg := gamelogConfig(2, t.TempDir())
+	cfg.wal = true
+	leader, lts := startServer(t, cfg)
+	for i, row := range table1 {
+		if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(row), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("leader: row %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	_, fts := followerOf(t, lts.URL, 2)
+	waitApplied(t, fts.URL, uint64(len(table1)))
+	assertSameReads(t, lts.URL, fts.URL, gamelogQueries)
+
+	// Followers are read-only: every write verb is refused.
+	if resp := doJSON(t, "POST", fts.URL+"/v1/tuples", reqOf(wesley), nil); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("follower accepted POST /v1/tuples: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", fts.URL+"/v1/tuples:batch", batchRequest{Rows: table1[:1]}, nil); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("follower accepted POST /v1/tuples:batch: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "DELETE", fts.URL+"/v1/tuples/0:0", nil, nil); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("follower accepted DELETE: status %d", resp.StatusCode)
+	}
+
+	// A caught-up follower with no lag bound is healthy.
+	if status, body := getBody(t, fts.URL+"/healthz"); status != http.StatusOK {
+		t.Errorf("follower /healthz = %d: %s", status, body)
+	}
+	fm := getMetrics(t, fts.URL)
+	if fm.Replication == nil || !fm.Replication.Follower || fm.Replication.Epoch == "" {
+		t.Fatalf("follower metrics missing replication state: %+v", fm.Replication)
+	}
+	if fm.Replication.AppliedLSN != uint64(len(table1)) {
+		t.Errorf("follower applied LSN %d, want %d", fm.Replication.AppliedLSN, len(table1))
+	}
+
+	// Mutate the leader — another append plus a delete — and require
+	// convergence again.
+	if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(wesley), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader: wesley rejected: status %d", resp.StatusCode)
+	}
+	celtics := leader.pool.ShardFor("Celtics")
+	if resp := doJSON(t, "DELETE", fmt.Sprintf("%s/v1/tuples/%d:0", lts.URL, celtics), nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("leader: delete rejected: status %d", resp.StatusCode)
+	}
+	waitApplied(t, fts.URL, uint64(len(table1))+2)
+	assertSameReads(t, lts.URL, fts.URL, gamelogQueries)
+
+	lm, fm2 := getMetrics(t, lts.URL), getMetrics(t, fts.URL)
+	if lm.Merged != fm2.Merged {
+		t.Errorf("merged metrics diverged:\nleader   %+v\nfollower %+v", lm.Merged, fm2.Merged)
+	}
+	if !reflect.DeepEqual(lm.PerShard, fm2.PerShard) {
+		t.Errorf("per-shard metrics diverged:\nleader   %+v\nfollower %+v", lm.PerShard, fm2.PerShard)
+	}
+}
+
+// TestFollowerEpochMismatch replaces the leader behind a fixed URL with a
+// different instance (fresh state dir = fresh WAL epoch). The follower
+// must refuse to serve — 503 with the reason — rather than silently mix
+// two histories, and must stop applying records.
+func TestFollowerEpochMismatch(t *testing.T) {
+	var inner atomic.Value // holds the current leader's http.Handler
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(stub.Close)
+
+	cfgA := gamelogConfig(1, t.TempDir())
+	cfgA.wal = true
+	a, _ := startServer(t, cfgA)
+	inner.Store(a.handler())
+	for _, row := range table1[:2] {
+		if resp := doJSON(t, "POST", stub.URL+"/v1/tuples", reqOf(row), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("leader A rejected row: status %d", resp.StatusCode)
+		}
+	}
+
+	_, fts := followerOf(t, stub.URL, 1)
+	waitApplied(t, fts.URL, 2)
+
+	// Swap in leader B: same URL, different WAL epoch, different history.
+	cfgB := gamelogConfig(1, t.TempDir())
+	cfgB.wal = true
+	b, bts := startServer(t, cfgB)
+	for _, row := range table1[2:5] {
+		if resp := doJSON(t, "POST", bts.URL+"/v1/tuples", reqOf(row), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("leader B rejected row: status %d", resp.StatusCode)
+		}
+	}
+	inner.Store(b.handler())
+
+	var health healthResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, body := getBody(t, fts.URL+"/healthz")
+		if status == http.StatusServiceUnavailable {
+			if err := json.Unmarshal(body, &health); err != nil {
+				t.Fatalf("decode /healthz body %s: %v", body, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stayed healthy after the leader changed epochs (last /healthz: %d %s)", status, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(health.Reason, "epoch") {
+		t.Errorf("/healthz reason %q does not name the epoch mismatch", health.Reason)
+	}
+	m := getMetrics(t, fts.URL)
+	if m.Replication == nil || !strings.Contains(m.Replication.Fatal, "epoch") {
+		t.Errorf("replication metrics missing fatal epoch error: %+v", m.Replication)
+	}
+	if m.Replication.AppliedLSN != 2 {
+		t.Errorf("follower applied LSN advanced to %d after epoch mismatch, want 2", m.Replication.AppliedLSN)
+	}
+}
+
+// TestFollowerConvergesAcrossLeaderCrash runs the full read-path story
+// against a real leader binary: the leader is SIGKILLed mid-ingest and
+// restarted over the same state dir and address; the follower — which
+// never restarts — must ride through the outage (transient poll errors,
+// not fatal ones) and converge to byte-identical reads once the resumed
+// stream finishes. Segments are oversized so the restarted leader cannot
+// truncate records the follower still needs.
+func TestFollowerConvergesAcrossLeaderCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemon processes")
+	}
+	bin := buildDaemon(t)
+	rows := crashRows(300)
+	leaderDir := t.TempDir()
+	addr := freeAddr(t)
+	segFlag := []string{"-wal-segment-bytes", "1048576"}
+
+	d := startDaemonAt(t, bin, leaderDir, addr, segFlag...)
+	fcfg := config{
+		relation:   "stream", // the binary's -relation default
+		dims:       "team,player",
+		measures:   "points,rebounds",
+		shards:     3,
+		shardDim:   "team",
+		boardCap:   64,
+		stateDir:   t.TempDir(),
+		follow:     d.url,
+		followPoll: 20 * time.Millisecond,
+	}
+	_, fts := startServer(t, fcfg)
+
+	acked := make(chan int, 1)
+	go func() {
+		n := 0
+		for _, r := range rows {
+			if !postRow(d.url, r) {
+				break
+			}
+			n++
+		}
+		acked <- n
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m, err := tryMetrics(d.url); err == nil && m.Merged.Tuples >= int64(len(rows)/3) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+	nAcked := <-acked
+	if nAcked >= len(rows) {
+		t.Fatalf("leader survived the whole stream (%d rows) — the kill was not mid-ingest", nAcked)
+	}
+
+	// While the leader is down the follower must degrade to transient
+	// poll errors, not a fatal stop.
+	if m, err := tryMetrics(fts.URL); err == nil && m.Replication != nil && m.Replication.Fatal != "" {
+		t.Fatalf("follower went fatal during the leader outage: %s", m.Replication.Fatal)
+	}
+
+	d2 := startDaemonAt(t, bin, leaderDir, addr, segFlag...)
+	defer d2.stop()
+	applied := int(getMetrics(t, d2.url).Merged.Tuples)
+	if applied < nAcked {
+		t.Fatalf("recovered leader lost acknowledged rows: %d applied < %d acked", applied, nAcked)
+	}
+	for i, r := range rows[applied:] {
+		if !postRow(d2.url, r) {
+			t.Fatalf("resumed feed: row %d rejected", applied+i)
+		}
+	}
+
+	// Every row is one WAL record and LSNs are dense, so the final head
+	// is exactly len(rows).
+	waitApplied(t, fts.URL, uint64(len(rows)))
+	if status, body := getBody(t, fts.URL+"/healthz"); status != http.StatusOK {
+		t.Errorf("follower /healthz after convergence = %d: %s", status, body)
+	}
+	assertSameReads(t, d2.url, fts.URL, []string{
+		"",
+		"shard=2",
+		"where=team=team-0",
+		"where=team=team-0&measures=points",
+	})
+	lm, fm := getMetrics(t, d2.url), getMetrics(t, fts.URL)
+	if lm.Merged != fm.Merged {
+		t.Errorf("merged metrics diverged:\nleader   %+v\nfollower %+v", lm.Merged, fm.Merged)
+	}
+}

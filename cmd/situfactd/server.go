@@ -19,6 +19,7 @@ import (
 	"time"
 
 	situfact "repro"
+	"repro/internal/readcache"
 )
 
 // config carries every run parameter; flags fill one in main.
@@ -44,6 +45,10 @@ type config struct {
 	pipeQueue    int           // per-shard ingest queue depth (0 = 256)
 	pipeAdaptive bool          // adaptive queue capacities (PipelineOptions.AdaptiveQueue)
 	pprofAddr    string        // extra net/http/pprof listener; "" = off
+	follow       string        // leader base URL; non-empty = read-only follower
+	followPoll   time.Duration // follower WAL-tail poll period (0 = 500ms)
+	followMaxLag uint64        // replication lag (records) beyond which /healthz degrades
+	readCacheTTL time.Duration // TTL of the read cache over /v1/facts{,/top}; 0 = off
 }
 
 // server owns the pool and the leaderboard. Append/Delete handlers rely on
@@ -62,6 +67,14 @@ type server struct {
 	wal      *situfact.WAL // nil without -wal
 	board    *leaderboard
 	started  time.Time
+	// cache fronts the hot read endpoints (/v1/facts, /v1/facts/top) with
+	// a TTL'd singleflight layer; nil without -read-cache-ttl. On a
+	// leader staleness is bounded by the TTL alone; on a follower the
+	// replication loop additionally invalidates it whenever the applied
+	// LSN advances.
+	cache *readcache.Cache
+	// repl is the follower runtime (see replication.go); nil on a leader.
+	repl *replState
 
 	// stateMu serialises checkpoints (background snapshotter vs shutdown).
 	stateMu sync.Mutex
@@ -105,6 +118,9 @@ func buildSchema(cfg config) (*situfact.Schema, []measureWire, error) {
 // tail through the ingest path so derived state catches up, then attach
 // the WAL for live journaling.
 func newServer(cfg config) (*server, error) {
+	if cfg.follow != "" {
+		return newFollower(cfg)
+	}
 	schema, wires, err := buildSchema(cfg)
 	if err != nil {
 		return nil, err
@@ -192,6 +208,7 @@ func newServer(cfg config) (*server, error) {
 		pool:     pool,
 		board:    &leaderboard{cap: bcap},
 		started:  time.Now(),
+		cache:    newReadCache(cfg),
 	}
 	if lb, ok := sidecars[sidecarLeaderboard]; ok {
 		if err := s.board.restore(lb); err != nil {
@@ -270,11 +287,23 @@ func (s *server) routes() map[string]http.HandlerFunc {
 		"GET /healthz":           s.handleHealthz,
 		"GET /v1/schema":         s.handleSchema,
 		"GET /v1/metrics":        s.handleMetrics,
+		"GET /v1/facts":          s.handleFacts,
 		"GET /v1/facts/top":      s.handleTopFacts,
+		"GET /v1/tuples/{id}":    s.handleTuple,
+		"GET /v1/snapshot":       s.handleSnapshot,
+		"GET /v1/wal":            s.handleWALTail,
 		"POST /v1/tuples":        s.handleAppend,
 		"POST /v1/tuples:batch":  s.handleBatch,
 		"DELETE /v1/tuples/{id}": s.handleDelete,
 	}
+}
+
+// newReadCache builds the read cache when -read-cache-ttl asks for one.
+func newReadCache(cfg config) *readcache.Cache {
+	if cfg.readCacheTTL <= 0 {
+		return nil
+	}
+	return readcache.New(cfg.readCacheTTL)
 }
 
 // handler routes the API.
@@ -299,9 +328,18 @@ func (s *server) checkpoint() error {
 	}
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
+	_, err := s.checkpointLocked()
+	return err
+}
+
+// checkpointLocked is checkpoint's body, factored out so the snapshot
+// shipper (handleSnapshot) can hold stateMu across the checkpoint AND the
+// subsequent file streaming — no newer generation may replace the files
+// mid stream. Caller holds s.stateMu.
+func (s *server) checkpointLocked() (situfact.CheckpointStats, error) {
 	stats, err := s.pool.Checkpoint(s.cfg.stateDir, s.snapshotSidecars)
 	if err != nil {
-		return err
+		return stats, err
 	}
 	s.snapMu.Lock()
 	s.lastSnap = time.Now()
@@ -314,7 +352,7 @@ func (s *server) checkpoint() error {
 			log.Printf("wal truncate: %v", err)
 		}
 	}
-	return nil
+	return stats, nil
 }
 
 // snapshotSidecars captures the leaderboard for the manifest. Called by
@@ -350,6 +388,10 @@ func (s *server) snapshotLoop(ctx context.Context, every time.Duration) {
 }
 
 func (s *server) close() error {
+	if s.repl != nil {
+		// Stop the replication loop before the pool it applies into.
+		s.repl.shutdown()
+	}
 	err := s.pool.Close()
 	if s.wal != nil {
 		err = errors.Join(err, s.wal.Close())
@@ -358,6 +400,17 @@ func (s *server) close() error {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.repl != nil {
+		// A follower is healthy only while it can promise near-leader reads:
+		// a fatal replication error (epoch mismatch, truncated-away tail) or
+		// lag beyond -follow-max-lag degrades it to 503 so load balancers
+		// stop routing reads here.
+		if reason := s.repl.unhealthy(); reason != "" {
+			writeJSON(w, http.StatusServiceUnavailable,
+				healthResponse{Status: "unavailable", Tuples: s.pool.Len(), Reason: reason})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Tuples: s.pool.Len()})
 }
 
@@ -410,6 +463,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.Snapshot.Generation = s.snapGen
 	}
 	s.snapMu.Unlock()
+	if s.repl != nil {
+		rw := s.repl.wire()
+		resp.Replication = &rw
+	}
+	resp.ReadCache = readCacheWire{Enabled: s.cache != nil}
+	if s.cache != nil {
+		cst := s.cache.Stats()
+		resp.ReadCache.TTLSeconds = s.cfg.readCacheTTL.Seconds()
+		resp.ReadCache.Hits = cst.Hits
+		resp.ReadCache.Misses = cst.Misses
+		resp.ReadCache.Entries = cst.Entries
+		resp.ReadCache.OldestAgeSeconds = cst.OldestAge.Seconds()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -423,10 +489,26 @@ func (s *server) handleTopFacts(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	writeJSON(w, http.StatusOK, topFactsResponse{Facts: s.board.top(k)})
+	s.serveCached(w, "top|"+strconv.Itoa(k), func() ([]byte, error) {
+		return marshalBody(topFactsResponse{Facts: s.board.top(k)})
+	})
+}
+
+// rejectOnFollower answers write requests on a follower with 403: the
+// follower's state is a replica of the leader's journal, and a local write
+// would fork it. Returns true when the request was handled (rejected).
+func (s *server) rejectOnFollower(w http.ResponseWriter) bool {
+	if s.repl == nil {
+		return false
+	}
+	writeErr(w, http.StatusForbidden, "read-only follower: send writes to the leader")
+	return true
 }
 
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	var req tupleRequest
 	if !decodeBody(w, r, 1<<20, &req) {
 		return
@@ -473,6 +555,9 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	var req batchRequest
 	if !decodeBody(w, r, 32<<20, &req) {
 		return
@@ -522,6 +607,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	id := r.PathValue("id")
 	if !strings.Contains(id, ":") && s.pool.Shards() > 1 {
 		// A bare number would silently target shard 0 — on a multi-shard

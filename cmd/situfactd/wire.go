@@ -214,18 +214,63 @@ type snapshotWire struct {
 	SecondsSinceLast float64 `json:"seconds_since_last"`
 }
 
+// replicationWire is the follower block of GET /v1/metrics (absent on a
+// leader).
+type replicationWire struct {
+	Follower bool   `json:"follower"`
+	Leader   string `json:"leader"`
+	// Epoch is the leader WAL instance the follower is pinned to.
+	Epoch string `json:"epoch"`
+	// AppliedLSN is the highest leader record applied locally; LeaderLSN
+	// the leader's highest assigned LSN at the last poll. LagRecords is
+	// their difference — /healthz degrades when it exceeds MaxLagRecords.
+	AppliedLSN    uint64 `json:"applied_lsn"`
+	LeaderLSN     uint64 `json:"leader_lsn"`
+	LagRecords    uint64 `json:"lag_records"`
+	MaxLagRecords uint64 `json:"max_lag_records"`
+	// Applied / Skipped / Failed accumulate ApplyTail's per-record
+	// outcomes since bootstrap (Failed counts deterministic re-failures,
+	// exactly as WAL replay does).
+	Applied          int     `json:"applied"`
+	Skipped          int     `json:"skipped"`
+	Failed           int     `json:"failed"`
+	SecondsSincePoll float64 `json:"seconds_since_poll"`
+	// LastError is the most recent transient poll failure (cleared by a
+	// successful poll); Fatal a terminal one (epoch mismatch, truncated
+	// tail) that stops replication until the operator re-bootstraps.
+	LastError string `json:"last_error,omitempty"`
+	Fatal     string `json:"fatal,omitempty"`
+}
+
+// readCacheWire is the read-cache block of GET /v1/metrics.
+type readCacheWire struct {
+	// Enabled reports whether the TTL'd singleflight cache fronts
+	// /v1/facts and /v1/facts/top (-read-cache-ttl).
+	Enabled    bool    `json:"enabled"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// Hits counts requests served from a fresh entry (shared-fill waiters
+	// included); Misses counts fills run against the pool.
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+	// OldestAgeSeconds is the age of the oldest cached response.
+	OldestAgeSeconds float64 `json:"oldest_age_seconds"`
+}
+
 // metricsResponse is the body of GET /v1/metrics.
 type metricsResponse struct {
-	Algorithm     string       `json:"algorithm"`
-	ShardDim      string       `json:"shard_dim"`
-	Shards        int          `json:"shards"`
-	Len           int          `json:"len"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Merged        metricsWire  `json:"merged"`
-	PerShard      []shardWire  `json:"per_shard"`
-	WAL           walWire      `json:"wal"`
-	Ingest        ingestWire   `json:"ingest"`
-	Snapshot      snapshotWire `json:"snapshot"`
+	Algorithm     string           `json:"algorithm"`
+	ShardDim      string           `json:"shard_dim"`
+	Shards        int              `json:"shards"`
+	Len           int              `json:"len"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Merged        metricsWire      `json:"merged"`
+	PerShard      []shardWire      `json:"per_shard"`
+	WAL           walWire          `json:"wal"`
+	Ingest        ingestWire       `json:"ingest"`
+	Snapshot      snapshotWire     `json:"snapshot"`
+	Replication   *replicationWire `json:"replication,omitempty"`
+	ReadCache     readCacheWire    `json:"read_cache"`
 }
 
 // boardEntry is one leaderboard row of GET /v1/facts/top.
@@ -241,10 +286,71 @@ type topFactsResponse struct {
 	Facts []boardEntry `json:"facts"`
 }
 
+// queryFactWire is one fact of GET /v1/facts. Unlike factWire (an
+// arrival's view) it names the owning shard and the skyline's tuple ids,
+// because a query spans shards and pages are resumable.
+type queryFactWire struct {
+	Shard       int             `json:"shard"`
+	Conditions  []conditionWire `json:"conditions,omitempty"`
+	Measures    []string        `json:"measures"`
+	ContextSize int64           `json:"context_size,omitempty"`
+	SkylineSize int             `json:"skyline_size"`
+	Prominence  float64         `json:"prominence,omitempty"`
+	// TupleIDs are the per-shard ids of the skyline tuples, ascending.
+	TupleIDs []int64 `json:"tuple_ids"`
+	// Text is the paper-notation rendering (Fact.String).
+	Text string `json:"text"`
+}
+
+// factsResponse is the body of GET /v1/facts. NextCursor, when non-empty,
+// resumes the listing exactly after the last returned fact.
+type factsResponse struct {
+	Facts      []queryFactWire `json:"facts"`
+	NextCursor string          `json:"next_cursor,omitempty"`
+}
+
+// tupleResponse is the body of GET /v1/tuples/{id}.
+type tupleResponse struct {
+	ID       string    `json:"id"`
+	Shard    int       `json:"shard"`
+	TupleID  int64     `json:"tuple_id"`
+	Dims     []string  `json:"dims"`
+	Measures []float64 `json:"measures"`
+	Deleted  bool      `json:"deleted"`
+}
+
+// walRecordWire is one journaled operation of GET /v1/wal.
+type walRecordWire struct {
+	LSN uint64 `json:"lsn"`
+	// Op is "append" or "delete".
+	Op    string `json:"op"`
+	Shard int    `json:"shard"`
+	// Dims and Measures carry the appended row (appends only).
+	Dims     []string  `json:"dims,omitempty"`
+	Measures []float64 `json:"measures,omitempty"`
+	// TupleID is the retracted tuple's per-shard id (deletes only).
+	TupleID int64 `json:"tuple_id,omitempty"`
+}
+
+// walTailResponse is the body of GET /v1/wal: a batch of journaled
+// records with LSN >= from_lsn. Records are dense — a first record past
+// the requested from_lsn means the tail was truncated away and the
+// follower must re-bootstrap from a snapshot. More reports records
+// remaining past the batch; LastLSN is the log's highest assigned LSN.
+type walTailResponse struct {
+	Epoch   string          `json:"epoch"`
+	LastLSN uint64          `json:"last_lsn"`
+	Records []walRecordWire `json:"records"`
+	More    bool            `json:"more"`
+}
+
 // healthResponse is the body of GET /healthz.
 type healthResponse struct {
 	Status string `json:"status"`
 	Tuples int    `json:"tuples"`
+	// Reason explains a non-ok status (follower lag or a fatal
+	// replication error).
+	Reason string `json:"reason,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.

@@ -485,6 +485,64 @@ func (w *WAL) Replay(fn func(Record) error) error {
 	return nil
 }
 
+// errStopRead aborts a ReadFrom segment walk once max records are
+// collected; it never escapes ReadFrom.
+var errStopRead = errors.New("stop read")
+
+// ReadFrom returns up to max records with LSN >= from, in LSN order
+// (max <= 0 = no cap), plus the log's highest assigned LSN at the time of
+// the read — the tail-shipping primitive behind a follower's catch-up
+// polling. Segments entirely below from are skipped by name; the first
+// overlapping segment is decoded from its start with the early records
+// filtered out. Like Replay it blocks appends for its duration, but the
+// duration is bounded by max plus at most one segment's decode.
+//
+// LSNs are dense, so a caller can detect a truncated gap: if the first
+// returned record's LSN is greater than from, records [from, first) were
+// removed by TruncateBefore and the caller must re-bootstrap from a
+// snapshot rather than replay the tail.
+func (w *WAL) ReadFrom(from uint64, max int) (recs []Record, lastLSN uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, 0, ErrWALClosed
+	}
+	if w.writeErr != nil {
+		return nil, 0, w.writeErr
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.writeErr = fmt.Errorf("wal read flush: %w", err)
+		return nil, 0, w.writeErr
+	}
+	lastLSN = w.nextLSN - 1
+	bases, err := listSegments(w.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, base := range bases {
+		if i+1 < len(bases) && bases[i+1] <= from {
+			continue // every record of this segment is below from
+		}
+		_, _, _, err := readSegment(w.segmentPath(base), base, i == len(bases)-1, func(rec Record) error {
+			if rec.LSN < from {
+				return nil
+			}
+			if max > 0 && len(recs) >= max {
+				return errStopRead
+			}
+			recs = append(recs, rec)
+			return nil
+		})
+		if errors.Is(err, errStopRead) {
+			return recs, lastLSN, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return recs, lastLSN, nil
+}
+
 // TruncateBefore removes segments every record of which has LSN < lsn —
 // they are covered by a snapshot and will never be replayed. The active
 // segment always survives. Partial segments survive too: replay skips

@@ -52,7 +52,11 @@ type Pool struct {
 }
 
 type poolShard struct {
-	mu  sync.Mutex
+	// mu is a read/write lock: every mutation (ingest, delete, replay)
+	// holds the write side, so read-only surfaces — monitoring and the
+	// query API (query.go) — can share the read side and proceed against
+	// each other without serialising.
+	mu  sync.RWMutex
 	eng *Engine
 	// lastLSN is the WAL LSN of the last record successfully applied to
 	// this shard (0 = none), maintained under mu. Snapshots record it so
@@ -388,9 +392,9 @@ func (p *Pool) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(p.shards))
 	for i := range p.shards {
 		s := &p.shards[i]
-		s.mu.Lock()
+		s.mu.RLock()
 		out[i] = ShardStat{Shard: i, Len: s.eng.Len(), Metrics: s.eng.Metrics()}
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return out
 }
@@ -400,9 +404,9 @@ func (p *Pool) Len() int {
 	total := 0
 	for i := range p.shards {
 		s := &p.shards[i]
-		s.mu.Lock()
+		s.mu.RLock()
 		total += s.eng.Len()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return total
 }
@@ -412,9 +416,9 @@ func (p *Pool) Metrics() Metrics {
 	var total Metrics
 	for i := range p.shards {
 		s := &p.shards[i]
-		s.mu.Lock()
+		s.mu.RLock()
 		m := s.eng.Metrics()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		total.Add(m)
 	}
 	return total

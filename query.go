@@ -1,0 +1,376 @@
+package situfact
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lattice"
+	"repro/internal/store"
+	"repro/internal/subspace"
+)
+
+// The pool's read path: point lookups of stored tuples and paginated,
+// filtered scans of the current fact set (every (context, subspace) cell
+// of the µ store IS a contextual skyline, i.e. a group of situational
+// facts). Reads take each shard's read lock only while collecting that
+// shard's page, so they ride alongside ingest instead of stalling it —
+// and, through the same methods, a read-only follower serves the exact
+// query surface the leader does.
+//
+// Determinism contract: results are ordered by (shard, constraint key,
+// subspace mask) — coordinates that are a pure function of the logical
+// cell, independent of interning order or store layout. A leader and a
+// follower that hold the same logical state therefore return bit-identical
+// pages for the same query, which is what the replication tests assert.
+
+// FactFilter selects facts for Pool.QueryFacts. The zero value selects
+// everything.
+type FactFilter struct {
+	// Shard restricts the scan to one shard; negative scans all shards.
+	// The zero value selects shard 0; use -1 (or AllShards) for all.
+	Shard int
+	// Conditions, when non-empty, keep only facts whose context binds
+	// every listed attribute to exactly the listed value. Attributes not
+	// listed are unconstrained (bound or wildcard).
+	Conditions []Condition
+	// Measures, when non-empty, keeps only facts over exactly this measure
+	// subspace (order-insensitive).
+	Measures []string
+	// WithTuple, when true, keeps only facts whose contextual skyline
+	// contains TupleID. Tuple ids are per-shard coordinates, so it
+	// requires Shard >= 0.
+	WithTuple bool
+	TupleID   int64
+}
+
+// AllShards is the FactFilter.Shard value that scans every shard.
+const AllShards = -1
+
+// QueryFact is one fact group of a query result: one (context, subspace)
+// cell of a shard's µ store, i.e. one contextual skyline.
+type QueryFact struct {
+	Shard       int
+	Conditions  []Condition
+	Measures    []string
+	ContextSize int64
+	SkylineSize int
+	Prominence  float64
+	// TupleIDs are the skyline members (per-shard tuple ids), ascending.
+	TupleIDs []int64
+
+	// Pagination coordinates (constraint key bytes + subspace mask);
+	// internal, carried so the pool can order results and mint cursors.
+	sortKey  string
+	sortMask uint32
+}
+
+// String renders the fact group in the paper's notation.
+func (q QueryFact) String() string {
+	f := Fact{
+		Conditions: q.Conditions, Measures: q.Measures,
+		ContextSize: q.ContextSize, SkylineSize: q.SkylineSize,
+		Prominence: q.Prominence,
+	}
+	return f.String()
+}
+
+// FactPage is one page of Pool.QueryFacts results.
+type FactPage struct {
+	Facts []QueryFact
+	// NextCursor resumes the scan after the last returned fact; empty
+	// when the scan may be complete. (A cursor can point past the final
+	// fact, in which case the next page is empty with an empty cursor.)
+	NextCursor string
+}
+
+// TupleInfo is one stored tuple, decoded, as returned by Pool.Tuple.
+type TupleInfo struct {
+	Shard    int
+	TupleID  int64
+	Dims     []string
+	Measures []float64
+	Deleted  bool
+}
+
+// queryPlan is a FactFilter validated against the schema: condition and
+// measure names resolved to dimension indices and a subspace mask. Values
+// stay as strings — they resolve per shard, against each shard's own
+// dictionary.
+type queryPlan struct {
+	condDims []int
+	condVals []string
+	mask     subspace.Mask
+	haveMask bool
+	tuple    bool
+	tupleID  int64
+}
+
+func (p *Pool) planQuery(f FactFilter) (queryPlan, error) {
+	var q queryPlan
+	rs := p.schema.rs
+	seen := make(map[int]string, len(f.Conditions))
+	for _, c := range f.Conditions {
+		dim := rs.DimIndex(c.Attr)
+		if dim < 0 {
+			return q, fmt.Errorf("situfact: query: unknown dimension attribute %q", c.Attr)
+		}
+		if prev, dup := seen[dim]; dup {
+			if prev != c.Value {
+				return q, fmt.Errorf("situfact: query: attribute %q constrained to both %q and %q",
+					c.Attr, prev, c.Value)
+			}
+			continue
+		}
+		seen[dim] = c.Value
+		q.condDims = append(q.condDims, dim)
+		q.condVals = append(q.condVals, c.Value)
+	}
+	for _, name := range f.Measures {
+		i := rs.MeasureIndex(name)
+		if i < 0 {
+			return q, fmt.Errorf("situfact: query: unknown measure attribute %q", name)
+		}
+		q.mask |= 1 << uint(i)
+		q.haveMask = true
+	}
+	if f.WithTuple {
+		if f.Shard < 0 {
+			return q, fmt.Errorf("situfact: query: a tuple filter needs a shard (tuple ids are per-shard)")
+		}
+		if f.TupleID < 0 {
+			return q, fmt.Errorf("situfact: query: negative tuple id %d", f.TupleID)
+		}
+		q.tuple = true
+		q.tupleID = f.TupleID
+	}
+	return q, nil
+}
+
+// queryCursor is a decoded pagination cursor: resume strictly after the
+// cell (key, mask) of the given shard.
+type queryCursor struct {
+	shard int
+	key   string
+	mask  uint32
+}
+
+const cursorVersion = "v1"
+
+func encodeCursor(c queryCursor) string {
+	raw := fmt.Sprintf("%s|%d|%s|%d", cursorVersion, c.shard, hex.EncodeToString([]byte(c.key)), c.mask)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+func decodeCursor(s string) (queryCursor, error) {
+	var c queryCursor
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return c, fmt.Errorf("situfact: query: malformed cursor")
+	}
+	parts := strings.Split(string(raw), "|")
+	if len(parts) != 4 || parts[0] != cursorVersion {
+		return c, fmt.Errorf("situfact: query: malformed cursor")
+	}
+	shard, err := strconv.Atoi(parts[1])
+	if err != nil || shard < 0 {
+		return c, fmt.Errorf("situfact: query: malformed cursor")
+	}
+	key, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return c, fmt.Errorf("situfact: query: malformed cursor")
+	}
+	mask, err := strconv.ParseUint(parts[3], 10, 32)
+	if err != nil {
+		return c, fmt.Errorf("situfact: query: malformed cursor")
+	}
+	c.shard, c.key, c.mask = shard, string(key), uint32(mask)
+	return c, nil
+}
+
+// QueryFacts scans the pool's fact groups matching the filter, ordered by
+// (shard, constraint key, subspace mask), returning up to limit of them
+// (limit <= 0 = no cap) starting after the cursor ("" = from the start).
+// Each shard's read lock is held only while that shard's cells are
+// collected — one shard at a time, never across the whole call — so
+// queries and ingest interleave per shard.
+func (p *Pool) QueryFacts(f FactFilter, cursor string, limit int) (FactPage, error) {
+	if f.Shard >= len(p.shards) {
+		return FactPage{}, fmt.Errorf("situfact: query: shard %d of %d: %w", f.Shard, len(p.shards), ErrNotFound)
+	}
+	plan, err := p.planQuery(f)
+	if err != nil {
+		return FactPage{}, err
+	}
+	var cur *queryCursor
+	if cursor != "" {
+		c, err := decodeCursor(cursor)
+		if err != nil {
+			return FactPage{}, err
+		}
+		if c.shard >= len(p.shards) {
+			return FactPage{}, fmt.Errorf("situfact: query: malformed cursor")
+		}
+		if f.Shard >= 0 && c.shard != f.Shard {
+			return FactPage{}, fmt.Errorf("situfact: query: cursor belongs to a different query")
+		}
+		cur = &c
+	}
+	first, last := 0, len(p.shards)-1
+	if f.Shard >= 0 {
+		first, last = f.Shard, f.Shard
+	}
+	var page FactPage
+	for shard := first; shard <= last; shard++ {
+		if cur != nil && shard < cur.shard {
+			continue
+		}
+		s := &p.shards[shard]
+		s.mu.RLock()
+		facts, err := s.eng.queryFacts(plan, shard)
+		s.mu.RUnlock()
+		if err != nil {
+			return FactPage{}, err
+		}
+		sort.Slice(facts, func(i, j int) bool {
+			if facts[i].sortKey != facts[j].sortKey {
+				return facts[i].sortKey < facts[j].sortKey
+			}
+			return facts[i].sortMask < facts[j].sortMask
+		})
+		for i := range facts {
+			qf := facts[i]
+			if cur != nil && shard == cur.shard {
+				if qf.sortKey < cur.key || (qf.sortKey == cur.key && qf.sortMask <= cur.mask) {
+					continue
+				}
+			}
+			page.Facts = append(page.Facts, qf)
+			if limit > 0 && len(page.Facts) == limit {
+				// More may follow: later cells of this shard, or any later
+				// shard. Only the very last cell of the last shard ends the
+				// scan with certainty.
+				if i < len(facts)-1 || shard < last {
+					page.NextCursor = encodeCursor(queryCursor{
+						shard: shard, key: qf.sortKey, mask: qf.sortMask,
+					})
+				}
+				return page, nil
+			}
+		}
+	}
+	return page, nil
+}
+
+// queryFacts collects the shard engine's fact groups matching the plan.
+// The caller holds the shard's read lock.
+func (e *Engine) queryFacts(q queryPlan, shard int) ([]QueryFact, error) {
+	mem, ok := memoryStoreOf(e.disc)
+	if !ok {
+		return nil, fmt.Errorf("situfact: queries require a lattice algorithm over the in-memory store (engine runs %s)", e.disc.Name())
+	}
+	// Resolve condition values against this shard's dictionary: a value
+	// the shard never saw matches nothing here (other shards may hold it).
+	d := e.table.Dict()
+	condCodes := make([]int32, len(q.condDims))
+	for i, dim := range q.condDims {
+		code, ok := d.Lookup(dim, q.condVals[i])
+		if !ok {
+			return nil, nil
+		}
+		condCodes[i] = code
+	}
+	nd := e.schema.NumDims()
+	var out []QueryFact
+	var walkErr error
+	mem.Walk(func(k store.CellKey, c store.Cell) {
+		if walkErr != nil {
+			return
+		}
+		if q.haveMask && k.M != q.mask {
+			return
+		}
+		if q.tuple && !c.ContainsID(q.tupleID) {
+			return
+		}
+		cons, err := lattice.ParseKey(k.C, nd)
+		if err != nil {
+			walkErr = fmt.Errorf("situfact: query: shard %d: %w", shard, err)
+			return
+		}
+		for i, dim := range q.condDims {
+			if cons.Vals[dim] != condCodes[i] {
+				return
+			}
+		}
+		qf := QueryFact{
+			Shard:       shard,
+			Measures:    subspace.Names(k.M, e.schema),
+			SkylineSize: c.Len(),
+			TupleIDs:    c.IDList(),
+			sortKey:     string(k.C),
+			sortMask:    uint32(k.M),
+		}
+		sort.Slice(qf.TupleIDs, func(i, j int) bool { return qf.TupleIDs[i] < qf.TupleIDs[j] })
+		for dim, v := range cons.Vals {
+			if v < 0 {
+				continue
+			}
+			qf.Conditions = append(qf.Conditions, Condition{
+				Attr:  e.schema.Dim(dim).Name,
+				Value: d.Decode(dim, v),
+			})
+		}
+		if e.counter != nil {
+			qf.ContextSize = e.counter.ContextSize(cons)
+			if qf.SkylineSize > 0 {
+				qf.Prominence = float64(qf.ContextSize) / float64(qf.SkylineSize)
+			}
+		}
+		out = append(out, qf)
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return out, nil
+}
+
+// Tuple returns stored tuple tupleID of the given shard, decoded, under
+// the shard's read lock.
+func (p *Pool) Tuple(shard int, tupleID int64) (TupleInfo, error) {
+	if shard < 0 || shard >= len(p.shards) {
+		return TupleInfo{}, fmt.Errorf("situfact: pool: shard %d of %d: %w", shard, len(p.shards), ErrNotFound)
+	}
+	s := &p.shards[shard]
+	s.mu.RLock()
+	info, err := s.eng.tupleInfo(tupleID)
+	s.mu.RUnlock()
+	if err != nil {
+		return TupleInfo{}, err
+	}
+	info.Shard = shard
+	return info, nil
+}
+
+// tupleInfo decodes one stored tuple. The caller holds the shard's read
+// lock.
+func (e *Engine) tupleInfo(tupleID int64) (TupleInfo, error) {
+	if tupleID < 0 || tupleID >= int64(e.table.Len()) {
+		return TupleInfo{}, fmt.Errorf("situfact: tuple %d: %w", tupleID, ErrNotFound)
+	}
+	tu := e.table.Tuples()[tupleID]
+	d := e.table.Dict()
+	info := TupleInfo{
+		TupleID:  tupleID,
+		Dims:     make([]string, len(tu.Dims)),
+		Measures: append([]float64(nil), tu.Raw...),
+		Deleted:  e.deleted[tupleID],
+	}
+	for i, code := range tu.Dims {
+		info.Dims[i] = d.Decode(i, code)
+	}
+	return info, nil
+}

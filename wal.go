@@ -219,76 +219,85 @@ func (p *Pool) ReplayWAL(w *WAL, onArrival func(*Arrival)) (ReplayStats, error) 
 	p.adoptWAL(w)
 	var stats ReplayStats
 	err := w.w.Replay(func(rec persist.Record) error {
-		stats.Records++
-		stats.LastLSN = rec.LSN
-		switch rec.Type {
-		case persist.RecAppend:
-			if len(rec.Dims) != p.schema.rs.NumDims() {
-				return fmt.Errorf("situfact: wal replay: record %d has %d dimension values for schema %s",
-					rec.LSN, len(rec.Dims), p.schema.rs)
-			}
-			shard := p.ShardFor(rec.Dims[p.shardDim])
-			s := &p.shards[shard]
-			s.mu.Lock()
-			if rec.LSN <= s.lastLSN {
-				s.mu.Unlock()
-				stats.Skipped++
-				return nil
-			}
-			arr, err := s.eng.Append(rec.Dims, rec.Measures)
-			if err == nil {
-				s.lastLSN = rec.LSN
-			}
-			s.mu.Unlock()
-			if err != nil {
-				// The original application failed the same deterministic
-				// way (journaling precedes applying), so the record adds
-				// nothing to recovered state.
-				stats.Failed++
-				return nil
-			}
-			arr.Shard = shard
-			stats.Applied++
-			if onArrival != nil {
-				onArrival(arr)
-			}
-		case persist.RecDelete:
-			if rec.Shard < 0 || rec.Shard >= len(p.shards) {
-				return fmt.Errorf("situfact: wal replay: record %d targets shard %d of %d",
-					rec.LSN, rec.Shard, len(p.shards))
-			}
-			s := &p.shards[rec.Shard]
-			s.mu.Lock()
-			if rec.LSN <= s.lastLSN {
-				s.mu.Unlock()
-				stats.Skipped++
-				return nil
-			}
-			err := s.eng.Delete(rec.TupleID)
-			if err == nil {
-				s.lastLSN = rec.LSN
-			}
-			s.mu.Unlock()
-			switch {
-			case err == nil:
-				stats.Applied++
-			case errors.Is(err, ErrNotFound) || errors.Is(err, ErrAlreadyDeleted):
-				stats.Failed++ // the original Delete failed identically
-			default:
-				// Pool.Delete rejects unsupported deletes before journaling,
-				// so a RecDelete proves the writing pool applied (or could
-				// have applied) it. ErrDeleteUnsupported here means the pool
-				// was restarted under a non-deleting algorithm — real drift,
-				// like any other unexpected failure.
-				return fmt.Errorf("situfact: wal replay: record %d: %w", rec.LSN, err)
-			}
-		default:
-			return fmt.Errorf("situfact: wal replay: record %d has unknown type %d", rec.LSN, rec.Type)
-		}
-		return nil
+		return p.applyRecord(rec, &stats, onArrival)
 	})
 	if err != nil {
 		return stats, err
 	}
 	return stats, nil
+}
+
+// applyRecord applies one journaled record to the owning shard, skipping
+// records at or below the shard's watermark — the shared re-application
+// step behind crash recovery (ReplayWAL) and follower catch-up
+// (ApplyTail). Each record takes its shard's write lock for exactly the
+// journal-order apply a live ingest would.
+func (p *Pool) applyRecord(rec persist.Record, stats *ReplayStats, onArrival func(*Arrival)) error {
+	stats.Records++
+	stats.LastLSN = rec.LSN
+	switch rec.Type {
+	case persist.RecAppend:
+		if len(rec.Dims) != p.schema.rs.NumDims() {
+			return fmt.Errorf("situfact: wal replay: record %d has %d dimension values for schema %s",
+				rec.LSN, len(rec.Dims), p.schema.rs)
+		}
+		shard := p.ShardFor(rec.Dims[p.shardDim])
+		s := &p.shards[shard]
+		s.mu.Lock()
+		if rec.LSN <= s.lastLSN {
+			s.mu.Unlock()
+			stats.Skipped++
+			return nil
+		}
+		arr, err := s.eng.Append(rec.Dims, rec.Measures)
+		if err == nil {
+			s.lastLSN = rec.LSN
+		}
+		s.mu.Unlock()
+		if err != nil {
+			// The original application failed the same deterministic
+			// way (journaling precedes applying), so the record adds
+			// nothing to recovered state.
+			stats.Failed++
+			return nil
+		}
+		arr.Shard = shard
+		stats.Applied++
+		if onArrival != nil {
+			onArrival(arr)
+		}
+	case persist.RecDelete:
+		if rec.Shard < 0 || rec.Shard >= len(p.shards) {
+			return fmt.Errorf("situfact: wal replay: record %d targets shard %d of %d",
+				rec.LSN, rec.Shard, len(p.shards))
+		}
+		s := &p.shards[rec.Shard]
+		s.mu.Lock()
+		if rec.LSN <= s.lastLSN {
+			s.mu.Unlock()
+			stats.Skipped++
+			return nil
+		}
+		err := s.eng.Delete(rec.TupleID)
+		if err == nil {
+			s.lastLSN = rec.LSN
+		}
+		s.mu.Unlock()
+		switch {
+		case err == nil:
+			stats.Applied++
+		case errors.Is(err, ErrNotFound) || errors.Is(err, ErrAlreadyDeleted):
+			stats.Failed++ // the original Delete failed identically
+		default:
+			// Pool.Delete rejects unsupported deletes before journaling,
+			// so a RecDelete proves the writing pool applied (or could
+			// have applied) it. ErrDeleteUnsupported here means the pool
+			// was restarted under a non-deleting algorithm — real drift,
+			// like any other unexpected failure.
+			return fmt.Errorf("situfact: wal replay: record %d: %w", rec.LSN, err)
+		}
+	default:
+		return fmt.Errorf("situfact: wal replay: record %d has unknown type %d", rec.LSN, rec.Type)
+	}
+	return nil
 }
