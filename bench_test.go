@@ -429,6 +429,79 @@ func BenchmarkPoolQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolQueryDeepCursor pins the pagination complexity class: one
+// page at depth 0 versus one page deep in the cursor chain, on the scan
+// path (which re-walks and re-sorts every fact before the cursor, so a
+// deep page costs O(n)) and the indexed path (seek + O(page) walk, so
+// depth must not matter). The index/deep:first ratio staying near 1 while
+// scan/deep grows with the fact count is the tentpole's acceptance
+// number.
+func BenchmarkPoolQueryDeepCursor(b *testing.B) {
+	const nRows = 4096
+	const pageLimit = 100
+	const shards = 4
+	s := newBenchStream(b, "nba", 5, 7)
+	s.tuple(b, nRows-1)
+	dict := s.tb.Dict()
+	d := s.tb.Schema().NumDims()
+	rows := make([]Row, nRows)
+	for i := range rows {
+		tu := s.tb.At(i)
+		dims := make([]string, d)
+		for j := 0; j < d; j++ {
+			dims[j] = dict.Decode(j, tu.Dims[j])
+		}
+		rows[i] = Row{Dims: dims, Measures: tu.Raw}
+	}
+	pool, err := NewPool(WrapSchema(s.tb.Schema()), PoolOptions{
+		Shards:   shards,
+		ShardDim: "team",
+		Engine:   Options{MaxBoundDims: 3, MaxMeasureDims: 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.AppendBatch(rows); err != nil {
+		b.Fatal(err)
+	}
+	filter := FactFilter{Shard: AllShards, TupleID: -1}
+	// Walk once to find the chain's midpoint cursor — the "deep" page.
+	// Both paths produce byte-identical cursors, so one walk serves both.
+	var cursors []string
+	cursor := ""
+	for {
+		page, err := pool.QueryFacts(filter, cursor, pageLimit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursors = append(cursors, page.NextCursor)
+		cursor = page.NextCursor
+	}
+	if len(cursors) < 4 {
+		b.Fatalf("only %d pages — too shallow to measure depth", len(cursors)+1)
+	}
+	deep := cursors[len(cursors)/2]
+	b.Logf("%d pages of %d; deep page at depth %d", len(cursors)+1, pageLimit, len(cursors)/2+1)
+	for _, path := range []string{"scan", "index"} {
+		pool.SetScanQueries(path == "scan")
+		for _, probe := range []struct{ name, cursor string }{{"first", ""}, {"deep", deep}} {
+			b.Run(fmt.Sprintf("%s/%s", path, probe.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pool.QueryFacts(filter, probe.cursor, pageLimit); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	pool.SetScanQueries(false)
+}
+
 // TestMain keeps the benchmark file's imports exercised under plain
 // `go test` as well.
 func TestMain(m *testing.M) {

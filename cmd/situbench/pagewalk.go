@@ -1,0 +1,217 @@
+package main
+
+// Page-walk mode: situbench -serve-url ... -load-page-walk drains the
+// full GET /v1/facts cursor chain end to end and reports per-page latency
+// as a function of page depth. This is the probe for the read path's
+// complexity class: the scan path re-walks every fact before the cursor
+// on each request (page N costs O(N·page)), the incremental fact index
+// seeks to the cursor and walks one page (O(log n + page)), so the shape
+// of latency-vs-depth — flat or linear — is the whole story. The daemon's
+// /v1/metrics index block labels which path produced the numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// pageWalkParams configures one page-walk measurement.
+type pageWalkParams struct {
+	URL      string // daemon base URL writes/metrics go to
+	ReadURL  string // base URL pages come from ("" = URL; set = a follower)
+	Limit    int    // page size (limit=)
+	Walks    int    // full cursor-chain walks; latencies pool across walks
+	JSONPath string // when non-empty, write the report as JSON here
+}
+
+// pageDepthBucket aggregates the latency of pages within one depth range.
+type pageDepthBucket struct {
+	// FirstDepth..LastDepth is the 0-based page-depth range (inclusive).
+	FirstDepth int `json:"first_depth"`
+	LastDepth  int `json:"last_depth"`
+	Pages      int `json:"pages"`
+	// Quantiles are over every page in the range, pooled across walks.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// pageWalkReport is the machine-readable form of one page-walk run
+// (-load-json), schema situbench-pagewalk/v1.
+type pageWalkReport struct {
+	Schema   string `json:"schema"` // "situbench-pagewalk/v1"
+	Endpoint string `json:"endpoint"`
+	Limit    int    `json:"limit"`
+	Walks    int    `json:"walks"`
+	// IndexServing is the read target's /v1/metrics index.serving: true =
+	// pages came from the incremental fact index, false = reference scan.
+	IndexServing bool `json:"index_serving"`
+	// Shards mirrors the daemon's /v1/schema; Facts/PagesPerWalk describe
+	// one chain (every walk sees the same fact set — the walk is read-only).
+	Shards       int `json:"shards"`
+	Facts        int `json:"facts"`
+	PagesPerWalk int `json:"pages_per_walk"`
+	// FirstPageP50Ms and LastPageP50Ms are the ends of the depth curve;
+	// their ratio is the headline O(n·pages)-vs-O(page) number.
+	FirstPageP50Ms float64 `json:"first_page_p50_ms"`
+	LastPageP50Ms  float64 `json:"last_page_p50_ms"`
+	// Buckets is the full latency-by-depth curve, ~10 equal depth ranges.
+	Buckets         []pageDepthBucket `json:"buckets"`
+	DurationSeconds float64           `json:"duration_seconds"`
+}
+
+// runPageWalk executes the measurement and writes the human summary to w
+// plus, with JSONPath set, the machine report.
+func runPageWalk(w io.Writer, p pageWalkParams) error {
+	if p.Limit <= 0 {
+		p.Limit = 50
+	}
+	if p.Walks <= 0 {
+		p.Walks = 10
+	}
+	base := strings.TrimRight(p.URL, "/")
+	readBase := base
+	if p.ReadURL != "" {
+		readBase = strings.TrimRight(p.ReadURL, "/")
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	var schema loadSchema
+	if err := getJSON(client, base+"/v1/schema", &schema); err != nil {
+		return fmt.Errorf("fetch schema: %w", err)
+	}
+	var metrics struct {
+		Index struct {
+			Serving bool `json:"serving"`
+		} `json:"index"`
+	}
+	if err := getJSON(client, readBase+"/v1/metrics", &metrics); err != nil {
+		return fmt.Errorf("fetch metrics: %w", err)
+	}
+
+	// One chain's latencies per depth, pooled across walks. Every walk is
+	// read-only against the same fact set, so all walks see the same
+	// number of pages; the first walk fixes the chain length.
+	var byDepth [][]time.Duration
+	facts, pages := 0, 0
+	start := time.Now()
+	for walk := 0; walk < p.Walks; walk++ {
+		cursor := ""
+		depth := 0
+		for {
+			u := fmt.Sprintf("%s/v1/facts?limit=%d", readBase, p.Limit)
+			if cursor != "" {
+				u += "&cursor=" + url.QueryEscape(cursor)
+			}
+			t0 := time.Now()
+			var page struct {
+				Facts      []json.RawMessage `json:"facts"`
+				NextCursor string            `json:"next_cursor"`
+			}
+			if err := getJSON(client, u, &page); err != nil {
+				return fmt.Errorf("walk %d page %d: %w", walk, depth, err)
+			}
+			lat := time.Since(t0)
+			if depth >= len(byDepth) {
+				byDepth = append(byDepth, nil)
+			}
+			byDepth[depth] = append(byDepth[depth], lat)
+			if walk == 0 {
+				facts += len(page.Facts)
+				pages++
+			}
+			depth++
+			if page.NextCursor == "" {
+				break
+			}
+			cursor = page.NextCursor
+			if depth > 1_000_000 {
+				return fmt.Errorf("runaway pagination at depth %d", depth)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if pages == 0 {
+		return fmt.Errorf("the daemon served no facts to walk — ingest first (e.g. a -load-rows run)")
+	}
+
+	rep := pageWalkReport{
+		Schema:          "situbench-pagewalk/v1",
+		Endpoint:        readBase + "/v1/facts",
+		Limit:           p.Limit,
+		Walks:           p.Walks,
+		IndexServing:    metrics.Index.Serving,
+		Shards:          schema.Shards,
+		Facts:           facts,
+		PagesPerWalk:    pages,
+		FirstPageP50Ms:  depthP50Ms(byDepth[0]),
+		LastPageP50Ms:   depthP50Ms(byDepth[len(byDepth)-1]),
+		DurationSeconds: elapsed.Seconds(),
+	}
+	// ~10 equal depth ranges cover the curve without drowning the report.
+	nb := min(10, pages)
+	for b := 0; b < nb; b++ {
+		lo, hi := b*pages/nb, (b+1)*pages/nb-1
+		var pool []time.Duration
+		for d := lo; d <= hi; d++ {
+			pool = append(pool, byDepth[d]...)
+		}
+		sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+		rep.Buckets = append(rep.Buckets, pageDepthBucket{
+			FirstDepth: lo,
+			LastDepth:  hi,
+			Pages:      hi - lo + 1,
+			P50Ms:      float64(percentile(pool, 0.50)) / float64(time.Millisecond),
+			P99Ms:      float64(percentile(pool, 0.99)) / float64(time.Millisecond),
+		})
+	}
+
+	path := "index"
+	if !rep.IndexServing {
+		path = "scan"
+	}
+	fmt.Fprintf(w, "page walk: %s limit=%d walks=%d path=%s — %d facts over %d pages\n",
+		rep.Endpoint, p.Limit, p.Walks, path, facts, pages)
+	for _, b := range rep.Buckets {
+		fmt.Fprintf(w, "  pages %4d..%-4d  p50 %8.3fms  p99 %8.3fms\n", b.FirstDepth, b.LastDepth, b.P50Ms, b.P99Ms)
+	}
+	fmt.Fprintf(w, "first page p50 %.3fms, deepest page p50 %.3fms (%.1fx)\n",
+		rep.FirstPageP50Ms, rep.LastPageP50Ms, rep.LastPageP50Ms/rep.FirstPageP50Ms)
+
+	if p.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// depthP50Ms is the p50 of one depth's pooled latencies, in ms.
+func depthP50Ms(lats []time.Duration) float64 {
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return float64(percentile(sorted, 0.50)) / float64(time.Millisecond)
+}
+
+// getJSON GETs a URL and decodes its JSON body into out.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s returned %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

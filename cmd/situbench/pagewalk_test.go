@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// stubFactsDaemon mimics the read surface the page walker touches: a
+// paginated /v1/facts over nFacts synthetic facts with opaque cursors,
+// plus the schema and metrics blocks the report is labelled from.
+func stubFactsDaemon(t *testing.T, nFacts int, indexServing bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/schema", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"dimensions":["team","player"],"measures":[{"name":"points"}],"shards":4}`))
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"index":{"serving":%v,"entries":%d}}`, indexServing, nFacts)
+	})
+	mux.HandleFunc("GET /v1/facts", func(w http.ResponseWriter, r *http.Request) {
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		from := 0
+		if c := r.URL.Query().Get("cursor"); c != "" {
+			from, _ = strconv.Atoi(strings.TrimPrefix(c, "at-"))
+		}
+		to := min(from+limit, nFacts)
+		facts := make([]json.RawMessage, to-from)
+		for i := range facts {
+			facts[i] = json.RawMessage(fmt.Sprintf(`{"shard":0,"skyline_size":%d}`, from+i))
+		}
+		next := ""
+		if to < nFacts {
+			next = "at-" + strconv.Itoa(to)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"facts": facts, "next_cursor": next})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunPageWalk(t *testing.T) {
+	const nFacts, limit = 137, 10 // 14 pages, short last page
+	ts := stubFactsDaemon(t, nFacts, true)
+	path := filepath.Join(t.TempDir(), "walk.json")
+	var out bytes.Buffer
+	err := runPageWalk(&out, pageWalkParams{URL: ts.URL, Limit: limit, Walks: 3, JSONPath: path})
+	if err != nil {
+		t.Fatalf("runPageWalk: %v\n%s", err, out.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep pageWalkReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, buf)
+	}
+	if rep.Schema != "situbench-pagewalk/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Facts != nFacts || rep.PagesPerWalk != 14 {
+		t.Errorf("report saw %d facts over %d pages, want %d over 14", rep.Facts, rep.PagesPerWalk, nFacts)
+	}
+	if !rep.IndexServing || rep.Shards != 4 {
+		t.Errorf("report mislabelled the target: %+v", rep)
+	}
+	if len(rep.Buckets) != 10 {
+		t.Fatalf("report has %d depth buckets, want 10", len(rep.Buckets))
+	}
+	covered := 0
+	for i, b := range rep.Buckets {
+		if b.LastDepth < b.FirstDepth || b.Pages != b.LastDepth-b.FirstDepth+1 {
+			t.Errorf("bucket %d has inconsistent depth range: %+v", i, b)
+		}
+		if b.P99Ms < b.P50Ms {
+			t.Errorf("bucket %d: p99 %.3f < p50 %.3f", i, b.P99Ms, b.P50Ms)
+		}
+		covered += b.Pages
+	}
+	if covered != rep.PagesPerWalk {
+		t.Errorf("buckets cover %d pages, want %d", covered, rep.PagesPerWalk)
+	}
+	for _, want := range []string{"path=index", "14 pages", "deepest page"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunPageWalkScanLabel(t *testing.T) {
+	ts := stubFactsDaemon(t, 5, false)
+	var out bytes.Buffer
+	if err := runPageWalk(&out, pageWalkParams{URL: ts.URL, Limit: 50, Walks: 1}); err != nil {
+		t.Fatalf("runPageWalk: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "path=scan") {
+		t.Errorf("summary does not label the scan path:\n%s", out.String())
+	}
+}

@@ -13,7 +13,7 @@
 //	          [-wal] [-wal-sync 0s] [-wal-segment-bytes 0] \
 //	          [-snapshot-interval 0s] [-topk 128] [-relation stream] \
 //	          [-pipeline] [-pipeline-queue 0] [-pipeline-adaptive] \
-//	          [-shard-workers 0] [-read-cache-ttl 0s] \
+//	          [-shard-workers 0] [-read-cache-ttl 0s] [-fact-index] \
 //	          [-follow http://leader:8080] [-follow-poll 500ms] [-follow-max-lag 0]
 //
 // Endpoints (wire format in docs/API.md):
@@ -92,7 +92,9 @@ func main() {
 	flag.DurationVar(&cfg.followPoll, "follow-poll", 500*time.Millisecond, "follower WAL-tail poll period")
 	flag.Uint64Var(&cfg.followMaxLag, "follow-max-lag", 0, "replication lag in records beyond which the follower's /healthz degrades to 503 (0 = no bound)")
 	flag.DurationVar(&cfg.readCacheTTL, "read-cache-ttl", 0, "front /v1/facts and /v1/facts/top with a TTL'd singleflight cache; staleness is bounded by the TTL on a leader and by replication progress on a follower (0 = off)")
+	factIndex := flag.Bool("fact-index", true, "serve /v1/facts pages and ?source=live leaderboards from the incremental fact index (seek + O(page) walk); false falls back to the reference full-scan read path — results are identical, only latency differs")
 	flag.Parse()
+	cfg.scanFacts = !*factIndex
 	log.SetPrefix("situfactd: ")
 	log.SetFlags(log.LstdFlags)
 

@@ -208,6 +208,9 @@ func newFollower(cfg config) (*server, error) {
 		pool.Close()
 		return nil, fmt.Errorf("situfactd: leader snapshot carries no WAL epoch: the leader must run -wal")
 	}
+	// Same read path as the leader: the fact index was rebuilt during the
+	// snapshot restore above and ApplyTail maintains it from here on.
+	pool.SetScanQueries(cfg.scanFacts)
 	bcap := cfg.boardCap
 	if bcap <= 0 {
 		bcap = 128
@@ -378,6 +381,7 @@ func (r *replState) drain(s *server) {
 					Dims: rec.Dims, Measures: rec.Measures, TupleID: rec.TupleID,
 				}
 			}
+			before := s.pool.ShardLSNs()
 			stats, err := s.pool.ApplyTail(resp.Epoch, recs, func(arr *situfact.Arrival) { s.feedBoard(arr) })
 			r.mu.Lock()
 			r.applied.Records += stats.Records
@@ -389,13 +393,18 @@ func (r *replState) drain(s *server) {
 				r.setFatal("applying wal tail: " + err.Error())
 				return
 			}
+			// Reads must see the advance — but only reads whose shard
+			// actually advanced. Cached pages scoped to an untouched shard
+			// are still correct, so evict just the moved shards' keys plus
+			// everything cross-shard (all-shard pages and leaderboards).
+			// Eviction runs BEFORE nextLSN advances: once the applied LSN is
+			// observable in /v1/metrics, no pre-batch page may serve.
+			if s.cache != nil {
+				s.cache.InvalidateFunc(invalidatorFor(before, s.pool.ShardLSNs()))
+			}
 			r.mu.Lock()
 			r.nextLSN = recs[len(recs)-1].LSN + 1
 			r.mu.Unlock()
-			// Reads must see the advance: drop every cached response.
-			if s.cache != nil {
-				s.cache.Invalidate()
-			}
 		}
 		r.mu.Lock()
 		r.leaderLSN = resp.LastLSN
@@ -405,6 +414,36 @@ func (r *replState) drain(s *server) {
 		if !resp.More {
 			return
 		}
+	}
+}
+
+// invalidatorFor builds the read-cache eviction predicate for a tail
+// batch, given the per-shard applied LSNs before and after ApplyTail.
+// Keys scoped to one shard ("facts|<shard>|...") die only when that
+// shard's LSN moved; cross-shard keys ("facts|-1|..." for all-shard
+// pages, "top|..." for leaderboards) die when any shard moved.
+func invalidatorFor(before, after []uint64) func(key string) bool {
+	any := false
+	moved := make(map[string]bool, len(after))
+	for i := range after {
+		if i >= len(before) || after[i] != before[i] {
+			moved["facts|"+strconv.Itoa(i)+"|"] = true
+			any = true
+		}
+	}
+	return func(key string) bool {
+		if !any {
+			return false
+		}
+		if strings.HasPrefix(key, "top|") || strings.HasPrefix(key, "facts|-1|") {
+			return true
+		}
+		for prefix := range moved {
+			if strings.HasPrefix(key, prefix) {
+				return true
+			}
+		}
+		return false
 	}
 }
 

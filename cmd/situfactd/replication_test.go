@@ -187,6 +187,155 @@ func TestFollowerServesIdenticalFacts(t *testing.T) {
 	}
 }
 
+// TestFollowerIndexedReadsIdentical pins the read path the fleet actually
+// runs: leader and follower both serving from the incremental fact index
+// (the -fact-index default) must stay byte-identical across appends and a
+// delete — and a second follower forced onto the reference scan path must
+// produce those same bytes, so the index cannot drift from the scan even
+// across the replication boundary.
+func TestFollowerIndexedReadsIdentical(t *testing.T) {
+	cfg := gamelogConfig(2, t.TempDir())
+	cfg.wal = true
+	leader, lts := startServer(t, cfg)
+	if leader.pool.ScanQueries() {
+		t.Fatal("leader is not index-backed under the default config")
+	}
+	for i, row := range table1 {
+		if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(row), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("leader: row %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	indexed, its := followerOf(t, lts.URL, 2)
+	scanCfg := gamelogConfig(2, t.TempDir())
+	scanCfg.follow = lts.URL
+	scanCfg.followPoll = 20 * time.Millisecond
+	scanCfg.scanFacts = true
+	scanner, sts := startServer(t, scanCfg)
+	if indexed.pool.ScanQueries() || !scanner.pool.ScanQueries() {
+		t.Fatal("follower read paths not wired from config")
+	}
+
+	// Mutate past the bootstrap so both followers exercise ApplyTail's
+	// index maintenance, not just the restore-time rebuild.
+	if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(wesley), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader: wesley rejected: status %d", resp.StatusCode)
+	}
+	celtics := leader.pool.ShardFor("Celtics")
+	if resp := doJSON(t, "DELETE", fmt.Sprintf("%s/v1/tuples/%d:0", lts.URL, celtics), nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("leader: delete rejected: status %d", resp.StatusCode)
+	}
+	head := uint64(len(table1)) + 2
+	waitApplied(t, its.URL, head)
+	waitApplied(t, sts.URL, head)
+
+	assertSameReads(t, lts.URL, its.URL, gamelogQueries)
+	assertSameReads(t, lts.URL, sts.URL, gamelogQueries)
+
+	lm, fm := getMetrics(t, lts.URL), getMetrics(t, its.URL)
+	if !lm.Index.Serving || !fm.Index.Serving {
+		t.Errorf("index not serving: leader %+v follower %+v", lm.Index, fm.Index)
+	}
+	if lm.Index.Entries == 0 || lm.Index.Entries != fm.Index.Entries {
+		t.Errorf("index entries diverged: leader %d follower %d", lm.Index.Entries, fm.Index.Entries)
+	}
+	if sm := getMetrics(t, sts.URL); sm.Index.Serving {
+		t.Errorf("scan follower reports index serving: %+v", sm.Index)
+	} else if sm.Index.Entries != lm.Index.Entries {
+		t.Errorf("scan follower's (idle) index entries %d != leader's %d: maintenance must not depend on the read path", sm.Index.Entries, lm.Index.Entries)
+	}
+
+	// The live leaderboard ranks current cells, so it sees the delete the
+	// same way on every node.
+	_, ltop := getBody(t, lts.URL+"/v1/facts/top?k=16&source=live")
+	_, itop := getBody(t, its.URL+"/v1/facts/top?k=16&source=live")
+	if !bytes.Equal(ltop, itop) {
+		t.Errorf("live leaderboard diverged:\nleader   %s\nfollower %s", ltop, itop)
+	}
+}
+
+// TestInvalidatorFor pins the per-shard eviction predicate: keys scoped
+// to an advanced shard die, keys scoped to a quiet shard survive, and
+// cross-shard keys die whenever anything moved.
+func TestInvalidatorFor(t *testing.T) {
+	pred := invalidatorFor([]uint64{5, 7, 9}, []uint64{5, 8, 9})
+	cases := []struct {
+		key  string
+		want bool
+	}{
+		{"facts|0|where|...", false}, // shard 0 did not move
+		{"facts|1|where|...", true},  // shard 1 advanced
+		{"facts|2|where|...", false},
+		{"facts|-1|all-shards", true}, // cross-shard page
+		{"top|10", true},              // leaderboard
+		{"top|live|16", true},
+	}
+	for _, c := range cases {
+		if got := pred(c.key); got != c.want {
+			t.Errorf("pred(%q) = %v, want %v", c.key, got, c.want)
+		}
+	}
+	if quiet := invalidatorFor([]uint64{5, 7}, []uint64{5, 7}); quiet("top|10") || quiet("facts|-1|x") {
+		t.Error("nothing moved but cross-shard keys were evicted")
+	}
+	// A follower that grew shards mid-flight (bootstrap) treats the new
+	// shard as moved.
+	if grown := invalidatorFor([]uint64{5}, []uint64{5, 1}); !grown("facts|1|x") {
+		t.Error("newly appeared shard not treated as moved")
+	}
+}
+
+// TestFollowerPerShardCacheInvalidation drives the selective eviction end
+// to end: with the read cache on, a tail batch touching only one shard
+// must leave the other shard's cached page serving hits.
+func TestFollowerPerShardCacheInvalidation(t *testing.T) {
+	cfg := gamelogConfig(2, t.TempDir())
+	cfg.wal = true
+	leader, lts := startServer(t, cfg)
+	for i, row := range table1 {
+		if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(row), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("leader: row %d: status %d", i, resp.StatusCode)
+		}
+	}
+	fcfg := gamelogConfig(2, t.TempDir())
+	fcfg.follow = lts.URL
+	fcfg.followPoll = 20 * time.Millisecond
+	fcfg.readCacheTTL = time.Minute
+	follower, fts := startServer(t, fcfg)
+	waitApplied(t, fts.URL, uint64(len(table1)))
+
+	hot := leader.pool.ShardFor(wesley.Dims[3]) // shard the next append lands on
+	cold := 1 - hot
+	// limit=500 keeps each shard's fact set on one page, so the hot
+	// shard's body is guaranteed to change when the append lands.
+	hotURL := fmt.Sprintf("%s/v1/facts?shard=%d&limit=500", fts.URL, hot)
+	coldURL := fmt.Sprintf("%s/v1/facts?shard=%d&limit=500", fts.URL, cold)
+	_, hotBefore := getBody(t, hotURL) // warm both cache entries
+	_, coldBefore := getBody(t, coldURL)
+
+	if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(wesley), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader: wesley rejected: status %d", resp.StatusCode)
+	}
+	waitApplied(t, fts.URL, uint64(len(table1))+1)
+
+	st := follower.cache.Stats()
+	_, hotAfter := getBody(t, hotURL)
+	_, coldAfter := getBody(t, coldURL)
+	if bytes.Equal(hotBefore, hotAfter) {
+		t.Errorf("shard %d page unchanged after an append routed to it", hot)
+	}
+	if !bytes.Equal(coldBefore, coldAfter) {
+		t.Errorf("shard %d page changed by an append routed to shard %d:\nbefore %s\nafter  %s", cold, hot, coldBefore, coldAfter)
+	}
+	st2 := follower.cache.Stats()
+	if gotMisses := st2.Misses - st.Misses; gotMisses != 1 {
+		t.Errorf("re-reading both shards after a one-shard advance refilled %d entries, want 1 (the advanced shard)", gotMisses)
+	}
+	if gotHits := st2.Hits - st.Hits; gotHits != 1 {
+		t.Errorf("quiet shard's cached page served %d hits, want 1", gotHits)
+	}
+}
+
 // TestFollowerEpochMismatch replaces the leader behind a fixed URL with a
 // different instance (fresh state dir = fresh WAL epoch). The follower
 // must refuse to serve — 503 with the reason — rather than silently mix

@@ -49,6 +49,7 @@ type config struct {
 	followPoll   time.Duration // follower WAL-tail poll period (0 = 500ms)
 	followMaxLag uint64        // replication lag (records) beyond which /healthz degrades
 	readCacheTTL time.Duration // TTL of the read cache over /v1/facts{,/top}; 0 = off
+	scanFacts    bool          // serve reads from the reference full scan (-fact-index=false); zero value = index-backed
 }
 
 // server owns the pool and the leaderboard. Append/Delete handlers rely on
@@ -191,6 +192,10 @@ func newServer(cfg config) (*server, error) {
 			return nil, err
 		}
 	}
+	// -fact-index=false keeps the reference scan path on the read side;
+	// the index itself is maintained either way, so the flag can be
+	// flipped across restarts without any rebuild cost beyond recovery.
+	pool.SetScanQueries(cfg.scanFacts)
 	// Refuse -state-dir with an engine snapshots cannot serialise now,
 	// not at the first SIGTERM.
 	if cfg.stateDir != "" && !pool.CanSnapshot() {
@@ -476,6 +481,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.ReadCache.Entries = cst.Entries
 		resp.ReadCache.OldestAgeSeconds = cst.OldestAge.Seconds()
 	}
+	ist := s.pool.IndexStats()
+	resp.Index = indexWire{
+		Serving: ist.Serving,
+		Entries: ist.Entries,
+		Inserts: ist.Inserts,
+		Deletes: ist.Deletes,
+		Seeks:   ist.Seeks,
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -489,9 +502,29 @@ func (s *server) handleTopFacts(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	s.serveCached(w, "top|"+strconv.Itoa(k), func() ([]byte, error) {
-		return marshalBody(topFactsResponse{Facts: s.board.top(k)})
-	})
+	switch src := r.URL.Query().Get("source"); src {
+	case "", "board":
+		s.serveCached(w, "top|"+strconv.Itoa(k), func() ([]byte, error) {
+			return marshalBody(topFactsResponse{Facts: s.board.top(k)})
+		})
+	case "live":
+		// The live leaderboard ranks the current fact set straight out of
+		// the incremental index (every cell, not just recent arrivals), so
+		// it reflects deletions the arrival-history board cannot see.
+		s.serveCached(w, "top|live|"+strconv.Itoa(k), func() ([]byte, error) {
+			facts, err := s.pool.TopFacts(k)
+			if err != nil {
+				return nil, err
+			}
+			resp := topLiveResponse{Source: "live", Facts: make([]queryFactWire, len(facts))}
+			for i := range facts {
+				resp.Facts[i] = toQueryFactWire(&facts[i])
+			}
+			return marshalBody(resp)
+		})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad source %q: want board or live", src))
+	}
 }
 
 // rejectOnFollower answers write requests on a follower with 403: the

@@ -257,6 +257,22 @@ type readCacheWire struct {
 	OldestAgeSeconds float64 `json:"oldest_age_seconds"`
 }
 
+// indexWire is the incremental-fact-index block of GET /v1/metrics.
+type indexWire struct {
+	// Serving reports whether /v1/facts pages are answered from the index
+	// (-fact-index, the default) rather than the reference full scan. The
+	// index is maintained and its counters advance either way.
+	Serving bool `json:"serving"`
+	// Entries is the live (key, mask) count summed over shards — one per
+	// stored fact cell.
+	Entries int64 `json:"entries"`
+	// Inserts/Deletes count index maintenance operations since start;
+	// Seeks counts ordered lookups run on behalf of queries.
+	Inserts uint64 `json:"inserts"`
+	Deletes uint64 `json:"deletes"`
+	Seeks   uint64 `json:"seeks"`
+}
+
 // metricsResponse is the body of GET /v1/metrics.
 type metricsResponse struct {
 	Algorithm     string           `json:"algorithm"`
@@ -271,6 +287,7 @@ type metricsResponse struct {
 	Snapshot      snapshotWire     `json:"snapshot"`
 	Replication   *replicationWire `json:"replication,omitempty"`
 	ReadCache     readCacheWire    `json:"read_cache"`
+	Index         indexWire        `json:"index"`
 }
 
 // boardEntry is one leaderboard row of GET /v1/facts/top.
@@ -284,6 +301,15 @@ type boardEntry struct {
 // topFactsResponse is the body of GET /v1/facts/top.
 type topFactsResponse struct {
 	Facts []boardEntry `json:"facts"`
+}
+
+// topLiveResponse is the body of GET /v1/facts/top?source=live: the
+// k highest-prominence facts ranked over the current µ-store contents
+// (index-backed), not the arrival history the board keeps. Entries are
+// queryFactWire because they are live cells, not remembered arrivals.
+type topLiveResponse struct {
+	Source string          `json:"source"`
+	Facts  []queryFactWire `json:"facts"`
 }
 
 // queryFactWire is one fact of GET /v1/facts. Unlike factWire (an

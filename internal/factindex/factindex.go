@@ -1,0 +1,362 @@
+// Package factindex is the incremental fact index: an ordered set of the
+// µ(C,M) store's live cell coordinates, keyed exactly the way the query
+// surface orders its results — raw constraint-key bytes first, subspace
+// mask second. It is maintained in lockstep with the write path (one
+// Insert when a cell comes into existence, one Delete when it is
+// evicted), so a paginated read seeks to its cursor in O(log n) and walks
+// forward O(page) instead of re-collecting and re-sorting every live cell
+// per page.
+//
+// The structure is a plain in-memory B-tree. Keys are stored as Go
+// strings sharing the store interner's backing bytes, so the index adds
+// ~2 words per cell on top of the store itself. Concurrency follows the
+// store's own discipline: mutations happen under the owning shard's
+// write lock, iteration under its read lock — the tree itself takes no
+// locks and must not be mutated while an Iter is live.
+package factindex
+
+import "sync/atomic"
+
+// Entry is one indexed cell coordinate: the canonical constraint key
+// bytes and the measure-subspace mask.
+type Entry struct {
+	Key  string
+	Mask uint32
+}
+
+// less orders entries by (key bytes, mask) — byte-string lexicographic on
+// the key, numeric on the mask. This must stay identical to the query
+// path's result ordering: cursors are (key, mask) positions in this
+// exact order.
+func less(a, b Entry) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Mask < b.Mask
+}
+
+// B-tree node arity. 31 items per node keeps splits cheap (a split
+// copies ~16 entries) while staying 3 levels deep past a million cells.
+const (
+	maxItems = 31
+	minItems = maxItems / 2
+)
+
+type node struct {
+	items    []Entry // ordered; len ≥ 1 except a just-emptied root
+	children []*node // nil for leaves; len == len(items)+1 otherwise
+}
+
+// find returns the position of the first item ≥ e, and whether it equals e.
+func (n *node) find(e Entry) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(n.items[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && !less(e, n.items[lo]) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// split divides the node at item i, returning the separator and the new
+// right sibling.
+func (n *node) split(i int) (Entry, *node) {
+	mid := n.items[i]
+	right := &node{items: append(make([]Entry, 0, maxItems), n.items[i+1:]...)}
+	n.items = n.items[:i]
+	if n.children != nil {
+		right.children = append(make([]*node, 0, maxItems+1), n.children[i+1:]...)
+		n.children = n.children[:i+1]
+	}
+	return mid, right
+}
+
+// insert adds e under n (known non-full), reporting whether the set grew
+// (false = e was already present).
+func (n *node) insert(e Entry) bool {
+	i, found := n.find(e)
+	if found {
+		return false
+	}
+	if n.children == nil {
+		n.items = append(n.items, Entry{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = e
+		return true
+	}
+	if child := n.children[i]; len(child.items) == maxItems {
+		mid, right := child.split(maxItems / 2)
+		n.items = append(n.items, Entry{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+		switch {
+		case less(mid, e):
+			i++
+		case !less(e, mid): // e == mid: the separator IS the entry
+			return false
+		}
+	}
+	return n.children[i].insert(e)
+}
+
+// delete removes e from the subtree under n, reporting whether it was
+// present. The caller guarantees len(n.items) > minItems unless n is the
+// root (the grow-before-descend discipline below maintains it).
+func (n *node) delete(e Entry) bool {
+	i, found := n.find(e)
+	if n.children == nil {
+		if !found {
+			return false
+		}
+		copy(n.items[i:], n.items[i+1:])
+		n.items = n.items[:len(n.items)-1]
+		return true
+	}
+	if found {
+		// e separates two subtrees: replace it with its in-order
+		// predecessor (the max of the left subtree), removed from there.
+		if len(n.children[i].items) <= minItems {
+			n.grow(i)
+			return n.delete(e) // indices shifted; retry from this node
+		}
+		n.items[i] = n.children[i].removeMax()
+		return true
+	}
+	if len(n.children[i].items) <= minItems {
+		n.grow(i)
+		return n.delete(e)
+	}
+	return n.children[i].delete(e)
+}
+
+// removeMax extracts the subtree's largest entry.
+func (n *node) removeMax() Entry {
+	if n.children == nil {
+		e := n.items[len(n.items)-1]
+		n.items = n.items[:len(n.items)-1]
+		return e
+	}
+	i := len(n.children) - 1
+	if len(n.children[i].items) <= minItems {
+		n.grow(i)
+		return n.removeMax()
+	}
+	return n.children[i].removeMax()
+}
+
+// grow brings child i above minItems items, borrowing from a sibling
+// through the separator when one has spare capacity, merging otherwise.
+func (n *node) grow(i int) {
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		// Rotate right: left sibling's max → separator → child's front.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, Entry{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if left.children != nil {
+			mv := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = mv
+		}
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+		// Rotate left: separator → child's back, right sibling's min up.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		copy(right.items, right.items[1:])
+		right.items = right.items[:len(right.items)-1]
+		if right.children != nil {
+			child.children = append(child.children, right.children[0])
+			copy(right.children, right.children[1:])
+			right.children = right.children[:len(right.children)-1]
+		}
+		return
+	}
+	// Both siblings at minimum: merge child i with one around the separator.
+	if i >= len(n.children)-1 {
+		i--
+	}
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	copy(n.items[i:], n.items[i+1:])
+	n.items = n.items[:len(n.items)-1]
+	copy(n.children[i+1:], n.children[i+2:])
+	n.children = n.children[:len(n.children)-1]
+}
+
+// Index is the per-shard incremental fact index. See the package note for
+// the locking discipline.
+type Index struct {
+	root *node
+	len  int
+
+	// inserts/deletes are cumulative maintenance counters, mutated under
+	// the same (write) lock as the tree; seeks counts iterator seek
+	// operations and is atomic because readers bump it under a shared lock.
+	inserts uint64
+	deletes uint64
+	seeks   atomic.Uint64
+}
+
+// New returns an empty index.
+func New() *Index { return &Index{} }
+
+// Len returns the number of indexed cells.
+func (ix *Index) Len() int { return ix.len }
+
+// Stats is a monitoring snapshot of one index.
+type Stats struct {
+	// Entries is the live indexed cell count.
+	Entries int
+	// Inserts and Deletes count maintenance operations since creation
+	// (snapshot restore and WAL replay rebuild through Inserts too).
+	Inserts uint64
+	Deletes uint64
+	// Seeks counts iterator seek operations (cursor positioning and
+	// predicate-pushdown skips).
+	Seeks uint64
+}
+
+// Stats returns a monitoring snapshot. Call it under the same lock
+// regime as Insert/Delete (the owning shard's lock, either side).
+func (ix *Index) Stats() Stats {
+	return Stats{Entries: ix.len, Inserts: ix.inserts, Deletes: ix.deletes, Seeks: ix.seeks.Load()}
+}
+
+// Insert adds the cell coordinate (idempotent).
+func (ix *Index) Insert(key string, mask uint32) {
+	ix.inserts++
+	e := Entry{Key: key, Mask: mask}
+	if ix.root == nil {
+		ix.root = &node{items: append(make([]Entry, 0, maxItems), e)}
+		ix.len = 1
+		return
+	}
+	if len(ix.root.items) == maxItems {
+		left := ix.root
+		mid, right := left.split(maxItems / 2)
+		ix.root = &node{items: []Entry{mid}, children: []*node{left, right}}
+	}
+	if ix.root.insert(e) {
+		ix.len++
+	}
+}
+
+// Delete removes the cell coordinate (idempotent).
+func (ix *Index) Delete(key string, mask uint32) {
+	ix.deletes++
+	if ix.root == nil {
+		return
+	}
+	if ix.root.delete(Entry{Key: key, Mask: mask}) {
+		ix.len--
+	}
+	if len(ix.root.items) == 0 {
+		if ix.root.children == nil {
+			ix.root = nil
+		} else {
+			ix.root = ix.root.children[0]
+		}
+	}
+}
+
+// frame is one step of an iterator's root-to-position path: within n,
+// subtree children[i] is (or was) being visited, and items[i] is the next
+// item of n itself.
+type frame struct {
+	n *node
+	i int
+}
+
+// Iter is a forward iterator. It holds a path into the tree, so the tree
+// must not be mutated while the Iter is in use.
+type Iter struct {
+	ix    *Index
+	stack []frame
+}
+
+// Seek returns an iterator positioned at the first entry ≥ (key, mask).
+func (ix *Index) Seek(key string, mask uint32) *Iter {
+	it := &Iter{ix: ix, stack: make([]frame, 0, 8)}
+	it.SeekGE(key, mask)
+	return it
+}
+
+// SeekGE repositions the iterator at the first entry ≥ (key, mask),
+// invalid when none exists. Re-seeking an existing iterator reuses its
+// path storage — the predicate-pushdown skip path.
+func (it *Iter) SeekGE(key string, mask uint32) {
+	it.ix.seeks.Add(1)
+	it.stack = it.stack[:0]
+	e := Entry{Key: key, Mask: mask}
+	n := it.ix.root
+	for n != nil {
+		i, found := n.find(e)
+		it.stack = append(it.stack, frame{n: n, i: i})
+		if found || n.children == nil {
+			break
+		}
+		n = n.children[i]
+	}
+	it.popToValid()
+}
+
+// popToValid discards exhausted frames until the top frame names a live
+// item (the iterator's current entry) or the stack empties (iteration
+// done).
+func (it *Iter) popToValid() {
+	for len(it.stack) > 0 {
+		top := it.stack[len(it.stack)-1]
+		if top.i < len(top.n.items) {
+			return
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return len(it.stack) > 0 }
+
+// Entry returns the current entry; the iterator must be Valid.
+func (it *Iter) Entry() Entry {
+	top := it.stack[len(it.stack)-1]
+	return top.n.items[top.i]
+}
+
+// Next advances to the next entry in (key, mask) order.
+func (it *Iter) Next() {
+	if len(it.stack) == 0 {
+		return
+	}
+	top := &it.stack[len(it.stack)-1]
+	n := top.n
+	top.i++
+	if n.children != nil {
+		// The subtree between the just-visited item and the next one comes
+		// first: descend its left spine down to a leaf.
+		for c := n.children[top.i]; ; c = c.children[0] {
+			it.stack = append(it.stack, frame{n: c})
+			if c.children == nil {
+				return // a non-root node always holds ≥ minItems entries
+			}
+		}
+	}
+	it.popToValid()
+}

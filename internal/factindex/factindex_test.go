@@ -1,0 +1,247 @@
+package factindex
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refModel is the brute-force reference: a sorted slice with the same
+// (key, mask) order as the tree.
+type refModel []Entry
+
+func (m refModel) search(e Entry) (int, bool) {
+	i := sort.Search(len(m), func(i int) bool { return !less(m[i], e) })
+	return i, i < len(m) && m[i] == e
+}
+
+func (m *refModel) insert(e Entry) {
+	i, found := m.search(e)
+	if found {
+		return
+	}
+	*m = append(*m, Entry{})
+	copy((*m)[i+1:], (*m)[i:])
+	(*m)[i] = e
+}
+
+func (m *refModel) remove(e Entry) {
+	i, found := m.search(e)
+	if !found {
+		return
+	}
+	copy((*m)[i:], (*m)[i+1:])
+	*m = (*m)[:len(*m)-1]
+}
+
+// collect walks the whole tree through the iterator.
+func collect(ix *Index) []Entry {
+	var out []Entry
+	for it := ix.Seek("", 0); it.Valid(); it.Next() {
+		out = append(out, it.Entry())
+	}
+	return out
+}
+
+func randKey(rng *rand.Rand, dims int) string {
+	b := make([]byte, 4*dims)
+	for d := 0; d < dims; d++ {
+		// Small value range to force key collisions (mask-order ties).
+		binary.LittleEndian.PutUint32(b[4*d:], uint32(rng.Intn(6)))
+	}
+	return string(b)
+}
+
+func checkEqual(t *testing.T, ix *Index, want refModel) {
+	t.Helper()
+	got := collect(ix)
+	if len(got) != len(want) {
+		t.Fatalf("index has %d entries, reference has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: index %x/%d, reference %x/%d",
+				i, got[i].Key, got[i].Mask, want[i].Key, want[i].Mask)
+		}
+	}
+	if ix.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", ix.Len(), len(want))
+	}
+}
+
+// TestIndexRandomized drives random interleaved inserts and deletes
+// against the sorted-slice reference, checking full-order equality and
+// invariants at every step boundary.
+func TestIndexRandomized(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New()
+		var ref refModel
+		for step := 0; step < 4000; step++ {
+			e := Entry{Key: randKey(rng, 2), Mask: uint32(rng.Intn(8))}
+			if rng.Intn(3) == 0 {
+				ix.Delete(e.Key, e.Mask)
+				ref.remove(e)
+			} else {
+				ix.Insert(e.Key, e.Mask)
+				ref.insert(e)
+			}
+			if step%97 == 0 {
+				checkEqual(t, ix, ref)
+				checkInvariants(t, ix)
+			}
+		}
+		checkEqual(t, ix, ref)
+		checkInvariants(t, ix)
+		// Drain completely: every delete path (rotations, merges, root
+		// collapse) gets exercised on the way down.
+		for len(ref) > 0 {
+			e := ref[rng.Intn(len(ref))]
+			ix.Delete(e.Key, e.Mask)
+			ref.remove(e)
+			if len(ref)%211 == 0 {
+				checkEqual(t, ix, ref)
+				checkInvariants(t, ix)
+			}
+		}
+		if ix.Len() != 0 || ix.root != nil {
+			t.Fatalf("seed %d: drained index not empty: len=%d root=%v", seed, ix.Len(), ix.root)
+		}
+	}
+}
+
+// checkInvariants verifies B-tree structural invariants: per-node item
+// bounds, per-node ordering, child/item count relation, uniform leaf depth.
+func checkInvariants(t *testing.T, ix *Index) {
+	t.Helper()
+	if ix.root == nil {
+		return
+	}
+	leafDepth := -1
+	var walk func(n *node, depth int, isRoot bool)
+	walk = func(n *node, depth int, isRoot bool) {
+		if len(n.items) > maxItems {
+			t.Fatalf("node with %d items exceeds max %d", len(n.items), maxItems)
+		}
+		if !isRoot && len(n.items) < minItems {
+			t.Fatalf("non-root node with %d items below min %d", len(n.items), minItems)
+		}
+		if isRoot && len(n.items) < 1 {
+			t.Fatalf("root holds no items but was not collapsed")
+		}
+		for i := 1; i < len(n.items); i++ {
+			if !less(n.items[i-1], n.items[i]) {
+				t.Fatalf("node items out of order at %d", i)
+			}
+		}
+		if n.children == nil {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			return
+		}
+		if len(n.children) != len(n.items)+1 {
+			t.Fatalf("node with %d items has %d children", len(n.items), len(n.children))
+		}
+		for _, c := range n.children {
+			walk(c, depth+1, false)
+		}
+	}
+	walk(ix.root, 0, true)
+}
+
+// TestIndexSeek checks SeekGE against the reference for random probe
+// points, including exact hits, gaps, before-first, and past-last.
+func TestIndexSeek(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ix := New()
+	var ref refModel
+	for i := 0; i < 1500; i++ {
+		e := Entry{Key: randKey(rng, 2), Mask: uint32(rng.Intn(8))}
+		ix.Insert(e.Key, e.Mask)
+		ref.insert(e)
+	}
+	probe := func(e Entry) {
+		t.Helper()
+		i, _ := ref.search(e)
+		it := ix.Seek(e.Key, e.Mask)
+		if i == len(ref) {
+			if it.Valid() {
+				t.Fatalf("seek %x/%d: want invalid, got %x/%d", e.Key, e.Mask, it.Entry().Key, it.Entry().Mask)
+			}
+			return
+		}
+		if !it.Valid() {
+			t.Fatalf("seek %x/%d: want %x/%d, got invalid", e.Key, e.Mask, ref[i].Key, ref[i].Mask)
+		}
+		if got := it.Entry(); got != ref[i] {
+			t.Fatalf("seek %x/%d: want %x/%d, got %x/%d", e.Key, e.Mask, ref[i].Key, ref[i].Mask, got.Key, got.Mask)
+		}
+		// The walk from the seek point must match the reference suffix.
+		for j := i; j < len(ref) && j < i+20; j++ {
+			if !it.Valid() || it.Entry() != ref[j] {
+				t.Fatalf("walk after seek diverges at offset %d", j-i)
+			}
+			it.Next()
+		}
+	}
+	for i := 0; i < 500; i++ {
+		probe(Entry{Key: randKey(rng, 2), Mask: uint32(rng.Intn(10))})
+	}
+	// Exact members.
+	for i := 0; i < 200; i++ {
+		probe(ref[rng.Intn(len(ref))])
+	}
+	probe(Entry{Key: "", Mask: 0})
+	probe(Entry{Key: "\xff\xff\xff\xff\xff\xff\xff\xff", Mask: ^uint32(0)})
+}
+
+// TestIndexIdempotent pins that duplicate inserts and deletes of absent
+// entries leave the set unchanged while still counting as operations.
+func TestIndexIdempotent(t *testing.T) {
+	ix := New()
+	ix.Insert("aaaa", 3)
+	ix.Insert("aaaa", 3)
+	if ix.Len() != 1 {
+		t.Fatalf("Len after duplicate insert = %d, want 1", ix.Len())
+	}
+	ix.Delete("bbbb", 1)
+	if ix.Len() != 1 {
+		t.Fatalf("Len after absent delete = %d, want 1", ix.Len())
+	}
+	ix.Delete("aaaa", 3)
+	ix.Delete("aaaa", 3)
+	if ix.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", ix.Len())
+	}
+	st := ix.Stats()
+	if st.Inserts != 2 || st.Deletes != 3 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 2 inserts / 3 deletes / 0 entries", st)
+	}
+}
+
+// TestIndexSeparatorPromotion forces the insert-while-splitting edge
+// where the entry being inserted equals the promoted separator.
+func TestIndexSeparatorPromotion(t *testing.T) {
+	ix := New()
+	for i := 0; i < maxItems*4; i++ {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, uint32(i*2))
+		ix.Insert(string(b), 0)
+	}
+	before := ix.Len()
+	// Re-insert every existing entry: some will be separators in internal
+	// nodes, some will be mid-split promotions.
+	for i := 0; i < maxItems*4; i++ {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, uint32(i*2))
+		ix.Insert(string(b), 0)
+	}
+	if ix.Len() != before {
+		t.Fatalf("re-inserting members changed Len: %d -> %d", before, ix.Len())
+	}
+	checkInvariants(t, ix)
+}

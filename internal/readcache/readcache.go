@@ -92,6 +92,20 @@ func (c *Cache) Invalidate() {
 	c.mu.Unlock()
 }
 
+// InvalidateFunc drops only the entries whose key satisfies pred, leaving
+// the rest to serve out their TTL. A follower uses this to evict just the
+// responses scoped to shards whose applied LSN actually moved, instead of
+// emptying the whole cache on every tail batch.
+func (c *Cache) InvalidateFunc(pred func(key string) bool) {
+	c.mu.Lock()
+	for k := range c.entries {
+		if pred(k) {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
 // Stats is a monitoring snapshot of the cache.
 type Stats struct {
 	// Hits counts Gets served from a fresh fill (shared-fill waiters

@@ -322,6 +322,13 @@ type Memory struct {
 	free  []int32  // slots left behind by emptied cells
 
 	stats Stats
+
+	// observer, when set, is called from Save at every cell lifecycle
+	// transition: created=true when a cell comes into existence,
+	// created=false when an emptied cell is evicted. In-place updates of a
+	// live cell do not fire — the cell's (key, mask) identity is unchanged,
+	// which is all the incremental fact index tracks.
+	observer func(k CellKey, created bool)
 }
 
 // slabShift sizes Memory's cell pages: 4096 cells (~130 KiB) per page.
@@ -345,6 +352,13 @@ func newMemoryShared(in *Interner, width int) *Memory {
 		m.idx = make(map[CellRef]int32)
 	}
 	return m
+}
+
+// SetObserver installs the cell lifecycle callback (see the observer
+// field). The observer runs synchronously inside Save under whatever
+// lock the caller holds; it must not call back into the store.
+func (m *Memory) SetObserver(fn func(k CellKey, created bool)) {
+	m.observer = fn
 }
 
 // Width implements Store.
@@ -414,6 +428,18 @@ func (m *Memory) Load(ref CellRef) Cell {
 	return *m.cellAt(i)
 }
 
+// Peek returns the cell at ref without bumping the Reads counter. Query
+// paths use it: they run under a shared (read) lock where a counter write
+// would race, and a follower answering reads must not drift its store
+// counters away from the leader's (snapshot byte-identity).
+func (m *Memory) Peek(ref CellRef) Cell {
+	i := m.lookup(ref)
+	if i < 0 {
+		return Cell{W: m.width}
+	}
+	return *m.cellAt(i)
+}
+
 // Save implements Store.
 func (m *Memory) Save(ref CellRef, c Cell) {
 	i := m.lookup(ref)
@@ -425,6 +451,10 @@ func (m *Memory) Save(ref CellRef, c Cell) {
 		m.free = append(m.free, i)
 		m.setSlot(ref, -1)
 		m.stats.Cells--
+		if m.observer != nil {
+			cid, mask := RefParts(ref)
+			m.observer(CellKey{C: m.in.Key(cid), M: mask}, false)
+		}
 	case len(c.Rows) > 0 && i < 0:
 		if n := len(m.free); n > 0 {
 			i = m.free[n-1]
@@ -440,6 +470,10 @@ func (m *Memory) Save(ref CellRef, c Cell) {
 		m.setSlot(ref, i)
 		m.stats.StoredTuples += int64(c.Len())
 		m.stats.Cells++
+		if m.observer != nil {
+			cid, mask := RefParts(ref)
+			m.observer(CellKey{C: m.in.Key(cid), M: mask}, true)
+		}
 	case len(c.Rows) > 0:
 		s := m.cellAt(i)
 		m.stats.StoredTuples += int64(c.Len() - s.Len())

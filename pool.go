@@ -49,6 +49,10 @@ type Pool struct {
 	// pipe, when non-nil, is the running ingest pipeline: one batching
 	// writer goroutine per shard (see pipeline.go). Nil = direct path.
 	pipe atomic.Pointer[pipeline]
+	// scanQueries, when true, routes QueryFacts/TopFacts through the
+	// reference full-scan path instead of the incremental fact index.
+	// The index is maintained either way — only the read side switches.
+	scanQueries atomic.Bool
 }
 
 type poolShard struct {
@@ -382,6 +386,58 @@ type ShardStat struct {
 	Len int
 	// Metrics is the shard engine's work counters.
 	Metrics Metrics
+}
+
+// SetScanQueries selects the read path: false (the default) serves
+// QueryFacts/TopFacts from the incremental fact index, true from the
+// reference full-scan path. Semantically the two are identical — the
+// scan path survives as the reference implementation the equivalence
+// tests compare against, and as an escape hatch.
+func (p *Pool) SetScanQueries(scan bool) { p.scanQueries.Store(scan) }
+
+// ScanQueries reports whether the reference scan path serves queries.
+func (p *Pool) ScanQueries() bool { return p.scanQueries.Load() }
+
+// IndexStat is a monitoring snapshot of the incremental fact index,
+// summed over the shards.
+type IndexStat struct {
+	// Serving reports whether the index (rather than the reference scan
+	// path) answers queries: the pool's engines maintain one and
+	// SetScanQueries(true) was not called.
+	Serving bool
+	// Entries is the live indexed cell count across shards.
+	Entries int64
+	// Inserts and Deletes count index maintenance operations (snapshot
+	// restore and WAL replay rebuild through Inserts too).
+	Inserts uint64
+	Deletes uint64
+	// Seeks counts iterator seek operations: cursor positioning plus
+	// predicate-pushdown skips.
+	Seeks uint64
+}
+
+// IndexStats returns the fact-index counters merged over all shards,
+// each shard read under its own lock.
+func (p *Pool) IndexStats() IndexStat {
+	st := IndexStat{Serving: !p.scanQueries.Load()}
+	indexed := false
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.RLock()
+		if s.eng.fidx != nil {
+			indexed = true
+			is := s.eng.fidx.Stats()
+			st.Entries += int64(is.Entries)
+			st.Inserts += is.Inserts
+			st.Deletes += is.Deletes
+			st.Seeks += is.Seeks
+		}
+		s.mu.RUnlock()
+	}
+	if !indexed {
+		st.Serving = false
+	}
+	return st
 }
 
 // ShardStats returns a per-shard monitoring snapshot. Each shard is read

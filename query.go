@@ -2,12 +2,14 @@ package situfact
 
 import (
 	"encoding/base64"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/factindex"
 	"repro/internal/lattice"
 	"repro/internal/store"
 	"repro/internal/subspace"
@@ -223,6 +225,9 @@ func (p *Pool) QueryFacts(f FactFilter, cursor string, limit int) (FactPage, err
 	if f.Shard >= 0 {
 		first, last = f.Shard, f.Shard
 	}
+	if !p.scanQueries.Load() {
+		return p.queryFactsIndexed(plan, cur, first, last, limit)
+	}
 	var page FactPage
 	for shard := first; shard <= last; shard++ {
 		if cur != nil && shard < cur.shard {
@@ -260,6 +265,48 @@ func (p *Pool) QueryFacts(f FactFilter, cursor string, limit int) (FactPage, err
 				}
 				return page, nil
 			}
+		}
+	}
+	return page, nil
+}
+
+// queryFactsIndexed is QueryFacts over the incremental fact index: per
+// shard, one O(log n) seek to the resume position and an O(page) forward
+// walk, never collecting or sorting the shard's full fact set. It must
+// return bit-identical pages (cursors included) to the scan loop above —
+// the equivalence property test holds the two paths together.
+func (p *Pool) queryFactsIndexed(plan queryPlan, cur *queryCursor, first, last, limit int) (FactPage, error) {
+	var page FactPage
+	for shard := first; shard <= last; shard++ {
+		if cur != nil && shard < cur.shard {
+			continue
+		}
+		var after *queryCursor
+		if cur != nil && shard == cur.shard {
+			after = cur
+		}
+		want := 0
+		if limit > 0 {
+			want = limit - len(page.Facts)
+		}
+		s := &p.shards[shard]
+		s.mu.RLock()
+		facts, more, err := s.eng.queryFactsSeek(plan, shard, after, want)
+		s.mu.RUnlock()
+		if err != nil {
+			return FactPage{}, err
+		}
+		page.Facts = append(page.Facts, facts...)
+		if limit > 0 && len(page.Facts) == limit {
+			// Same certainty rule as the scan path: only the last matching
+			// cell of the last shard ends the scan without a cursor.
+			if more || shard < last {
+				qf := page.Facts[len(page.Facts)-1]
+				page.NextCursor = encodeCursor(queryCursor{
+					shard: shard, key: qf.sortKey, mask: qf.sortMask,
+				})
+			}
+			return page, nil
 		}
 	}
 	return page, nil
@@ -306,36 +353,224 @@ func (e *Engine) queryFacts(q queryPlan, shard int) ([]QueryFact, error) {
 				return
 			}
 		}
-		qf := QueryFact{
-			Shard:       shard,
-			Measures:    subspace.Names(k.M, e.schema),
-			SkylineSize: c.Len(),
-			TupleIDs:    c.IDList(),
-			sortKey:     string(k.C),
-			sortMask:    uint32(k.M),
-		}
-		sort.Slice(qf.TupleIDs, func(i, j int) bool { return qf.TupleIDs[i] < qf.TupleIDs[j] })
-		for dim, v := range cons.Vals {
-			if v < 0 {
-				continue
-			}
-			qf.Conditions = append(qf.Conditions, Condition{
-				Attr:  e.schema.Dim(dim).Name,
-				Value: d.Decode(dim, v),
-			})
-		}
-		if e.counter != nil {
-			qf.ContextSize = e.counter.ContextSize(cons)
-			if qf.SkylineSize > 0 {
-				qf.Prominence = float64(qf.ContextSize) / float64(qf.SkylineSize)
-			}
-		}
-		out = append(out, qf)
+		out = append(out, e.factFromCell(shard, string(k.C), uint32(k.M), c, cons))
 	})
 	if walkErr != nil {
 		return nil, walkErr
 	}
 	return out, nil
+}
+
+// factFromCell builds the QueryFact for one matching cell; cons must be
+// the parse of key. It is the single construction point shared by the
+// scan and index-backed query paths, so the two emit bit-identical facts.
+func (e *Engine) factFromCell(shard int, key string, mask uint32, c store.Cell, cons lattice.Constraint) QueryFact {
+	d := e.table.Dict()
+	qf := QueryFact{
+		Shard:       shard,
+		Measures:    subspace.Names(subspace.Mask(mask), e.schema),
+		SkylineSize: c.Len(),
+		TupleIDs:    c.IDList(),
+		sortKey:     key,
+		sortMask:    mask,
+	}
+	sort.Slice(qf.TupleIDs, func(i, j int) bool { return qf.TupleIDs[i] < qf.TupleIDs[j] })
+	for dim, v := range cons.Vals {
+		if v < 0 {
+			continue
+		}
+		qf.Conditions = append(qf.Conditions, Condition{
+			Attr:  e.schema.Dim(dim).Name,
+			Value: d.Decode(dim, v),
+		})
+	}
+	if e.counter != nil {
+		qf.ContextSize = e.counter.ContextSize(cons)
+		if qf.SkylineSize > 0 {
+			qf.Prominence = float64(qf.ContextSize) / float64(qf.SkylineSize)
+		}
+	}
+	return qf
+}
+
+// keyAfterPrefix returns the smallest byte string ordering strictly after
+// every string with the given prefix, and false when none exists (the
+// prefix is empty or all 0xFF — i.e. nothing past it).
+func keyAfterPrefix(prefix string) (string, bool) {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			b := []byte(prefix[:i+1])
+			b[i]++
+			return string(b), true
+		}
+	}
+	return "", false
+}
+
+// queryFactsSeek collects up to want fact groups (want <= 0 = all)
+// matching the plan, in (constraint key, subspace mask) order, starting
+// strictly after the cursor position (nil = from the start), by seeking
+// the shard's incremental fact index instead of walking the store. more
+// reports whether at least one further matching cell follows the returned
+// ones. Filter predicates are pushed down as re-seeks: a condition or
+// subspace mismatch skips the whole non-matching key run in one O(log n)
+// jump rather than visiting its cells. The caller holds the shard's read
+// lock, which is what makes iterating the live tree safe.
+func (e *Engine) queryFactsSeek(q queryPlan, shard int, after *queryCursor, want int) (facts []QueryFact, more bool, err error) {
+	mem, ok := memoryStoreOf(e.disc)
+	if !ok || e.fidx == nil {
+		return nil, false, fmt.Errorf("situfact: queries require a lattice algorithm over the in-memory store (engine runs %s)", e.disc.Name())
+	}
+	// Resolve condition values against this shard's dictionary: a value
+	// the shard never saw matches nothing here (other shards may hold it).
+	d := e.table.Dict()
+	condCodes := make([]int32, len(q.condDims))
+	for i, dim := range q.condDims {
+		code, ok := d.Lookup(dim, q.condVals[i])
+		if !ok {
+			return nil, false, nil
+		}
+		condCodes[i] = code
+	}
+	nd := e.schema.NumDims()
+	keyLen := 4 * nd
+	// Condition predicates as fixed key blocks, in increasing key-offset
+	// order: the first mismatching block (leftmost) determines where the
+	// matching key region continues, so pushdown must compare left to
+	// right regardless of the order the filter listed the conditions.
+	type condBlock struct {
+		off  int
+		want string
+	}
+	blocks := make([]condBlock, len(q.condDims))
+	for i, dim := range q.condDims {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(condCodes[i]))
+		blocks[i] = condBlock{off: 4 * dim, want: string(b[:])}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].off < blocks[j].off })
+	in := mem.Interner()
+
+	var it *factindex.Iter
+	switch {
+	case after == nil:
+		it = e.fidx.Seek("", 0)
+	case after.mask == ^uint32(0):
+		it = e.fidx.Seek(after.key+"\x00", 0)
+	default:
+		it = e.fidx.Seek(after.key, after.mask+1)
+	}
+	for it.Valid() {
+		ent := it.Entry()
+		if len(ent.Key) != keyLen {
+			// Surface exactly the error the scan path would (via ParseKey).
+			_, perr := lattice.ParseKey(lattice.Key(ent.Key), nd)
+			return nil, false, fmt.Errorf("situfact: query: shard %d: %w", shard, perr)
+		}
+		seeked := false
+		for _, b := range blocks {
+			got := ent.Key[b.off : b.off+4]
+			if got == b.want {
+				continue
+			}
+			if got < b.want {
+				// The matching region for this prefix starts at the wanted
+				// block value; jump to it.
+				it.SeekGE(ent.Key[:b.off]+b.want, 0)
+			} else if next, ok := keyAfterPrefix(ent.Key[:b.off]); ok {
+				// Already past the wanted value under this prefix: no key
+				// with the prefix can match anymore; skip the whole prefix.
+				it.SeekGE(next, 0)
+			} else {
+				return facts, false, nil // nothing orders after the prefix
+			}
+			seeked = true
+			break
+		}
+		if seeked {
+			continue
+		}
+		if q.haveMask && ent.Mask != uint32(q.mask) {
+			if ent.Mask < uint32(q.mask) {
+				it.SeekGE(ent.Key, uint32(q.mask))
+			} else {
+				// Keys are fixed-length, so key+"\x00" orders after every
+				// (key, mask) pair and before any other key.
+				it.SeekGE(ent.Key+"\x00", 0)
+			}
+			continue
+		}
+		id, ok := in.Lookup(lattice.Key(ent.Key))
+		if !ok {
+			return nil, false, fmt.Errorf("situfact: query: shard %d: fact index entry %x has no interned constraint", shard, ent.Key)
+		}
+		c := mem.Peek(store.Ref(id, subspace.Mask(ent.Mask)))
+		if c.Len() == 0 {
+			return nil, false, fmt.Errorf("situfact: query: shard %d: fact index entry %x/%d has no stored cell", shard, ent.Key, ent.Mask)
+		}
+		if q.tuple && !c.ContainsID(q.tupleID) {
+			it.Next()
+			continue
+		}
+		if want > 0 && len(facts) == want {
+			return facts, true, nil // the page is full and a match follows it
+		}
+		cons, perr := lattice.ParseKey(lattice.Key(ent.Key), nd)
+		if perr != nil {
+			return nil, false, fmt.Errorf("situfact: query: shard %d: %w", shard, perr)
+		}
+		facts = append(facts, e.factFromCell(shard, ent.Key, ent.Mask, c, cons))
+		it.Next()
+	}
+	return facts, false, nil
+}
+
+// TopFacts returns the k highest-prominence fact groups currently live
+// across all shards, computed from the current µ-store state (the
+// incremental fact index, or the scan path when SetScanQueries(true)).
+// Unlike the daemon's arrival-history leaderboard this is a live view:
+// deletes and skyline churn are reflected immediately. Order: prominence
+// descending, then (shard, constraint key, subspace mask) ascending so
+// ties break deterministically and leader/follower agree byte-for-byte.
+func (p *Pool) TopFacts(k int) ([]QueryFact, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	var all []QueryFact
+	scan := p.scanQueries.Load()
+	for shard := range p.shards {
+		s := &p.shards[shard]
+		var facts []QueryFact
+		var err error
+		s.mu.RLock()
+		if scan {
+			facts, err = s.eng.queryFacts(queryPlan{}, shard)
+		} else {
+			facts, _, err = s.eng.queryFactsSeek(queryPlan{}, shard, nil, 0)
+		}
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, facts...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Prominence != b.Prominence {
+			return a.Prominence > b.Prominence
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		if a.sortKey != b.sortKey {
+			return a.sortKey < b.sortKey
+		}
+		return a.sortMask < b.sortMask
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all, nil
 }
 
 // Tuple returns stored tuple tupleID of the given shard, decoded, under

@@ -288,6 +288,212 @@ func TestPoolQueryEquivalence(t *testing.T) {
 	}
 }
 
+// collectPages walks the full cursor chain, keeping every page whole —
+// facts, internal sort coordinates, and the NextCursor strings — so two
+// read paths can be compared byte-for-byte, pagination artifacts included.
+func collectPages(t *testing.T, p *Pool, f FactFilter, limit int) []FactPage {
+	t.Helper()
+	var out []FactPage
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 100000 {
+			t.Fatal("pagination does not terminate")
+		}
+		page, err := p.QueryFacts(f, cursor, limit)
+		if err != nil {
+			t.Fatalf("QueryFacts(cursor %q): %v", cursor, err)
+		}
+		out = append(out, page)
+		if page.NextCursor == "" {
+			return out
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// randomQueryFilter draws a filter the way TestPoolQueryEquivalence does:
+// random shard restriction, conditions sampled from ingested rows (with
+// the occasional never-seen value), measure subsets, and tuple membership.
+func randomQueryFilter(rng *rand.Rand, shards int, rows []Row, live []poolHandle) FactFilter {
+	f := FactFilter{Shard: AllShards, TupleID: -1}
+	if rng.Intn(3) == 0 {
+		f.Shard = rng.Intn(shards)
+	}
+	for d, attr := range []string{"region", "kind", "tier", "label"} {
+		if rng.Intn(4) != 0 {
+			continue
+		}
+		val := "never-ingested"
+		if rng.Intn(5) != 0 && len(rows) > 0 {
+			val = rows[rng.Intn(len(rows))].Dims[d]
+		}
+		f.Conditions = append(f.Conditions, Condition{Attr: attr, Value: val})
+	}
+	if rng.Intn(3) == 0 {
+		names := []string{"score", "cost", "bonus"}
+		k := 1 + rng.Intn(3)
+		for _, i := range rng.Perm(3)[:k] {
+			f.Measures = append(f.Measures, names[i])
+		}
+	}
+	if rng.Intn(5) == 0 && len(live) > 0 {
+		h := live[rng.Intn(len(live))]
+		f.Shard = h.shard
+		f.WithTuple = true
+		f.TupleID = h.id
+	}
+	return f
+}
+
+type poolHandle struct {
+	shard int
+	id    int64
+}
+
+// comparePaths drains random filtered queries through both read paths and
+// fails on the first byte-level difference: page boundaries, cursor
+// strings, fact contents, and internal sort coordinates must all agree.
+func comparePaths(t *testing.T, pool *Pool, rng *rand.Rand, shards, trials int, rows []Row, live []poolHandle, label string) {
+	t.Helper()
+	for trial := 0; trial < trials; trial++ {
+		f := randomQueryFilter(rng, shards, rows, live)
+		limit := rng.Intn(7) // 0 = unpaginated
+		pool.SetScanQueries(false)
+		idxPages := collectPages(t, pool, f, limit)
+		pool.SetScanQueries(true)
+		scanPages := collectPages(t, pool, f, limit)
+		pool.SetScanQueries(false)
+		if len(idxPages) != len(scanPages) {
+			t.Fatalf("%s trial %d (filter %+v, limit %d): index path made %d pages, scan path %d",
+				label, trial, f, limit, len(idxPages), len(scanPages))
+		}
+		for pi := range idxPages {
+			ip, sp := idxPages[pi], scanPages[pi]
+			if ip.NextCursor != sp.NextCursor {
+				t.Fatalf("%s trial %d page %d: cursor %q (index) vs %q (scan)",
+					label, trial, pi, ip.NextCursor, sp.NextCursor)
+			}
+			if len(ip.Facts) != len(sp.Facts) {
+				t.Fatalf("%s trial %d page %d: %d facts (index) vs %d (scan)",
+					label, trial, pi, len(ip.Facts), len(sp.Facts))
+			}
+			for i := range ip.Facts {
+				a, b := ip.Facts[i], sp.Facts[i]
+				if factKey(a) != factKey(b) || a.sortKey != b.sortKey || a.sortMask != b.sortMask {
+					t.Fatalf("%s trial %d page %d fact %d differs:\n  index %s (%x/%d)\n  scan  %s (%x/%d)",
+						label, trial, pi, i, factKey(a), a.sortKey, a.sortMask, factKey(b), b.sortKey, b.sortMask)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolQueryIndexScanEquivalence is the index-vs-scan divergence
+// proof: under random interleaved appends, deletes, mid-stream
+// checkpoints, and full restarts (snapshot restore + WAL tail replay —
+// the paths that REBUILD the index rather than grow it), every filtered,
+// paginated query must come back byte-identical from the incremental
+// fact index and from the reference scan, cursor strings included.
+func TestPoolQueryIndexScanEquivalence(t *testing.T) {
+	const shards = 3
+	schema := queryTestSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	walDir, snapDir := t.TempDir(), t.TempDir()
+
+	pool, err := NewPool(schema, PoolOptions{Shards: shards, ShardDim: "region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(pool, walDir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	var live []poolHandle
+	mutate := func(appends, deletes int) {
+		t.Helper()
+		for i := 0; i < appends; i++ {
+			r := randomRow(rng)
+			rows = append(rows, r)
+			arr, err := pool.Append(r.Dims, r.Measures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, poolHandle{shard: arr.Shard, id: arr.TupleID})
+		}
+		for i := 0; i < deletes && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			h := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := pool.Delete(h.shard, h.id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for phase := 0; phase < 3; phase++ {
+		mutate(50, 6)
+		if phase != 1 {
+			// Checkpoint mid-phase so the coming restart restores a snapshot
+			// AND replays a WAL tail past it; phase 1 restarts from the
+			// previous snapshot with a longer tail instead.
+			if _, err := pool.Checkpoint(snapDir, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mutate(25, 4)
+		comparePaths(t, pool, rng, shards, 20, rows, live, fmt.Sprintf("phase %d", phase))
+
+		// Full fact set (for the cross-restart identity check below).
+		before := collectPaginated(t, pool, FactFilter{Shard: AllShards, TupleID: -1}, 0)
+
+		if err := pool.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pool, _, err = RestorePool(schema, snapDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err = OpenWAL(pool, walDir, WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pool.ReplayWAL(w, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.AttachWAL(w); err != nil {
+			t.Fatal(err)
+		}
+		after := collectPaginated(t, pool, FactFilter{Shard: AllShards, TupleID: -1}, 0)
+		if len(before) != len(after) {
+			t.Fatalf("phase %d: restart changed fact count %d -> %d", phase, len(before), len(after))
+		}
+		for i := range before {
+			if factKey(before[i]) != factKey(after[i]) {
+				t.Fatalf("phase %d: restart changed fact %d:\n  before %s\n  after  %s",
+					phase, i, factKey(before[i]), factKey(after[i]))
+			}
+		}
+		comparePaths(t, pool, rng, shards, 10, rows, live, fmt.Sprintf("phase %d post-restart", phase))
+	}
+	if st := pool.IndexStats(); !st.Serving || st.Entries == 0 || st.Seeks == 0 {
+		t.Fatalf("index stats %+v: want serving with entries and seeks", st)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQueryFactsValidation pins the query layer's error contract.
 func TestQueryFactsValidation(t *testing.T) {
 	schema := queryTestSchema(t)

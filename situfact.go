@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/factindex"
 	"repro/internal/prominence"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -212,6 +213,15 @@ type Engine struct {
 	fileSt  *store.File
 	deleted map[int64]bool
 
+	// fidx is the incremental fact index over the engine's µ store: the
+	// live cell coordinates in (constraint key, subspace mask) order,
+	// maintained through the store's cell-lifecycle observer so EVERY
+	// mutation path — ingest, delete, WAL replay, snapshot-restore cell
+	// replay, follower tail apply — keeps it current without its own hook.
+	// Nil for engines without an in-memory lattice store (which cannot
+	// serve queries anyway).
+	fidx *factindex.Index
+
 	// construction parameters retained for snapshots
 	algorithm  Algorithm
 	maxBound   int
@@ -290,6 +300,17 @@ func New(schema *Schema, opt Options) (*Engine, error) {
 		}
 		eng.sizer = sizer
 		eng.counter = core.NewContextCounter(rs.NumDims(), maxBound)
+	}
+	if mem, ok := memoryStoreOf(disc); ok {
+		idx := factindex.New()
+		mem.SetObserver(func(k store.CellKey, created bool) {
+			if created {
+				idx.Insert(string(k.C), uint32(k.M))
+			} else {
+				idx.Delete(string(k.C), uint32(k.M))
+			}
+		})
+		eng.fidx = idx
 	}
 	return eng, nil
 }

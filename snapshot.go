@@ -171,6 +171,14 @@ func LoadSnapshot(schema *Schema, r io.Reader) (*Engine, error) {
 		}
 		mem.SaveKey(store.CellKey{C: lattice.Key(cell.CKey), M: subspace.Mask(cell.M)}, c)
 	}
+	// The cell replay drove the fact index through the store observer; a
+	// count mismatch means the index missed a lifecycle event (or the
+	// snapshot carried a duplicate/empty cell) and queries would silently
+	// diverge from the scan path — fail the restore instead.
+	if eng.fidx != nil && eng.fidx.Len() != len(sf.Cells) {
+		return nil, fmt.Errorf("situfact: snapshot restore: fact index rebuilt %d entries for %d cells",
+			eng.fidx.Len(), len(sf.Cells))
+	}
 	// Replaying the cells above recomputed StoredTuples/Cells but counted
 	// the replay itself as I/O; overwrite all counters with the saved ones.
 	// Snapshots written before Counters existed decode it as all-zero —
