@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestChaosHarness runs the real drill end to end, scaled down: two kill
+// -9 cycles (one clean, one with a self-expiring fsync fault plan)
+// against a freshly built situfactd, then the zero-loss and
+// follower-convergence verification. It is the acceptance test that the
+// whole fault-injection stack — env hook, degraded mode, repair loop,
+// recovery, replication — composes.
+func TestChaosHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and tortures real daemon processes")
+	}
+	bin := filepath.Join(t.TempDir(), "situfactd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/situfactd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build situfactd: %v\n%s", err, out)
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "chaos.json")
+	var out bytes.Buffer
+	err := runChaos(&out, chaosParams{
+		Binary:     bin,
+		Cycles:     2,
+		Rows:       150,
+		Conns:      3,
+		FaultPlans: []string{"", "fsync:from=3;clear-after=400ms"},
+		CycleCap:   30 * time.Second,
+		JSONPath:   jsonPath,
+	})
+	t.Logf("chaos output:\n%s", out.String())
+	if err != nil {
+		t.Fatalf("chaos drill failed: %v", err)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep chaosReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("decode chaos report: %v", err)
+	}
+	if rep.Schema != "situbench-chaos/v1" {
+		t.Errorf("report schema %q", rep.Schema)
+	}
+	if len(rep.Cycles) != 2 {
+		t.Fatalf("report has %d cycles, want 2", len(rep.Cycles))
+	}
+	if rep.TotalAcked == 0 {
+		t.Error("no rows were ever acked — the drill exercised nothing")
+	}
+	if rep.LostRows != 0 {
+		t.Errorf("%d acked rows lost", rep.LostRows)
+	}
+	if !rep.Converged {
+		t.Error("follower did not converge")
+	}
+	// The faulted cycle must actually have degraded (503s observed) and
+	// healed (a repair logged) — otherwise the plan never bit.
+	faulted := rep.Cycles[1]
+	if faulted.Rejected == 0 {
+		t.Errorf("faulted cycle saw no 503s: %+v", faulted)
+	}
+	if faulted.Repairs == 0 {
+		t.Errorf("faulted cycle logged no repairs: %+v", faulted)
+	}
+}

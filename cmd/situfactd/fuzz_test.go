@@ -65,7 +65,7 @@ func FuzzParseFactsQuery(f *testing.F) {
 		if err != nil {
 			return
 		}
-		fq, err := s.parseFactsQuery(q)
+		fq, err := s.parseFactsQuery(s.db(), q)
 		if err != nil {
 			return
 		}
@@ -78,7 +78,7 @@ func FuzzParseFactsQuery(f *testing.F) {
 		if fq.key == "" {
 			t.Fatalf("query %q: empty cache key", raw)
 		}
-		fq2, err := s.parseFactsQuery(q)
+		fq2, err := s.parseFactsQuery(s.db(), q)
 		if err != nil {
 			t.Fatalf("query %q: second parse failed: %v", raw, err)
 		}

@@ -58,11 +58,13 @@ import (
 	_ "net/http/pprof" // registered on the -pprof-addr listener's DefaultServeMux only
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	situfact "repro"
+	"repro/internal/persist"
 )
 
 func main() {
@@ -89,15 +91,25 @@ func main() {
 	flag.BoolVar(&cfg.pipeAdaptive, "pipeline-adaptive", true, "let each shard's queue capacity float between a floor and -pipeline-queue, growing on backpressure and shrinking when calm (false = fixed at -pipeline-queue)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. localhost:6060); empty = off. Keep it on a loopback or firewalled port")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only follower of this leader base URL (e.g. http://leader:8080): bootstrap from its snapshot, replay its WAL tail; requires -state-dir as bootstrap scratch")
-	flag.DurationVar(&cfg.followPoll, "follow-poll", 500*time.Millisecond, "follower WAL-tail poll period")
+	flag.DurationVar(&cfg.followPoll, "follow-poll", 500*time.Millisecond, "follower WAL-tail poll period (transient errors back the poll off exponentially from here)")
 	flag.Uint64Var(&cfg.followMaxLag, "follow-max-lag", 0, "replication lag in records beyond which the follower's /healthz degrades to 503 (0 = no bound)")
+	flag.IntVar(&cfg.followRebootstrapMax, "follow-rebootstrap-max", 5, "consecutive snapshot re-bootstrap attempts a follower makes after a fatal replication error (leader WAL epoch change, truncated tail) before giving up; 0 disables self-healing")
 	flag.DurationVar(&cfg.readCacheTTL, "read-cache-ttl", 0, "front /v1/facts and /v1/facts/top with a TTL'd singleflight cache; staleness is bounded by the TTL on a leader and by replication progress on a follower (0 = off)")
 	factIndex := flag.Bool("fact-index", true, "serve /v1/facts pages and ?source=live leaderboards from the incremental fact index (seek + O(page) walk); false falls back to the reference full-scan read path — results are identical, only latency differs")
+	flag.StringVar(&cfg.faultPlan, "fault-plan", os.Getenv("SITUFACTD_FAULT_PLAN"),
+		"TESTING ONLY: inject WAL I/O faults per this plan (see internal/faultfs; e.g. 'fsync:from=3;clear-after=2s'); defaults to $SITUFACTD_FAULT_PLAN so test harnesses can arm child processes; requires -wal")
+	walVerify := flag.Bool("wal-verify", false, "offline fsck: scan <state-dir>/wal segment by segment (framing, CRCs, LSN density), print a report, and exit — non-zero on corruption; the log is opened read-only and never modified")
 	flag.Parse()
 	cfg.scanFacts = !*factIndex
 	log.SetPrefix("situfactd: ")
 	log.SetFlags(log.LstdFlags)
 
+	if *walVerify {
+		if cfg.stateDir == "" {
+			log.Fatal("-wal-verify requires -state-dir (the log lives at <state-dir>/wal)")
+		}
+		os.Exit(runWALVerify(filepath.Join(cfg.stateDir, "wal")))
+	}
 	if cfg.dims == "" || cfg.measures == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -105,6 +117,32 @@ func main() {
 	if err := serve(cfg); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runWALVerify is `situfactd -wal-verify`: a read-only segment-by-segment
+// scan of the log, reporting per-segment record counts and where (if
+// anywhere) the log stops being clean. Exit status 0 = clean, 1 = damaged
+// or unreadable.
+func runWALVerify(dir string) int {
+	reports, err := persist.VerifyWAL(dir)
+	for _, rep := range reports {
+		status := "ok"
+		if rep.Torn {
+			status = "torn tail (next open truncates it)"
+		}
+		fmt.Printf("%s  base_lsn=%d  records=%d  bytes=%d  %s\n",
+			rep.Name, rep.Base, rep.Records, rep.Bytes, status)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "situfactd: wal-verify %s: %v\n", dir, err)
+		return 1
+	}
+	total := 0
+	for _, rep := range reports {
+		total += rep.Records
+	}
+	fmt.Printf("ok: %d segments, %d records\n", len(reports), total)
+	return 0
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then drains in-flight
@@ -120,7 +158,15 @@ func serve(cfg config) error {
 		// documented set, and the debug port can be firewalled separately.
 		go func() {
 			log.Printf("pprof listening on %s", cfg.pprofAddr)
-			log.Printf("pprof server: %v", http.ListenAndServe(cfg.pprofAddr, nil))
+			// A configured server, not the bare helper: without a read
+			// header timeout an idle client could hold debug-port
+			// connections open forever (Slowloris).
+			dbg := &http.Server{
+				Addr:              cfg.pprofAddr,
+				Handler:           nil, // DefaultServeMux, where pprof registered
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			log.Printf("pprof server: %v", dbg.ListenAndServe())
 		}()
 	}
 	srv := &http.Server{
@@ -152,8 +198,9 @@ func serve(cfg config) error {
 		case cfg.stateDir != "":
 			durability = fmt.Sprintf("snapshots in %s", cfg.stateDir)
 		}
+		pool := s.db()
 		log.Printf("listening on %s (%s over %d shards by %s; %s)",
-			cfg.addr, s.pool.Algorithm(), s.pool.Shards(), s.pool.ShardDim(), durability)
+			cfg.addr, pool.Algorithm(), pool.Shards(), pool.ShardDim(), durability)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -184,7 +231,7 @@ func serve(cfg config) error {
 		} else if err := s.saveState(); err != nil {
 			errs = append(errs, err)
 		} else {
-			log.Printf("snapshotted %d tuples to %s", s.pool.Len(), cfg.stateDir)
+			log.Printf("snapshotted %d tuples to %s", s.db().Len(), cfg.stateDir)
 		}
 	}
 	if err := s.close(); err != nil {

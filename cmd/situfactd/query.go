@@ -45,7 +45,7 @@ const (
 //
 // Validation of attribute and measure names against the schema happens in
 // Pool.planQuery; this layer only handles wire syntax.
-func (s *server) parseFactsQuery(q url.Values) (factsQuery, error) {
+func (s *server) parseFactsQuery(pool *situfact.Pool, q url.Values) (factsQuery, error) {
 	var fq factsQuery
 	fq.filter.Shard = situfact.AllShards
 	fq.filter.TupleID = -1
@@ -82,10 +82,10 @@ func (s *server) parseFactsQuery(q url.Values) (factsQuery, error) {
 			switch {
 			case fq.filter.Shard >= 0:
 				// shard= names it.
-			case s.pool.Shards() == 1:
+			case pool.Shards() == 1:
 				fq.filter.Shard = 0
 			default:
-				return fq, fmt.Errorf("bare tuple id %q is ambiguous with %d shards: use <shard>:<tuple_id>", v, s.pool.Shards())
+				return fq, fmt.Errorf("bare tuple id %q is ambiguous with %d shards: use <shard>:<tuple_id>", v, pool.Shards())
 			}
 		}
 		shard, tupleID, err := parseTupleID(v)
@@ -117,13 +117,14 @@ func (s *server) parseFactsQuery(q url.Values) (factsQuery, error) {
 }
 
 func (s *server) handleFacts(w http.ResponseWriter, r *http.Request) {
-	fq, err := s.parseFactsQuery(r.URL.Query())
+	pool := s.db()
+	fq, err := s.parseFactsQuery(pool, r.URL.Query())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.serveCached(w, fq.key, func() ([]byte, error) {
-		page, err := s.pool.QueryFacts(fq.filter, fq.cursor, fq.limit)
+		page, err := pool.QueryFacts(fq.filter, fq.cursor, fq.limit)
 		if err != nil {
 			return nil, err
 		}
@@ -137,9 +138,10 @@ func (s *server) handleFacts(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleTuple(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !strings.Contains(id, ":") && s.pool.Shards() > 1 {
+	pool := s.db()
+	if !strings.Contains(id, ":") && pool.Shards() > 1 {
 		writeErr(w, http.StatusBadRequest,
-			fmt.Sprintf("bare tuple id %q is ambiguous with %d shards: use <shard>:<tuple_id>", id, s.pool.Shards()))
+			fmt.Sprintf("bare tuple id %q is ambiguous with %d shards: use <shard>:<tuple_id>", id, pool.Shards()))
 		return
 	}
 	shard, tupleID, err := parseTupleID(id)
@@ -147,7 +149,7 @@ func (s *server) handleTuple(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	info, err := s.pool.Tuple(shard, tupleID)
+	info, err := pool.Tuple(shard, tupleID)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, situfact.ErrNotFound) {

@@ -143,7 +143,7 @@ func TestTupleEndpoint(t *testing.T) {
 			t.Fatalf("ingest rejected: status %d", resp.StatusCode)
 		}
 	}
-	shard := s.pool.ShardFor(table1[0].Dims[3]) // team routes the row
+	shard := s.db().ShardFor(table1[0].Dims[3]) // team routes the row
 
 	var tu tupleResponse
 	url := fmt.Sprintf("%s/v1/tuples/%d:0", ts.URL, shard)

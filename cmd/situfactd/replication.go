@@ -9,9 +9,13 @@ package main
 // bit. The follower pins the leader's WAL epoch at bootstrap: a tail from
 // any other log instance (leader re-initialised, wrong leader) is a fatal
 // error, as is a gap in the dense LSN sequence (the leader truncated the
-// tail away before the follower read it). Fatal errors stop replication
-// and degrade /healthz to 503 until the operator re-bootstraps by
-// restarting the follower; transient poll errors just retry.
+// tail away before the follower read it). Transient poll errors retry
+// with jittered exponential backoff; fatal errors trigger an automatic
+// re-bootstrap — the follower re-downloads the leader's snapshot and
+// swaps the restored pool in under live readers, up to
+// -follow-rebootstrap-max consecutive attempts. Only when that budget is
+// exhausted (or re-bootstrap is disabled) does replication stop and
+// /healthz degrade to 503 until an operator restarts the process.
 
 import (
 	"bufio"
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -65,8 +70,9 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "checkpoint: "+err.Error())
 		return
 	}
-	names := make([]string, 0, s.pool.Shards()+1)
-	for i := 0; i < s.pool.Shards(); i++ {
+	pool := s.db()
+	names := make([]string, 0, pool.Shards()+1)
+	for i := 0; i < pool.Shards(); i++ {
 		names = append(names, persist.ShardSnapshotName(i, stats.Generation))
 	}
 	names = append(names, persist.ManifestName) // last: the commit record
@@ -151,21 +157,30 @@ func (s *server) handleWALTail(w http.ResponseWriter, r *http.Request) {
 type replState struct {
 	client *http.Client
 	leader string // leader base URL, no trailing slash
-	epoch  string // leader WAL epoch pinned at bootstrap
 	maxLag uint64 // 0 = no health bound
 	poll   time.Duration
+
+	// Re-bootstrap inputs: everything bootstrapPool needs to rebuild the
+	// follower's pool from a fresh leader snapshot after a fatal error.
+	schema         *situfact.Schema
+	scanFacts      bool
+	bootstrapDir   string
+	rebootstrapMax int // consecutive attempts per fatal episode; 0 = disabled
 
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
 
 	mu        sync.Mutex
+	epoch     string // leader WAL epoch pinned at (re-)bootstrap
 	nextLSN   uint64 // next LSN to fetch; nextLSN-1 is applied through
 	leaderLSN uint64 // leader's highest LSN at the last successful poll
 	lastPoll  time.Time
 	lastErr   string // transient; cleared by the next successful poll
-	fatal     string // terminal; replication stopped
+	fatal     string // terminal; replication stopped pending re-bootstrap
 	applied   situfact.ReplayStats
+	// rebootstraps counts completed automatic re-bootstraps.
+	rebootstraps int
 }
 
 // newFollower bootstraps a read-only follower: snapshot download, restore,
@@ -188,29 +203,10 @@ func newFollower(cfg config) (*server, error) {
 	leader := strings.TrimRight(cfg.follow, "/")
 	client := &http.Client{Timeout: 5 * time.Minute}
 	bootstrapDir := filepath.Join(cfg.stateDir, "bootstrap")
-	// Re-bootstrap from scratch on every start: follower state is a cache
-	// of the leader's, so a stale or torn download is never worth salvaging.
-	if err := os.RemoveAll(bootstrapDir); err != nil {
-		return nil, fmt.Errorf("situfactd: clearing %s: %w", bootstrapDir, err)
-	}
-	if err := os.MkdirAll(bootstrapDir, 0o755); err != nil {
+	pool, sidecars, epoch, err := bootstrapPool(client, leader, bootstrapDir, schema, cfg.scanFacts)
+	if err != nil {
 		return nil, fmt.Errorf("situfactd: %w", err)
 	}
-	if err := fetchSnapshot(client, leader, bootstrapDir); err != nil {
-		return nil, fmt.Errorf("situfactd: bootstrap from %s: %w", leader, err)
-	}
-	pool, sidecars, err := situfact.RestorePool(schema, bootstrapDir)
-	if err != nil {
-		return nil, fmt.Errorf("situfactd: restoring leader snapshot: %w", err)
-	}
-	epoch := pool.WALEpoch()
-	if epoch == "" {
-		pool.Close()
-		return nil, fmt.Errorf("situfactd: leader snapshot carries no WAL epoch: the leader must run -wal")
-	}
-	// Same read path as the leader: the fact index was rebuilt during the
-	// snapshot restore above and ApplyTail maintains it from here on.
-	pool.SetScanQueries(cfg.scanFacts)
 	bcap := cfg.boardCap
 	if bcap <= 0 {
 		bcap = 128
@@ -223,11 +219,11 @@ func newFollower(cfg config) (*server, error) {
 		cfg:      cfg,
 		schema:   schema,
 		measures: wires,
-		pool:     pool,
 		board:    &leaderboard{cap: bcap},
 		started:  time.Now(),
 		cache:    newReadCache(cfg),
 	}
+	s.poolv.Store(pool)
 	if lb, ok := sidecars[sidecarLeaderboard]; ok {
 		if err := s.board.restore(lb); err != nil {
 			log.Printf("warning: leaderboard sidecar unreadable, starting it empty: %v", err)
@@ -239,20 +235,54 @@ func newFollower(cfg config) (*server, error) {
 	}
 	next := pool.TailCursor()
 	s.repl = &replState{
-		client:    client,
-		leader:    leader,
-		epoch:     epoch,
-		maxLag:    cfg.followMaxLag,
-		poll:      poll,
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		nextLSN:   next,
-		leaderLSN: next - 1, // lag 0 until the first poll says otherwise
+		client:         client,
+		leader:         leader,
+		epoch:          epoch,
+		maxLag:         cfg.followMaxLag,
+		poll:           poll,
+		schema:         schema,
+		scanFacts:      cfg.scanFacts,
+		bootstrapDir:   bootstrapDir,
+		rebootstrapMax: cfg.followRebootstrapMax,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		nextLSN:        next,
+		leaderLSN:      next - 1, // lag 0 until the first poll says otherwise
 	}
 	log.Printf("following %s from lsn %d (epoch %s, %d tuples bootstrapped)",
 		leader, next, epoch, pool.Len())
 	go s.repl.run(s)
 	return s, nil
+}
+
+// bootstrapPool downloads the leader's snapshot stream into bootstrapDir
+// (wiped first: follower state is a cache of the leader's, so a stale or
+// torn download is never worth salvaging) and restores a serving pool
+// from it. Shared by the initial bootstrap and the automatic re-bootstrap
+// after a fatal replication error.
+func bootstrapPool(client *http.Client, leader, bootstrapDir string, schema *situfact.Schema, scanFacts bool) (*situfact.Pool, map[string][]byte, string, error) {
+	if err := os.RemoveAll(bootstrapDir); err != nil {
+		return nil, nil, "", fmt.Errorf("clearing %s: %w", bootstrapDir, err)
+	}
+	if err := os.MkdirAll(bootstrapDir, 0o755); err != nil {
+		return nil, nil, "", err
+	}
+	if err := fetchSnapshot(client, leader, bootstrapDir); err != nil {
+		return nil, nil, "", fmt.Errorf("bootstrap from %s: %w", leader, err)
+	}
+	pool, sidecars, err := situfact.RestorePool(schema, bootstrapDir)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("restoring leader snapshot: %w", err)
+	}
+	epoch := pool.WALEpoch()
+	if epoch == "" {
+		pool.Close()
+		return nil, nil, "", fmt.Errorf("leader snapshot carries no WAL epoch: the leader must run -wal")
+	}
+	// Same read path as the leader: the fact index was rebuilt during the
+	// snapshot restore above and ApplyTail maintains it from here on.
+	pool.SetScanQueries(scanFacts)
+	return pool, sidecars, epoch, nil
 }
 
 // fetchSnapshot downloads the leader's snapshot stream into dir. Each
@@ -322,56 +352,147 @@ func (r *replState) shutdown() {
 	<-r.done
 }
 
-// run is the follower's tail loop: drain the leader's WAL on every poll
-// tick until stopped or a fatal error.
+// run is the follower's tail loop: drain the leader's WAL, sleep, repeat.
+// Healthy polls sleep one poll period; transient failures back off
+// exponentially (capped, ±25% jitter so a follower fleet does not retry
+// in lockstep) instead of hammering a struggling leader at full poll
+// rate. A fatal error hands off to rebootstrap; the loop exits only on
+// stop or an exhausted re-bootstrap budget.
 func (r *replState) run(s *server) {
 	defer close(r.done)
-	r.drain(s) // catch up immediately rather than idling one poll period
-	t := time.NewTicker(r.poll)
-	defer t.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	maxDelay := max(min(32*r.poll, 30*time.Second), r.poll)
+	delay := r.poll
 	for {
+		healthy := r.drain(s)
+		if r.fatalReason() != "" {
+			if !r.rebootstrap(s, rng) {
+				return // budget exhausted or disabled: stay fatal until restarted
+			}
+			delay = r.poll
+			continue
+		}
+		if healthy {
+			delay = r.poll
+		} else {
+			delay = min(2*delay, maxDelay)
+		}
+		jittered := delay + time.Duration((rng.Float64()-0.5)*0.5*float64(delay))
 		select {
 		case <-r.stop:
 			return
-		case <-t.C:
-			r.drain(s)
+		case <-time.After(jittered):
 		}
 	}
 }
 
+func (r *replState) fatalReason() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fatal
+}
+
+// rebootstrap heals a fatal replication error without a restart: it
+// re-runs the snapshot bootstrap and swaps the restored pool in under
+// live readers (handlers hold the old pool at most for the request that
+// loaded it). Up to rebootstrapMax consecutive download attempts are
+// made, backing off between failures; it reports whether replication may
+// continue. The old pool is left to the garbage collector — follower
+// pools own no WAL or pipeline, so there is nothing to close out from
+// under in-flight readers.
+func (r *replState) rebootstrap(s *server, rng *rand.Rand) bool {
+	if r.rebootstrapMax <= 0 {
+		return false
+	}
+	backoff := r.poll
+	for attempt := 1; attempt <= r.rebootstrapMax; attempt++ {
+		select {
+		case <-r.stop:
+			return false
+		default:
+		}
+		log.Printf("re-bootstrapping from %s (attempt %d/%d) after: %s",
+			r.leader, attempt, r.rebootstrapMax, r.fatalReason())
+		pool, sidecars, epoch, err := bootstrapPool(r.client, r.leader, r.bootstrapDir, r.schema, r.scanFacts)
+		if err == nil {
+			s.poolv.Store(pool)
+			if lb, ok := sidecars[sidecarLeaderboard]; ok {
+				if err := s.board.restore(lb); err != nil {
+					log.Printf("warning: leaderboard sidecar unreadable after re-bootstrap: %v", err)
+				}
+			} else {
+				s.board.restore([]byte("null")) // leader ships no board: clear ours
+			}
+			// Everything cached predates the new pool.
+			if s.cache != nil {
+				s.cache.InvalidateFunc(func(string) bool { return true })
+			}
+			next := pool.TailCursor()
+			r.mu.Lock()
+			r.epoch = epoch
+			r.nextLSN = next
+			r.leaderLSN = next - 1
+			r.fatal = ""
+			r.lastErr = ""
+			r.rebootstraps++
+			n := r.rebootstraps
+			r.mu.Unlock()
+			log.Printf("re-bootstrap %d complete: following %s from lsn %d (epoch %s, %d tuples)",
+				n, r.leader, next, epoch, pool.Len())
+			return true
+		}
+		log.Printf("re-bootstrap attempt %d/%d failed: %v", attempt, r.rebootstrapMax, err)
+		if attempt == r.rebootstrapMax {
+			break
+		}
+		jittered := backoff + time.Duration((rng.Float64()-0.5)*0.5*float64(backoff))
+		select {
+		case <-r.stop:
+			return false
+		case <-time.After(jittered):
+		}
+		backoff = min(2*backoff, 30*time.Second)
+	}
+	log.Printf("re-bootstrap budget (%d) exhausted; replication stays stopped until this follower is restarted", r.rebootstrapMax)
+	return false
+}
+
 // drain polls and applies WAL batches until the leader has no more, a
-// transient error says try next tick, or a fatal error stops replication.
-func (r *replState) drain(s *server) {
+// transient error says back off and retry, or a fatal error hands off to
+// re-bootstrap. It reports false exactly when a transient error ended the
+// drain — the signal run uses to back its poll delay off.
+func (r *replState) drain(s *server) bool {
 	for {
 		select {
 		case <-r.stop:
-			return
+			return true
 		default:
 		}
 		r.mu.Lock()
 		if r.fatal != "" {
 			r.mu.Unlock()
-			return
+			return true
 		}
 		from := r.nextLSN
 		r.mu.Unlock()
+		pool := s.db()
 
 		resp, err := r.pollTail(from)
 		if err != nil {
 			r.mu.Lock()
 			r.lastErr = err.Error()
 			r.mu.Unlock()
-			return
+			return false
 		}
 		if resp.Epoch != r.epoch {
-			r.setFatal(fmt.Sprintf("leader wal epoch changed (%s -> %s): this follower's state belongs to the old log; restart it to re-bootstrap", r.epoch, resp.Epoch))
-			return
+			r.setFatal(fmt.Sprintf("leader wal epoch changed (%s -> %s): this follower's state belongs to the old log", r.epoch, resp.Epoch))
+			return true
 		}
 		if len(resp.Records) > 0 && resp.Records[0].LSN > from {
 			// LSNs are dense; a gap means the leader truncated records the
 			// follower never saw.
-			r.setFatal(fmt.Sprintf("leader truncated wal records %d..%d before they replicated; restart this follower to re-bootstrap", from, resp.Records[0].LSN-1))
-			return
+			r.setFatal(fmt.Sprintf("leader truncated wal records %d..%d before they replicated", from, resp.Records[0].LSN-1))
+			return true
 		}
 		if len(resp.Records) > 0 {
 			recs := make([]situfact.TailRecord, len(resp.Records))
@@ -381,8 +502,8 @@ func (r *replState) drain(s *server) {
 					Dims: rec.Dims, Measures: rec.Measures, TupleID: rec.TupleID,
 				}
 			}
-			before := s.pool.ShardLSNs()
-			stats, err := s.pool.ApplyTail(resp.Epoch, recs, func(arr *situfact.Arrival) { s.feedBoard(arr) })
+			before := pool.ShardLSNs()
+			stats, err := pool.ApplyTail(resp.Epoch, recs, func(arr *situfact.Arrival) { s.feedBoard(arr) })
 			r.mu.Lock()
 			r.applied.Records += stats.Records
 			r.applied.Applied += stats.Applied
@@ -391,7 +512,7 @@ func (r *replState) drain(s *server) {
 			r.mu.Unlock()
 			if err != nil {
 				r.setFatal("applying wal tail: " + err.Error())
-				return
+				return true
 			}
 			// Reads must see the advance — but only reads whose shard
 			// actually advanced. Cached pages scoped to an untouched shard
@@ -400,7 +521,7 @@ func (r *replState) drain(s *server) {
 			// Eviction runs BEFORE nextLSN advances: once the applied LSN is
 			// observable in /v1/metrics, no pre-batch page may serve.
 			if s.cache != nil {
-				s.cache.InvalidateFunc(invalidatorFor(before, s.pool.ShardLSNs()))
+				s.cache.InvalidateFunc(invalidatorFor(before, pool.ShardLSNs()))
 			}
 			r.mu.Lock()
 			r.nextLSN = recs[len(recs)-1].LSN + 1
@@ -412,7 +533,7 @@ func (r *replState) drain(s *server) {
 		r.lastErr = ""
 		r.mu.Unlock()
 		if !resp.More {
-			return
+			return true
 		}
 	}
 }
@@ -512,6 +633,7 @@ func (r *replState) wire() replicationWire {
 		SecondsSincePoll: -1,
 		LastError:        r.lastErr,
 		Fatal:            r.fatal,
+		Rebootstraps:     r.rebootstraps,
 	}
 	if !r.lastPoll.IsZero() {
 		out.SecondsSincePoll = time.Since(r.lastPoll).Seconds()

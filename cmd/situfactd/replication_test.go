@@ -171,7 +171,7 @@ func TestFollowerServesIdenticalFacts(t *testing.T) {
 	if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(wesley), nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("leader: wesley rejected: status %d", resp.StatusCode)
 	}
-	celtics := leader.pool.ShardFor("Celtics")
+	celtics := leader.db().ShardFor("Celtics")
 	if resp := doJSON(t, "DELETE", fmt.Sprintf("%s/v1/tuples/%d:0", lts.URL, celtics), nil, nil); resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("leader: delete rejected: status %d", resp.StatusCode)
 	}
@@ -197,7 +197,7 @@ func TestFollowerIndexedReadsIdentical(t *testing.T) {
 	cfg := gamelogConfig(2, t.TempDir())
 	cfg.wal = true
 	leader, lts := startServer(t, cfg)
-	if leader.pool.ScanQueries() {
+	if leader.db().ScanQueries() {
 		t.Fatal("leader is not index-backed under the default config")
 	}
 	for i, row := range table1 {
@@ -212,7 +212,7 @@ func TestFollowerIndexedReadsIdentical(t *testing.T) {
 	scanCfg.followPoll = 20 * time.Millisecond
 	scanCfg.scanFacts = true
 	scanner, sts := startServer(t, scanCfg)
-	if indexed.pool.ScanQueries() || !scanner.pool.ScanQueries() {
+	if indexed.db().ScanQueries() || !scanner.db().ScanQueries() {
 		t.Fatal("follower read paths not wired from config")
 	}
 
@@ -221,7 +221,7 @@ func TestFollowerIndexedReadsIdentical(t *testing.T) {
 	if resp := doJSON(t, "POST", lts.URL+"/v1/tuples", reqOf(wesley), nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("leader: wesley rejected: status %d", resp.StatusCode)
 	}
-	celtics := leader.pool.ShardFor("Celtics")
+	celtics := leader.db().ShardFor("Celtics")
 	if resp := doJSON(t, "DELETE", fmt.Sprintf("%s/v1/tuples/%d:0", lts.URL, celtics), nil, nil); resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("leader: delete rejected: status %d", resp.StatusCode)
 	}
@@ -304,7 +304,7 @@ func TestFollowerPerShardCacheInvalidation(t *testing.T) {
 	follower, fts := startServer(t, fcfg)
 	waitApplied(t, fts.URL, uint64(len(table1)))
 
-	hot := leader.pool.ShardFor(wesley.Dims[3]) // shard the next append lands on
+	hot := leader.db().ShardFor(wesley.Dims[3]) // shard the next append lands on
 	cold := 1 - hot
 	// limit=500 keeps each shard's fact set on one page, so the hot
 	// shard's body is guaranteed to change when the append lands.

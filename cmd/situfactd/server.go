@@ -19,6 +19,7 @@ import (
 	"time"
 
 	situfact "repro"
+	"repro/internal/faultfs"
 	"repro/internal/readcache"
 )
 
@@ -50,6 +51,11 @@ type config struct {
 	followMaxLag uint64        // replication lag (records) beyond which /healthz degrades
 	readCacheTTL time.Duration // TTL of the read cache over /v1/facts{,/top}; 0 = off
 	scanFacts    bool          // serve reads from the reference full scan (-fact-index=false); zero value = index-backed
+	faultPlan    string        // faultfs plan injected under the WAL (testing only); "" = none
+	// followRebootstrapMax caps automatic follower re-bootstraps after a
+	// fatal replication error; 0 = never re-bootstrap (fatal states stand
+	// until an operator restarts the process).
+	followRebootstrapMax int
 }
 
 // server owns the pool and the leaderboard. Append/Delete handlers rely on
@@ -64,10 +70,14 @@ type server struct {
 	cfg      config
 	schema   *situfact.Schema
 	measures []measureWire
-	pool     *situfact.Pool
-	wal      *situfact.WAL // nil without -wal
-	board    *leaderboard
-	started  time.Time
+	// poolv holds the serving pool. It is a swappable pointer because a
+	// follower's automatic re-bootstrap replaces the whole pool under live
+	// readers: handlers load it once per request via db() and never mix
+	// two pools within one request. On a leader it is set once.
+	poolv   atomic.Pointer[situfact.Pool]
+	wal     *situfact.WAL // nil without -wal
+	board   *leaderboard
+	started time.Time
 	// cache fronts the hot read endpoints (/v1/facts, /v1/facts/top) with
 	// a TTL'd singleflight layer; nil without -read-cache-ttl. On a
 	// leader staleness is bounded by the TTL alone; on a follower the
@@ -76,6 +86,17 @@ type server struct {
 	cache *readcache.Cache
 	// repl is the follower runtime (see replication.go); nil on a leader.
 	repl *replState
+
+	// faults is the injected I/O plan under the WAL (-fault-plan or the
+	// SITUFACTD_FAULT_PLAN env hook); nil without one. In-process tests
+	// clear or reprogram it to drive the daemon into and out of degraded
+	// mode.
+	faults *faultfs.Faulty
+	// walRepairs counts successful background WAL repairs this process.
+	walRepairs atomic.Uint64
+	repairStop chan struct{} // closes to stop walRepairLoop; nil without -wal
+	repairDone chan struct{}
+	repairOnce sync.Once
 
 	// stateMu serialises checkpoints (background snapshotter vs shutdown).
 	stateMu sync.Mutex
@@ -94,6 +115,12 @@ type server struct {
 // sidecarLeaderboard keys the persisted leaderboard in the snapshot
 // manifest's sidecars.
 const sidecarLeaderboard = "leaderboard"
+
+// db returns the pool currently serving requests. Handlers call it once
+// per request and work against that pool for the request's whole
+// lifetime, so a concurrent re-bootstrap swap never mixes two pools
+// within one response.
+func (s *server) db() *situfact.Pool { return s.poolv.Load() }
 
 // buildSchema parses the -dims/-measures flags into a schema, returning
 // the measure descriptions for GET /v1/schema alongside.
@@ -210,11 +237,11 @@ func newServer(cfg config) (*server, error) {
 		cfg:      cfg,
 		schema:   schema,
 		measures: wires,
-		pool:     pool,
 		board:    &leaderboard{cap: bcap},
 		started:  time.Now(),
 		cache:    newReadCache(cfg),
 	}
+	s.poolv.Store(pool)
 	if lb, ok := sidecars[sidecarLeaderboard]; ok {
 		if err := s.board.restore(lb); err != nil {
 			// The board is a monitoring view; a bad sidecar should not
@@ -241,11 +268,26 @@ func newServer(cfg config) (*server, error) {
 			return nil, fmt.Errorf("situfactd: checking %s for a leftover write-ahead log: %w", walDir, err)
 		}
 	}
+	if cfg.faultPlan != "" {
+		if !cfg.wal {
+			return nil, fmt.Errorf("situfactd: -fault-plan covers the write-ahead log and needs -wal")
+		}
+		faults, err := faultfs.NewWithPlan(faultfs.OS, cfg.faultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("situfactd: %w", err)
+		}
+		s.faults = faults
+		log.Printf("FAULT INJECTION ACTIVE (testing only): %s", cfg.faultPlan)
+	}
 	if cfg.wal {
-		wal, err := situfact.OpenWAL(pool, filepath.Join(cfg.stateDir, "wal"), situfact.WALOptions{
+		opts := situfact.WALOptions{
 			SegmentBytes: cfg.walSegBytes,
 			SyncInterval: cfg.walSync,
-		})
+		}
+		if s.faults != nil {
+			opts.FS = s.faults
+		}
+		wal, err := situfact.OpenWAL(pool, filepath.Join(cfg.stateDir, "wal"), opts)
 		if err != nil {
 			pool.Close()
 			return nil, fmt.Errorf("situfactd: %w", err)
@@ -282,7 +324,44 @@ func newServer(cfg config) (*server, error) {
 			return nil, fmt.Errorf("situfactd: %w", err)
 		}
 	}
+	if s.wal != nil {
+		s.repairStop = make(chan struct{})
+		s.repairDone = make(chan struct{})
+		go s.walRepairLoop()
+	}
 	return s, nil
+}
+
+// walRepairLoop watches the log for a sticky failure and retries
+// WAL.Repair with capped exponential backoff — the heal half of degraded
+// mode: a relieved ENOSPC or transient device error clears without a
+// process restart, and writers that were receiving 503s resume. See
+// docs/ARCHITECTURE.md "Failure domains & degraded mode".
+func (s *server) walRepairLoop() {
+	defer close(s.repairDone)
+	const probe = 50 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	backoff := probe
+	for {
+		select {
+		case <-s.repairStop:
+			return
+		case <-time.After(backoff):
+		}
+		if s.wal.Err() == nil {
+			backoff = probe
+			continue
+		}
+		lost, err := s.wal.Repair()
+		if err != nil {
+			backoff = min(backoff*2, maxBackoff)
+			log.Printf("wal repair failed (next attempt in %v): %v", backoff, err)
+			continue
+		}
+		s.walRepairs.Add(1)
+		backoff = probe
+		log.Printf("wal repaired: resuming writes (%d journaled-but-unacknowledged records noop-filled)", lost)
+	}
 }
 
 // routes is the single source of truth for the API surface;
@@ -342,7 +421,7 @@ func (s *server) checkpoint() error {
 // subsequent file streaming — no newer generation may replace the files
 // mid stream. Caller holds s.stateMu.
 func (s *server) checkpointLocked() (situfact.CheckpointStats, error) {
-	stats, err := s.pool.Checkpoint(s.cfg.stateDir, s.snapshotSidecars)
+	stats, err := s.db().Checkpoint(s.cfg.stateDir, s.snapshotSidecars)
 	if err != nil {
 		return stats, err
 	}
@@ -397,7 +476,12 @@ func (s *server) close() error {
 		// Stop the replication loop before the pool it applies into.
 		s.repl.shutdown()
 	}
-	err := s.pool.Close()
+	if s.repairStop != nil {
+		// Stop the repair loop before the WAL it repairs.
+		s.repairOnce.Do(func() { close(s.repairStop) })
+		<-s.repairDone
+	}
+	err := s.db().Close()
 	if s.wal != nil {
 		err = errors.Join(err, s.wal.Close())
 	}
@@ -405,6 +489,7 @@ func (s *server) close() error {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	pool := s.db()
 	if s.repl != nil {
 		// A follower is healthy only while it can promise near-leader reads:
 		// a fatal replication error (epoch mismatch, truncated-away tail) or
@@ -412,22 +497,38 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// stop routing reads here.
 		if reason := s.repl.unhealthy(); reason != "" {
 			writeJSON(w, http.StatusServiceUnavailable,
-				healthResponse{Status: "unavailable", Tuples: s.pool.Len(), Reason: reason})
+				healthResponse{Status: "unavailable", Tuples: pool.Len(), Reason: reason})
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Tuples: s.pool.Len()})
+	if s.wal != nil {
+		if err := s.wal.Err(); err != nil {
+			// Degraded, not down: reads still serve (hence 200, so probes
+			// that gate read traffic keep routing here), writes 503 until
+			// the background repair loop clears the fault.
+			writeJSON(w, http.StatusOK,
+				healthResponse{Status: "degraded", Tuples: pool.Len(), Reason: "wal: " + errMsg(err)})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Tuples: pool.Len()})
+}
+
+// errMsg strips the library prefix for wire-facing reasons.
+func errMsg(err error) string {
+	return strings.TrimPrefix(err.Error(), "situfact: ")
 }
 
 func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	pool := s.db()
 	writeJSON(w, http.StatusOK, schemaResponse{
 		Relation:   s.cfg.relation,
 		Dimensions: s.schema.DimensionNames(),
 		Measures:   s.measures,
-		ShardDim:   s.pool.ShardDim(),
-		Shards:     s.pool.Shards(),
-		Algorithm:  s.pool.Algorithm(),
-		Workers:    s.pool.Workers(),
+		ShardDim:   pool.ShardDim(),
+		Shards:     pool.Shards(),
+		Algorithm:  pool.Algorithm(),
+		Workers:    pool.Workers(),
 	})
 }
 
@@ -435,11 +536,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// One ShardStats sweep supplies both views, so per_shard always sums
 	// to merged even under concurrent ingest (Pool.Metrics would re-take
 	// the shard locks in a second pass that could disagree).
-	stats := s.pool.ShardStats()
+	pool := s.db()
+	stats := pool.ShardStats()
 	resp := metricsResponse{
-		Algorithm:     s.pool.Algorithm(),
-		ShardDim:      s.pool.ShardDim(),
-		Shards:        s.pool.Shards(),
+		Algorithm:     pool.Algorithm(),
+		ShardDim:      pool.ShardDim(),
+		Shards:        pool.Shards(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		PerShard:      make([]shardWire, len(stats)),
 	}
@@ -458,9 +560,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			SyncedLSN:  wst.SyncedLSN,
 			LagRecords: wst.LastLSN - wst.SyncedLSN,
 			Segments:   wst.Segments,
+			Repairs:    s.walRepairs.Load(),
+		}
+		if werr := s.wal.Err(); werr != nil {
+			resp.WAL.Degraded = true
+			resp.WAL.DegradedReason = errMsg(werr)
 		}
 	}
-	resp.Ingest = toWireIngest(s.pool.IngestSummary())
+	resp.Ingest = toWireIngest(pool.IngestSummary())
 	resp.Snapshot = snapshotWire{Enabled: s.cfg.stateDir != "", SecondsSinceLast: -1}
 	s.snapMu.Lock()
 	if !s.lastSnap.IsZero() {
@@ -481,7 +588,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.ReadCache.Entries = cst.Entries
 		resp.ReadCache.OldestAgeSeconds = cst.OldestAge.Seconds()
 	}
-	ist := s.pool.IndexStats()
+	ist := pool.IndexStats()
 	resp.Index = indexWire{
 		Serving: ist.Serving,
 		Entries: ist.Entries,
@@ -512,7 +619,7 @@ func (s *server) handleTopFacts(w http.ResponseWriter, r *http.Request) {
 		// the incremental index (every cell, not just recent arrivals), so
 		// it reflects deletions the arrival-history board cannot see.
 		s.serveCached(w, "top|live|"+strconv.Itoa(k), func() ([]byte, error) {
-			facts, err := s.pool.TopFacts(k)
+			facts, err := s.db().TopFacts(k)
 			if err != nil {
 				return nil, err
 			}
@@ -558,20 +665,23 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.gate.RLock()
 		defer s.gate.RUnlock()
 		var err error
-		if arr, err = s.pool.Append(req.Dims, req.Measures); err != nil {
+		if arr, err = s.db().Append(req.Dims, req.Measures); err != nil {
 			return err
 		}
 		resp = s.toArrival(arr, req.Top, true)
 		return nil
 	}()
 	if err != nil {
-		// A journal failure is the daemon's fault, not the request's —
-		// report it retryable so clients do not drop the row as malformed.
-		status := http.StatusBadRequest
+		// A journal failure is the daemon's fault, not the request's: the
+		// daemon is degraded but repairing itself in the background, so
+		// report 503 + Retry-After — retry soon, do not drop the row as
+		// malformed (and do not treat the daemon as crashed).
 		if errors.Is(err, situfact.ErrWALFailed) {
-			status = http.StatusInternalServerError
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
 		}
-		writeErr(w, status, err.Error())
+		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if req.Narrate != nil {
@@ -611,7 +721,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	func() {
 		s.gate.RLock()
 		defer s.gate.RUnlock()
-		arrs, batchErr = s.pool.AppendBatch(rows)
+		arrs, batchErr = s.db().AppendBatch(rows)
 		if arrs == nil {
 			return // pre-validation failure: nothing applied, nothing to feed
 		}
@@ -625,15 +735,28 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	if batchErr != nil && arrs == nil {
-		// Pre-validation failure: nothing was processed.
+		// Nothing was processed: usually a pre-validation failure (400),
+		// but a poisoned WAL also fails whole batches before any arrival.
+		if errors.Is(batchErr, situfact.ErrWALFailed) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, batchErr.Error())
+			return
+		}
 		writeErr(w, http.StatusBadRequest, batchErr.Error())
 		return
 	}
 	if batchErr != nil {
 		// Mid-batch engine failure: the arrivals present above DID commit;
-		// report them with the error so the client can reconcile.
+		// report them with the error so the client can reconcile. A journal
+		// failure is the degraded-mode case — 503 + Retry-After, the batch
+		// (minus the committed arrivals) is retryable.
+		status := http.StatusInternalServerError
+		if errors.Is(batchErr, situfact.ErrWALFailed) {
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusServiceUnavailable
+		}
 		resp.Error = strings.TrimPrefix(batchErr.Error(), "situfact: ")
-		writeJSON(w, http.StatusInternalServerError, resp)
+		writeJSON(w, status, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -644,11 +767,12 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	if !strings.Contains(id, ":") && s.pool.Shards() > 1 {
+	pool := s.db()
+	if !strings.Contains(id, ":") && pool.Shards() > 1 {
 		// A bare number would silently target shard 0 — on a multi-shard
 		// pool that could retract the wrong tuple, so refuse it loudly.
 		writeErr(w, http.StatusBadRequest,
-			fmt.Sprintf("bare tuple id %q is ambiguous with %d shards: use <shard>:<tuple_id>", id, s.pool.Shards()))
+			fmt.Sprintf("bare tuple id %q is ambiguous with %d shards: use <shard>:<tuple_id>", id, pool.Shards()))
 		return
 	}
 	shard, tupleID, err := parseTupleID(id)
@@ -656,8 +780,12 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := s.pool.Delete(shard, tupleID); err != nil {
-		writeErr(w, deleteStatus(err), err.Error())
+	if err := pool.Delete(shard, tupleID); err != nil {
+		status := deleteStatus(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, status, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -733,7 +861,7 @@ func deleteStatus(err error) int {
 	case errors.Is(err, situfact.ErrAlreadyDeleted):
 		return http.StatusConflict
 	case errors.Is(err, situfact.ErrWALFailed):
-		return http.StatusInternalServerError // daemon-side fault, retryable
+		return http.StatusServiceUnavailable // degraded mode: retryable, see handleDelete
 	case errors.Is(err, situfact.ErrDeleteUnsupported):
 		return http.StatusBadRequest // the algorithm does not support deletion
 	default:

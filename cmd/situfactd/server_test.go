@@ -146,7 +146,7 @@ func TestServerTableI(t *testing.T) {
 	// Restart from the state directory: tuple count and metrics survive.
 	s2, ts2 := startServer(t, gamelogConfig(1, stateDir))
 	defer s2.close()
-	if got := s2.pool.Len(); got != 7 {
+	if got := s2.db().Len(); got != 7 {
 		t.Fatalf("restored Len = %d, want 7", got)
 	}
 	var restored metricsResponse
@@ -383,7 +383,7 @@ func TestServerWALCrashRecovery(t *testing.T) {
 
 	s2, ts2 := startServer(t, walConfig(2, stateDir))
 	defer s2.close()
-	if got := s2.pool.Len(); got != len(rows) {
+	if got := s2.db().Len(); got != len(rows) {
 		t.Fatalf("recovered Len = %d, want %d", got, len(rows))
 	}
 	var afterMetrics metricsResponse

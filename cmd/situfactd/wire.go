@@ -126,6 +126,12 @@ type walWire struct {
 	LagRecords uint64 `json:"lag_records"`
 	// Segments is the live log segment count; checkpoints truncate it.
 	Segments int `json:"segments"`
+	// Degraded reports a sticky log failure: writes are refused with 503
+	// until the background repair loop heals the log. DegradedReason is
+	// the failure; Repairs counts successful heals since start.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Repairs        uint64 `json:"repairs"`
 }
 
 // ingestShardWire is one shard writer's row of the ingest block.
@@ -240,6 +246,9 @@ type replicationWire struct {
 	// tail) that stops replication until the operator re-bootstraps.
 	LastError string `json:"last_error,omitempty"`
 	Fatal     string `json:"fatal,omitempty"`
+	// Rebootstraps counts automatic snapshot re-bootstraps after fatal
+	// errors (-follow-rebootstrap-max bounds consecutive attempts).
+	Rebootstraps int `json:"rebootstraps"`
 }
 
 // readCacheWire is the read-cache block of GET /v1/metrics.
@@ -348,7 +357,7 @@ type tupleResponse struct {
 // walRecordWire is one journaled operation of GET /v1/wal.
 type walRecordWire struct {
 	LSN uint64 `json:"lsn"`
-	// Op is "append" or "delete".
+	// Op is "append", "delete", or "noop" (a repair-burned LSN).
 	Op    string `json:"op"`
 	Shard int    `json:"shard"`
 	// Dims and Measures carry the appended row (appends only).

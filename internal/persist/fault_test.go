@@ -1,0 +1,267 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// faultWAL opens a WAL whose segment I/O runs through a Faulty with the
+// given plan.
+func faultWAL(t *testing.T, dir, plan string) (*WAL, *faultfs.Faulty) {
+	t.Helper()
+	fs, err := faultfs.NewWithPlan(faultfs.OS, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(dir, WALOptions{Meta: "sig", FS: fs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return w, fs
+}
+
+// TestFaultFsyncRepair: a one-shot fsync fault poisons the log sticky;
+// Repair clears it with nothing lost — the records were flushed, only the
+// fsync acknowledgement failed — and the log keeps working.
+func TestFaultFsyncRepair(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := faultWAL(t, dir, "fsync:nth=1")
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(appendRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("sync = %v, want injected fault", err)
+	}
+	// Sticky: the fault was one-shot, but the poisoned state is not.
+	if err := w.Err(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Err() = %v, want injected fault", err)
+	}
+	if _, err := w.Append(appendRec(9)); err == nil {
+		t.Fatal("append on poisoned log succeeded")
+	}
+	lost, err := w.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if lost != 0 {
+		t.Fatalf("repair lost %d records, want 0 (all were flushed)", lost)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err() after repair = %v", err)
+	}
+	if _, err := w.Append(appendRec(5)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync after repair: %v", err)
+	}
+	if got := collect(t, w); len(got) != 6 {
+		t.Fatalf("replay found %d records, want 6", len(got))
+	}
+}
+
+// TestFaultRepairNoopFill: an ENOSPC fault tears a flush mid-frame. The
+// unsynced (never-acknowledged) records are destroyed; Repair truncates
+// the torn tail and burns their LSNs with noop frames so the log stays
+// dense, and replay skips the noops.
+func TestFaultRepairNoopFill(t *testing.T) {
+	dir := t.TempDir()
+	w, fs := faultWAL(t, dir, "")
+	defer w.Close()
+	// Establish a durable prefix, then arm the fault: the next flush
+	// tears partway into its first frame.
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(appendRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Program("write:enospc-after=10"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 8; i++ {
+		if _, err := w.Append(appendRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync through full disk succeeded")
+	}
+	fs.Clear() // space relieved
+	lost, err := w.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if lost != 5 {
+		t.Fatalf("repair lost %d records, want the 5 unsynced ones", lost)
+	}
+	// The log is dense and usable; the burned LSNs replay as noops.
+	var noops, rows int
+	if err := w.Replay(func(r Record) error {
+		if r.Type == RecNoop {
+			noops++
+		} else {
+			rows++
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rows != 3 || noops != 5 {
+		t.Fatalf("replay saw %d rows / %d noops, want 3 / 5", rows, noops)
+	}
+	lsn, err := w.Append(appendRec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 9 {
+		t.Fatalf("post-repair lsn = %d, want 9 (LSNs 4-8 burned)", lsn)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopen (process restart) accepts the repaired log.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir, WALOptions{Meta: "sig"})
+	if err != nil {
+		t.Fatalf("reopen repaired log: %v", err)
+	}
+	defer w2.Close()
+	if got := collect(t, w2); len(got) != 9 {
+		t.Fatalf("reopen replay found %d records, want 9", len(got))
+	}
+}
+
+// TestFaultShortWriteRepair: a torn (short) write poisons the flush; the
+// half-frame on disk is truncated by Repair.
+func TestFaultShortWriteRepair(t *testing.T) {
+	dir := t.TempDir()
+	w, fs := faultWAL(t, dir, "")
+	defer w.Close()
+	if _, err := w.Append(appendRec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Program("write:short-at=1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(appendRec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync through short write succeeded")
+	}
+	fs.Clear()
+	lost, err := w.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if lost != 1 {
+		t.Fatalf("repair lost %d, want 1", lost)
+	}
+	if got := collect(t, w); len(got) != 2 { // row + noop
+		t.Fatalf("replay found %d records, want 2", len(got))
+	}
+}
+
+// TestFaultReadFromServesDegraded: a poisoned log still serves its
+// durable prefix to followers — and never serves unsynced records, which
+// a later Repair may destroy.
+func TestFaultReadFromServesDegraded(t *testing.T) {
+	dir := t.TempDir()
+	w, fs := faultWAL(t, dir, "")
+	defer w.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Append(appendRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Program("fsync:from=1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 6; i++ {
+		if _, err := w.Append(appendRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync under sticky fault succeeded")
+	}
+	recs, last, err := w.ReadFrom(1, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom on degraded log: %v", err)
+	}
+	if len(recs) != 4 || last != 4 {
+		t.Fatalf("ReadFrom = %d records, last %d; want 4 durable records, last 4", len(recs), last)
+	}
+}
+
+// TestFaultVerifyWAL: the offline fsck counts records per segment, flags
+// nothing on a clean log, and reports ErrCorrupt on real damage.
+func TestFaultVerifyWAL(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Meta: "sig", SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 12
+	for i := 0; i < total; i++ {
+		if _, err := w.Append(appendRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := VerifyWAL(dir)
+	if err != nil {
+		t.Fatalf("verify clean log: %v", err)
+	}
+	if len(reports) < 2 {
+		t.Fatalf("got %d segments, want rotation to have made several", len(reports))
+	}
+	sum := 0
+	for _, r := range reports {
+		if r.Torn {
+			t.Fatalf("clean log reported torn segment %s", r.Name)
+		}
+		sum += r.Records
+	}
+	if sum != total {
+		t.Fatalf("verify counted %d records, want %d", sum, total)
+	}
+
+	// Flip a payload byte in the first (sealed) segment: CRC mismatch.
+	path := filepath.Join(dir, reports[0].Name)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[frameHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyWAL(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("verify corrupt log = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,6 +1,8 @@
 package persist
 
 import (
+	"repro/internal/faultfs"
+
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -112,5 +114,5 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(faultfs.OS, dir)
 }

@@ -17,6 +17,12 @@ const (
 	RecAppend RecordType = 1
 	// RecDelete journals the retraction of one tuple of one shard.
 	RecDelete RecordType = 2
+	// RecNoop carries no operation. Repair writes noop frames over the
+	// LSN range a write fault destroyed: those LSNs were assigned (and may
+	// have advanced shard watermarks), so reusing them for real records
+	// would make replay skip the newcomers, while leaving a hole would
+	// fail the density check. Replay and tailing count a noop as skipped.
+	RecNoop RecordType = 3
 )
 
 // Record is one journaled ingest operation. Appends carry the row itself
@@ -172,6 +178,10 @@ func parsePayload(p []byte) (Record, error) {
 			return rec, fmt.Errorf("bad tuple id")
 		}
 		rec.TupleID = int64(id)
+	case RecNoop:
+		if len(p) != 0 {
+			return rec, fmt.Errorf("noop with %d payload bytes", len(p))
+		}
 	default:
 		return rec, fmt.Errorf("unknown record type %d", rec.Type)
 	}

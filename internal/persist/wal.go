@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // ErrWALClosed reports an operation on a closed WAL.
@@ -35,6 +37,12 @@ type WALOptions struct {
 	// the log directory on creation and verified on every reopen, so a log
 	// written under one schema is never replayed into another.
 	Meta string
+	// FS is the filesystem the log's segments live on. nil selects the
+	// real one (faultfs.OS); tests inject a faultfs.Faulty to exercise
+	// fsync errors, ENOSPC, and torn writes. The wal.meta identity file
+	// is deliberately NOT behind the seam: it is written once at creation
+	// and a fault there is just an open error.
+	FS faultfs.FS
 }
 
 const (
@@ -66,7 +74,8 @@ type walMeta struct {
 type WAL struct {
 	dir     string
 	segSize int64
-	epoch   string // this log instance's identity, from wal.meta
+	epoch   string     // this log instance's identity, from wal.meta
+	fs      faultfs.FS // segment I/O seam; faultfs.OS in production
 
 	// mu guards the file state: writes, rotation, truncation. The fsync
 	// itself runs OUTSIDE mu (syncNow flushes under the lock, then syncs
@@ -78,10 +87,10 @@ type WAL struct {
 	// hands the close to the syncer instead (fsync on a closed fd would
 	// fail and poison the log).
 	mu             sync.Mutex
-	f              *os.File
+	f              faultfs.File
 	bw             *bufio.Writer
-	syncingF       *os.File // file an fsync is running on outside mu; nil = none
-	closeAfterSync bool     // close syncingF when its fsync returns
+	syncingF       faultfs.File // file an fsync is running on outside mu; nil = none
+	closeAfterSync bool         // close syncingF when its fsync returns
 	nextLSN        uint64
 	segBase        uint64 // first LSN of the active segment
 	segBytes       int64  // bytes written to the active segment
@@ -108,17 +117,21 @@ func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
 	if opt.SegmentBytes <= 0 {
 		opt.SegmentBytes = defaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	epoch, err := checkWALMeta(dir, opt.Meta)
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, segSize: opt.SegmentBytes, epoch: epoch}
+	w := &WAL{dir: dir, segSize: opt.SegmentBytes, epoch: epoch, fs: fsys}
 	w.syncState.cond = sync.NewCond(&w.syncState.Mutex)
 
-	bases, err := listSegments(dir)
+	bases, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -134,16 +147,16 @@ func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
 		// rotation fsync; Replay verifies them in full.
 		base := bases[len(bases)-1]
 		path := w.segmentPath(base)
-		end, next, torn, err := readSegment(path, base, true, nil)
+		end, next, torn, err := readSegment(fsys, path, base, true, nil)
 		if err != nil {
 			return nil, err
 		}
 		if torn {
-			if err := truncateFile(path, end); err != nil {
+			if err := truncateFile(fsys, path, end); err != nil {
 				return nil, fmt.Errorf("wal: repair torn tail: %w", err)
 			}
 		}
-		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -204,8 +217,8 @@ func (w *WAL) segmentPath(base uint64) string {
 }
 
 // listSegments returns the segment base LSNs in ascending order.
-func listSegments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -229,11 +242,11 @@ func listSegments(dir string) ([]uint64, error) {
 // fsyncing the directory so the name survives a crash. Caller holds mu
 // (or the WAL is not yet shared).
 func (w *WAL) createSegment(base uint64) error {
-	f, err := os.OpenFile(w.segmentPath(base), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := w.fs.OpenFile(w.segmentPath(base), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(w.dir); err != nil {
+	if err := syncDir(w.fs, w.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -468,12 +481,12 @@ func (w *WAL) Replay(fn func(Record) error) error {
 		w.writeErr = fmt.Errorf("wal replay flush: %w", err)
 		return w.writeErr
 	}
-	bases, err := listSegments(w.dir)
+	bases, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
 	for i, base := range bases {
-		_, next, _, err := readSegment(w.segmentPath(base), base, i == len(bases)-1, fn)
+		_, next, _, err := readSegment(w.fs, w.segmentPath(base), base, i == len(bases)-1, fn)
 		if err != nil {
 			return err
 		}
@@ -489,33 +502,36 @@ func (w *WAL) Replay(fn func(Record) error) error {
 // collected; it never escapes ReadFrom.
 var errStopRead = errors.New("stop read")
 
-// ReadFrom returns up to max records with LSN >= from, in LSN order
-// (max <= 0 = no cap), plus the log's highest assigned LSN at the time of
-// the read — the tail-shipping primitive behind a follower's catch-up
-// polling. Segments entirely below from are skipped by name; the first
-// overlapping segment is decoded from its start with the early records
-// filtered out. Like Replay it blocks appends for its duration, but the
-// duration is bounded by max plus at most one segment's decode.
+// ReadFrom returns up to max DURABLE records with LSN >= from, in LSN
+// order (max <= 0 = no cap), plus the synced watermark at the time of the
+// read — the tail-shipping primitive behind a follower's catch-up
+// polling. Serving only up to the synced watermark keeps two promises at
+// once: a degraded log (sticky write/fsync error) still serves reads —
+// synced frames are on disk by definition, no flush of the poisoned
+// buffer is needed — and a follower never applies a record that a later
+// Repair noop-fills away. Segments entirely below from are skipped by
+// name; the first overlapping segment is decoded from its start with the
+// early records filtered out. Like Replay it blocks appends for its
+// duration, but the duration is bounded by max plus at most one segment's
+// decode.
 //
 // LSNs are dense, so a caller can detect a truncated gap: if the first
 // returned record's LSN is greater than from, records [from, first) were
 // removed by TruncateBefore and the caller must re-bootstrap from a
 // snapshot rather than replay the tail.
 func (w *WAL) ReadFrom(from uint64, max int) (recs []Record, lastLSN uint64, err error) {
+	// synced is read before mu: it only advances, so any record it admits
+	// is durable by the time the scan below reaches it.
+	w.syncState.Lock()
+	synced := w.syncState.synced
+	w.syncState.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return nil, 0, ErrWALClosed
 	}
-	if w.writeErr != nil {
-		return nil, 0, w.writeErr
-	}
-	if err := w.bw.Flush(); err != nil {
-		w.writeErr = fmt.Errorf("wal read flush: %w", err)
-		return nil, 0, w.writeErr
-	}
-	lastLSN = w.nextLSN - 1
-	bases, err := listSegments(w.dir)
+	lastLSN = synced
+	bases, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -523,7 +539,13 @@ func (w *WAL) ReadFrom(from uint64, max int) (recs []Record, lastLSN uint64, err
 		if i+1 < len(bases) && bases[i+1] <= from {
 			continue // every record of this segment is below from
 		}
-		_, _, _, err := readSegment(w.segmentPath(base), base, i == len(bases)-1, func(rec Record) error {
+		if base > synced {
+			break // nothing durable at or past this segment
+		}
+		_, _, _, err := readSegment(w.fs, w.segmentPath(base), base, i == len(bases)-1, func(rec Record) error {
+			if rec.LSN > synced {
+				return errStopRead
+			}
 			if rec.LSN < from {
 				return nil
 			}
@@ -553,7 +575,7 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 	if w.closed {
 		return ErrWALClosed
 	}
-	bases, err := listSegments(w.dir)
+	bases, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -562,13 +584,13 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 		if bases[i] == w.segBase {
 			break // never the active segment
 		}
-		if err := os.Remove(w.segmentPath(bases[i])); err != nil {
+		if err := w.fs.Remove(w.segmentPath(bases[i])); err != nil {
 			return fmt.Errorf("wal truncate: %w", err)
 		}
 		removed++
 	}
 	if removed > 0 {
-		if err := syncDir(w.dir); err != nil {
+		if err := syncDir(w.fs, w.dir); err != nil {
 			return err
 		}
 		w.segments -= removed
@@ -613,6 +635,128 @@ func (w *WAL) LastLSN() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.nextLSN - 1
+}
+
+// Err returns the log's sticky failure — a poisoned write buffer or a
+// failed fsync — or nil while healthy. A closed log reports ErrWALClosed.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	werr, closed := w.writeErr, w.closed
+	w.mu.Unlock()
+	if closed {
+		return ErrWALClosed
+	}
+	if werr != nil {
+		return werr
+	}
+	w.syncState.Lock()
+	defer w.syncState.Unlock()
+	return w.syncState.err
+}
+
+// Repair attempts to return a poisoned log to service without a process
+// restart — the degraded daemon's background heal path. It re-scans the
+// active segment to find the durable end (truncating a torn tail the
+// fault left), reopens the handle, and noop-fills the LSN range the fault
+// destroyed: those LSNs were assigned to records that never reached disk
+// intact, and since appended-but-unacknowledged rows may have advanced
+// shard watermarks past them, reusing them for future records would make
+// replay skip the newcomers. The noops keep the log dense instead.
+//
+// On success the sticky write and fsync errors are cleared, the synced
+// watermark covers the whole repaired log, and blocked WaitSync callers
+// wake; lost is how many records were replaced by noops (every one of
+// them was unacknowledged — acked records are synced, and synced frames
+// survive repair untouched). Repair returns a non-nil error and leaves
+// the log poisoned when the fault still holds (the repair I/O itself
+// failed — retry later) or the tail is genuinely corrupt (ErrCorrupt:
+// non-zero garbage that a sequential write cannot explain).
+func (w *WAL) Repair() (lost uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.syncingF != nil {
+		return 0, errors.New("wal repair: an fsync is in flight; retry")
+	}
+	w.syncState.Lock()
+	serr := w.syncState.err
+	w.syncState.Unlock()
+	if w.writeErr == nil && serr == nil {
+		return 0, nil // healthy
+	}
+	// Drop the poisoned handle: its buffer may hold a torn frame. nil
+	// already when a failed rotation closed it.
+	if w.f != nil {
+		w.f.Close()
+		w.f, w.bw = nil, nil
+	}
+	bases, err := listSegments(w.fs, w.dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(bases) == 0 {
+		return 0, fmt.Errorf("wal repair: no segments on disk: %w", ErrCorrupt)
+	}
+	w.segments = len(bases) // recount: a fault mid-rotation may have lied
+	base := bases[len(bases)-1]
+	path := w.segmentPath(base)
+	end, next, torn, err := readSegment(w.fs, path, base, true, nil)
+	if err != nil {
+		return 0, err // ErrCorrupt: not repairable
+	}
+	if torn {
+		if err := truncateFile(w.fs, path, end); err != nil {
+			return 0, fmt.Errorf("wal repair: truncate torn tail: %w", err)
+		}
+	}
+	f, err := w.fs.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, fmt.Errorf("wal repair: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal repair: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, walWriteBufBytes)
+	w.segBase = base
+	w.segBytes = end
+	for lsn := next; lsn < w.nextLSN; lsn++ {
+		w.scratch = appendFrame(w.scratch[:0], Record{LSN: lsn, Type: RecNoop})
+		if _, err := w.bw.Write(w.scratch); err != nil {
+			w.writeErr = fmt.Errorf("wal repair: %w", err)
+			return 0, w.writeErr
+		}
+		w.segBytes += int64(len(w.scratch))
+		lost++
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.writeErr = fmt.Errorf("wal repair: %w", err)
+		return 0, w.writeErr
+	}
+	if err := w.f.Sync(); err != nil {
+		w.writeErr = fmt.Errorf("wal repair: %w", err)
+		return 0, w.writeErr
+	}
+	w.writeErr = nil
+	w.syncState.Lock()
+	w.syncState.err = nil
+	if last := w.nextLSN - 1; last > w.syncState.synced {
+		w.syncState.synced = last
+	}
+	w.syncState.Unlock()
+	w.syncState.cond.Broadcast()
+	if w.segBytes >= w.segSize {
+		// The fault may have struck mid-rotation; finish it so the next
+		// append does not land in an over-full segment.
+		if err := w.rotate(); err != nil {
+			w.writeErr = err
+			return lost, err
+		}
+	}
+	return lost, nil
 }
 
 // Close flushes, fsyncs and closes the log. Waiting WaitSync callers
@@ -674,8 +818,8 @@ func (w *WAL) Close() error {
 // broken frame with NON-zero data after it cannot come from a torn
 // sequential write and stays ErrCorrupt: truncating there could drop
 // fsynced records.
-func readSegment(path string, base uint64, isLast bool, fn func(Record) error) (end int64, next uint64, torn bool, err error) {
-	f, err := os.Open(path)
+func readSegment(fsys faultfs.FS, path string, base uint64, isLast bool, fn func(Record) error) (end int64, next uint64, torn bool, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, false, fmt.Errorf("wal: %w", err)
 	}
@@ -762,8 +906,8 @@ func restIsZeros(br *bufio.Reader) bool {
 }
 
 // truncateFile cuts path to size and fsyncs it.
-func truncateFile(path string, size int64) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func truncateFile(fsys faultfs.FS, path string, size int64) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return err
 	}
@@ -775,8 +919,9 @@ func truncateFile(path string, size int64) error {
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// It opens the directory read-only, so a faultfs plan never fails it.
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}

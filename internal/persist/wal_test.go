@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 func appendRec(i int) Record {
@@ -309,7 +311,7 @@ func TestWALCorruptSealedSegment(t *testing.T) {
 		}
 	}
 	w.Close()
-	bases, err := listSegments(dir)
+	bases, err := listSegments(faultfs.OS, dir)
 	if err != nil || len(bases) < 2 {
 		t.Fatalf("want ≥ 2 segments, got %d (err %v)", len(bases), err)
 	}

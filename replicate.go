@@ -26,6 +26,10 @@ var ErrEpochMismatch = errors.New("wal epoch mismatch")
 const (
 	OpAppend = "append"
 	OpDelete = "delete"
+	// OpNoop ships a repair noop frame (see persist.RecNoop): it carries
+	// no operation, but followers must still see it to keep their tail
+	// cursor dense.
+	OpNoop = "noop"
 )
 
 // TailRecord is one journaled operation in shipping form — the wire
@@ -57,6 +61,8 @@ func (tr TailRecord) record() (persist.Record, error) {
 	case OpDelete:
 		rec.Type = persist.RecDelete
 		rec.TupleID = tr.TupleID
+	case OpNoop:
+		rec.Type = persist.RecNoop
 	default:
 		return rec, fmt.Errorf("situfact: tail record %d has unknown op %q", tr.LSN, tr.Op)
 	}
@@ -73,6 +79,8 @@ func toTailRecord(rec persist.Record) (TailRecord, error) {
 	case persist.RecDelete:
 		tr.Op = OpDelete
 		tr.TupleID = rec.TupleID
+	case persist.RecNoop:
+		tr.Op = OpNoop
 	default:
 		return tr, fmt.Errorf("situfact: wal record %d has unknown type %d", rec.LSN, rec.Type)
 	}

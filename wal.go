@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/persist"
 )
 
@@ -44,6 +45,9 @@ type WALOptions struct {
 	// acknowledgement (group-committed); > 0 fsyncs on this interval in
 	// the background and acknowledges immediately.
 	SyncInterval time.Duration
+	// FS is the filesystem seam segment I/O goes through; nil = the real
+	// one. Fault tests inject a faultfs.Faulty here (see internal/faultfs).
+	FS faultfs.FS
 }
 
 // WAL is an open write-ahead log, bound to one pool identity (schema and
@@ -80,6 +84,7 @@ func OpenWAL(pool *Pool, dir string, opt WALOptions) (*WAL, error) {
 	pw, err := persist.OpenWAL(dir, persist.WALOptions{
 		SegmentBytes: opt.SegmentBytes,
 		Meta:         meta,
+		FS:           opt.FS,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("situfact: %w", err)
@@ -116,6 +121,20 @@ func (w *WAL) commit(lsn uint64) error {
 
 // Sync forces every journaled record to disk, regardless of mode.
 func (w *WAL) Sync() error { return w.w.Sync() }
+
+// Err returns the log's sticky failure (a poisoned write buffer or a
+// failed fsync), or nil while healthy. A non-nil Err means every ingest
+// operation is failing with ErrWALFailed: the degraded state Repair (or
+// a restart) clears.
+func (w *WAL) Err() error { return w.w.Err() }
+
+// Repair attempts to clear a sticky log failure in place: truncate the
+// torn tail the fault left, burn the destroyed (never-acknowledged)
+// records' LSNs with noop frames so the log stays dense, and resume
+// journaling. It returns how many records were lost to the fault — all
+// unacknowledged — or an error when the fault still holds (retry later)
+// or the tail is genuinely corrupt. See persist.WAL.Repair.
+func (w *WAL) Repair() (lost uint64, err error) { return w.w.Repair() }
 
 // WALStats is a monitoring snapshot of the log; see persist.WALStats.
 type WALStats = persist.WALStats
@@ -296,6 +315,10 @@ func (p *Pool) applyRecord(rec persist.Record, stats *ReplayStats, onArrival fun
 			// like any other unexpected failure.
 			return fmt.Errorf("situfact: wal replay: record %d: %w", rec.LSN, err)
 		}
+	case persist.RecNoop:
+		// Repair filler over an LSN a write fault destroyed: no operation,
+		// no shard, no watermark to advance.
+		stats.Skipped++
 	default:
 		return fmt.Errorf("situfact: wal replay: record %d has unknown type %d", rec.LSN, rec.Type)
 	}
