@@ -1,0 +1,300 @@
+package main
+
+// Overload mode: situbench -serve-url ... -load-overload deliberately
+// drives a situfactd past its configured capacity and measures how it
+// degrades, where the plain load mode measures how fast it goes. Workers
+// hammer POST /v1/tuples as fast as they can; every 429 (rate limited)
+// and 503 (shed / degraded) is expected output, not an error — the
+// worker honors the response's Retry-After with a capped backoff and
+// retries. The report separates accepted, shed and limited requests and
+// quotes latency quantiles over ACCEPTED requests only: the question an
+// overloaded daemon must answer is "does the work you do accept still
+// finish promptly", and mixing rejected requests (fast by design) into
+// the quantiles would flatter exactly the wrong thing.
+//
+// -load-json writes the report as JSON (schema situbench-overload/v1);
+// BENCH_PR10.json pairs an uncontended baseline run with a past-capacity
+// run so the acceptance criterion — accepted p99 under overload within
+// 2× the uncontended p99 — is a number, not a claim.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// overloadParams configures one overload run.
+type overloadParams struct {
+	URL        string        // daemon base URL
+	Conns      int           // concurrent workers
+	Duration   time.Duration // wall-clock run length
+	Card       int           // distinct values per dimension attribute
+	BackoffCap time.Duration // Retry-After sleeps are capped here
+	JSONPath   string        // when non-empty, also write the report as JSON
+	Seed       int64         // workload seed
+}
+
+// overloadReport is the machine-readable form of one overload run.
+type overloadReport struct {
+	Schema          string  `json:"schema"` // "situbench-overload/v1"
+	Endpoint        string  `json:"endpoint"`
+	Conns           int     `json:"conns"`
+	Card            int     `json:"card"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Seed            int64   `json:"seed"`
+	BackoffCapMs    float64 `json:"backoff_cap_ms"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Accepted counts 200s; Shed 503s (admission or backpressure);
+	// Limited 429s (per-client rate limit); Errors everything else —
+	// an overload run with nonzero Errors failed, rejections never do.
+	Accepted int64 `json:"accepted"`
+	Shed     int64 `json:"shed"`
+	Limited  int64 `json:"limited"`
+	Errors   int64 `json:"errors"`
+	// Retries counts backoff sleeps taken after 429/503 responses;
+	// MissingRetryAfter counts rejections that broke the contract by
+	// omitting the Retry-After header (must stay 0).
+	Retries           int64   `json:"retries"`
+	MissingRetryAfter int64   `json:"missing_retry_after"`
+	AcceptedPerSec    float64 `json:"accepted_per_sec"`
+	ReqPerSec         float64 `json:"req_per_sec"`
+	// Latency quantiles over accepted requests only (see package comment).
+	AcceptedP50Ms float64 `json:"accepted_p50_ms"`
+	AcceptedP99Ms float64 `json:"accepted_p99_ms"`
+	AcceptedMaxMs float64 `json:"accepted_max_ms"`
+	// Daemon-side admission counters (GET /v1/metrics overload deltas;
+	// absent when the daemon predates the block).
+	DaemonShed     uint64 `json:"daemon_shed,omitempty"`
+	DaemonLimited  uint64 `json:"daemon_limited,omitempty"`
+	InflightPeak   int64  `json:"inflight_peak,omitempty"`
+	MaxInflight    int64  `json:"max_inflight,omitempty"`
+	IngestCanceled uint64 `json:"ingest_canceled,omitempty"`
+}
+
+// overloadScrape is the sliver of GET /v1/metrics the report needs.
+type overloadScrape struct {
+	Overload struct {
+		Shed         uint64 `json:"shed"`
+		Limited      uint64 `json:"limited"`
+		InflightPeak int64  `json:"inflight_peak"`
+		MaxInflight  int64  `json:"max_inflight"`
+	} `json:"overload"`
+	Ingest struct {
+		Canceled uint64 `json:"canceled"`
+	} `json:"ingest"`
+}
+
+func scrapeOverload(client *http.Client, base string) (overloadScrape, bool) {
+	var s overloadScrape
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return s, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return s, false
+	}
+	return s, json.NewDecoder(resp.Body).Decode(&s) == nil
+}
+
+// overloadWorkerResult accumulates one worker's observations.
+type overloadWorkerResult struct {
+	accepted, shed, limited, errors int64
+	retries, missingRetryAfter      int64
+	latencies                       []time.Duration // accepted requests only
+}
+
+// postOverload sends one append and classifies the outcome, returning
+// the HTTP status (0 on transport error) and the Retry-After the daemon
+// named on a rejection.
+func postOverload(client *http.Client, url string, body []byte) (status int, retryAfter time.Duration) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter
+}
+
+// runOverload executes the overload run, writes the human summary to w
+// and, with JSONPath set, the machine report alongside.
+func runOverload(w io.Writer, p overloadParams) error {
+	rep, runErr := executeOverload(w, p)
+	if rep != nil && p.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return runErr
+}
+
+func executeOverload(w io.Writer, p overloadParams) (*overloadReport, error) {
+	if p.Conns <= 0 {
+		p.Conns = 32
+	}
+	if p.Duration <= 0 {
+		p.Duration = 10 * time.Second
+	}
+	if p.Card <= 0 {
+		p.Card = 50
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = time.Second
+	}
+	base := strings.TrimRight(p.URL, "/")
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        p.Conns,
+			MaxIdleConnsPerHost: p.Conns,
+		},
+		Timeout: 30 * time.Second,
+	}
+	resp, err := client.Get(base + "/v1/schema")
+	if err != nil {
+		return nil, fmt.Errorf("fetch schema: %w", err)
+	}
+	var schema loadSchema
+	err = json.NewDecoder(resp.Body).Decode(&schema)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("decode schema: %w", err)
+	}
+	if len(schema.Dimensions) == 0 || len(schema.Measures) == 0 {
+		return nil, fmt.Errorf("daemon reported an empty schema")
+	}
+	before, scraped := scrapeOverload(client, base)
+
+	endpoint := base + "/v1/tuples"
+	results := make([]overloadWorkerResult, p.Conns)
+	deadline := time.Now().Add(p.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < p.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(i)))
+			gen := newRowGen(rng, schema, loadParams{Card: p.Card, Dist: "uniform"})
+			res := &results[i]
+			for time.Now().Before(deadline) {
+				body, _ := buildBody(gen, 1)
+				t0 := time.Now()
+				status, retryAfter := postOverload(client, endpoint, body)
+				switch status {
+				case http.StatusOK:
+					res.accepted++
+					res.latencies = append(res.latencies, time.Since(t0))
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					if status == http.StatusServiceUnavailable {
+						res.shed++
+					} else {
+						res.limited++
+					}
+					if retryAfter == 0 {
+						res.missingRetryAfter++
+						retryAfter = 50 * time.Millisecond
+					}
+					res.retries++
+					// Honor the daemon's backoff, capped so a long
+					// Retry-After cannot idle the run past its deadline,
+					// plus up to 50% jitter: every rejected worker got its
+					// 429 at the same instant, and without jitter they all
+					// wake as one herd and measure each other's scheduling.
+					backoff := min(retryAfter, p.BackoffCap)
+					time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff/2+1))))
+				default:
+					res.errors++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total overloadWorkerResult
+	for _, r := range results {
+		total.accepted += r.accepted
+		total.shed += r.shed
+		total.limited += r.limited
+		total.errors += r.errors
+		total.retries += r.retries
+		total.missingRetryAfter += r.missingRetryAfter
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+
+	requests := total.accepted + total.shed + total.limited + total.errors
+	rep := overloadReport{
+		Schema:          "situbench-overload/v1",
+		Endpoint:        endpoint,
+		Conns:           p.Conns,
+		Card:            p.Card,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Seed:            p.Seed,
+		BackoffCapMs:    float64(p.BackoffCap) / float64(time.Millisecond),
+		DurationSeconds: elapsed.Seconds(),
+		Accepted:        total.accepted,
+		Shed:            total.shed,
+		Limited:         total.limited,
+		Errors:          total.errors,
+		Retries:         total.retries,
+
+		MissingRetryAfter: total.missingRetryAfter,
+		AcceptedPerSec:    float64(total.accepted) / elapsed.Seconds(),
+		ReqPerSec:         float64(requests) / elapsed.Seconds(),
+	}
+	if n := len(total.latencies); n > 0 {
+		rep.AcceptedP50Ms = float64(percentile(total.latencies, 0.50)) / float64(time.Millisecond)
+		rep.AcceptedP99Ms = float64(percentile(total.latencies, 0.99)) / float64(time.Millisecond)
+		rep.AcceptedMaxMs = float64(total.latencies[n-1]) / float64(time.Millisecond)
+	}
+	if after, ok := scrapeOverload(client, base); ok && scraped {
+		rep.DaemonShed = after.Overload.Shed - before.Overload.Shed
+		rep.DaemonLimited = after.Overload.Limited - before.Overload.Limited
+		rep.InflightPeak = after.Overload.InflightPeak
+		rep.MaxInflight = after.Overload.MaxInflight
+		rep.IngestCanceled = after.Ingest.Canceled - before.Ingest.Canceled
+	}
+
+	fmt.Fprintf(w, "overload: %s conns=%d duration=%s backoff-cap=%s\n",
+		endpoint, p.Conns, elapsed.Round(time.Millisecond), p.BackoffCap)
+	fmt.Fprintf(w, "accepted %d (%.1f rows/s), shed %d, limited %d, %d retries, %d errors\n",
+		total.accepted, rep.AcceptedPerSec, total.shed, total.limited, total.retries, total.errors)
+	if len(total.latencies) > 0 {
+		fmt.Fprintf(w, "accepted latency: p50 %s  p99 %s  max %s\n",
+			percentile(total.latencies, 0.50).Round(time.Microsecond),
+			percentile(total.latencies, 0.99).Round(time.Microsecond),
+			total.latencies[len(total.latencies)-1].Round(time.Microsecond))
+	}
+	if rep.MaxInflight > 0 {
+		fmt.Fprintf(w, "daemon: inflight peak %d/%d, shed %d, limited %d, %d parked writes canceled\n",
+			rep.InflightPeak, rep.MaxInflight, rep.DaemonShed, rep.DaemonLimited, rep.IngestCanceled)
+	}
+	if total.errors > 0 {
+		return &rep, fmt.Errorf("%d of %d requests failed outside the 429/503 overload contract", total.errors, requests)
+	}
+	if total.missingRetryAfter > 0 {
+		return &rep, fmt.Errorf("%d rejections arrived without Retry-After", total.missingRetryAfter)
+	}
+	return &rep, nil
+}

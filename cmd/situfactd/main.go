@@ -59,52 +59,30 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
-	situfact "repro"
 	"repro/internal/persist"
 )
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	flag.StringVar(&cfg.relation, "relation", "stream", "relation name (part of the schema signature snapshots validate)")
-	flag.StringVar(&cfg.dims, "dims", "", "comma-separated dimension attribute names (required)")
-	flag.StringVar(&cfg.measures, "measures", "", "comma-separated measure attribute names; '-' prefix = smaller-is-better (required)")
-	flag.StringVar(&cfg.algo, "algo", "sbottomup", "algorithm: "+strings.Join(situfact.Algorithms(), "|"))
-	flag.IntVar(&cfg.dhat, "dhat", 0, "max bound dimension attributes (0 = no cap)")
-	flag.IntVar(&cfg.mhat, "mhat", 0, "max measure subspace size (0 = no cap)")
-	flag.IntVar(&cfg.shards, "shards", 0, "pool shard count (0 = GOMAXPROCS)")
-	flag.StringVar(&cfg.shardDim, "shard-dim", "", "dimension attribute whose value routes a row to its shard (default: first of -dims)")
-	flag.IntVar(&cfg.workers, "workers", 0, "goroutines per engine for the parallel-* algorithms (0 = GOMAXPROCS)")
-	flag.IntVar(&cfg.shardWorkers, "shard-workers", 0, "run each shard's discovery with this many parallel-bottomup workers (shorthand for -algo parallel-bottomup -workers N; 0/1 = keep -algo; incompatible with -state-dir)")
-	flag.StringVar(&cfg.stateDir, "state-dir", "", "snapshot directory: restore on start, save on graceful shutdown (empty = no persistence)")
-	flag.BoolVar(&cfg.wal, "wal", false, "write-ahead log under <state-dir>/wal: journal every ingest before applying it, replay the tail on start (requires -state-dir)")
-	flag.DurationVar(&cfg.walSync, "wal-sync", 0, "WAL durability: 0 fsyncs (group-committed) before acknowledging each request; >0 fsyncs in the background on this interval, risking up to one interval of acknowledged records on crash")
-	flag.Int64Var(&cfg.walSegBytes, "wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB)")
-	flag.DurationVar(&cfg.snapInterval, "snapshot-interval", 0, "background checkpoint period: snapshot every shard and truncate covered WAL segments (0 = snapshot only on graceful shutdown)")
-	flag.IntVar(&cfg.boardCap, "topk", 128, "capacity of the GET /v1/facts/top leaderboard")
-	flag.BoolVar(&cfg.pipeline, "pipeline", true, "pipelined ingest: per-shard batching writer goroutines journal, fsync and apply whole queue drains at once (false = take the shard locks directly per request)")
-	flag.IntVar(&cfg.pipeQueue, "pipeline-queue", 0, "per-shard ingest queue depth; a full queue blocks producers (0 = 256)")
-	flag.BoolVar(&cfg.pipeAdaptive, "pipeline-adaptive", true, "let each shard's queue capacity float between a floor and -pipeline-queue, growing on backpressure and shrinking when calm (false = fixed at -pipeline-queue)")
-	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. localhost:6060); empty = off. Keep it on a loopback or firewalled port")
-	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only follower of this leader base URL (e.g. http://leader:8080): bootstrap from its snapshot, replay its WAL tail; requires -state-dir as bootstrap scratch")
-	flag.DurationVar(&cfg.followPoll, "follow-poll", 500*time.Millisecond, "follower WAL-tail poll period (transient errors back the poll off exponentially from here)")
-	flag.Uint64Var(&cfg.followMaxLag, "follow-max-lag", 0, "replication lag in records beyond which the follower's /healthz degrades to 503 (0 = no bound)")
-	flag.IntVar(&cfg.followRebootstrapMax, "follow-rebootstrap-max", 5, "consecutive snapshot re-bootstrap attempts a follower makes after a fatal replication error (leader WAL epoch change, truncated tail) before giving up; 0 disables self-healing")
-	flag.DurationVar(&cfg.readCacheTTL, "read-cache-ttl", 0, "front /v1/facts and /v1/facts/top with a TTL'd singleflight cache; staleness is bounded by the TTL on a leader and by replication progress on a follower (0 = off)")
-	factIndex := flag.Bool("fact-index", true, "serve /v1/facts pages and ?source=live leaderboards from the incremental fact index (seek + O(page) walk); false falls back to the reference full-scan read path — results are identical, only latency differs")
-	flag.StringVar(&cfg.faultPlan, "fault-plan", os.Getenv("SITUFACTD_FAULT_PLAN"),
-		"TESTING ONLY: inject WAL I/O faults per this plan (see internal/faultfs; e.g. 'fsync:from=3;clear-after=2s'); defaults to $SITUFACTD_FAULT_PLAN so test harnesses can arm child processes; requires -wal")
-	walVerify := flag.Bool("wal-verify", false, "offline fsck: scan <state-dir>/wal segment by segment (framing, CRCs, LSN density), print a report, and exit — non-zero on corruption; the log is opened read-only and never modified")
+	registerFlags(flag.CommandLine, &cfg)
 	flag.Parse()
-	cfg.scanFacts = !*factIndex
 	log.SetPrefix("situfactd: ")
 	log.SetFlags(log.LstdFlags)
 
-	if *walVerify {
+	if cfg.configPath != "" {
+		if err := applyConfigFile(flag.CommandLine, cfg.configPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg.scanFacts = !cfg.factIndex
+	if err := cfg.validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if cfg.walVerifyMode {
 		if cfg.stateDir == "" {
 			log.Fatal("-wal-verify requires -state-dir (the log lives at <state-dir>/wal)")
 		}
@@ -145,6 +123,28 @@ func runWALVerify(dir string) int {
 	return 0
 }
 
+// newHTTPServer builds the main listener with the connection-lifecycle
+// limits the config asks for. The header timeout is always on: it is
+// the Slowloris defence, and -read-timeout only ever tightens it —
+// a client that cannot finish its headers in 10s is not a client worth
+// holding a goroutine for. The slowloris regression test shares this
+// constructor, so the limits it pins are the ones production runs.
+func newHTTPServer(cfg config, h http.Handler) *http.Server {
+	headerTimeout := 10 * time.Second
+	if cfg.readTimeout > 0 && cfg.readTimeout < headerTimeout {
+		headerTimeout = cfg.readTimeout
+	}
+	return &http.Server{
+		Addr:              cfg.addr,
+		Handler:           h,
+		ReadHeaderTimeout: headerTimeout,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains in-flight
 // requests, snapshots the pool, and closes it.
 func serve(cfg config) error {
@@ -169,11 +169,7 @@ func serve(cfg config) error {
 			log.Printf("pprof server: %v", dbg.ListenAndServe())
 		}()
 	}
-	srv := &http.Server{
-		Addr:              cfg.addr,
-		Handler:           s.handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newHTTPServer(cfg, s.handler())
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 

@@ -7,6 +7,7 @@ package main
 // through the TTL'd singleflight cache when -read-cache-ttl is set.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -123,8 +124,15 @@ func (s *server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	ctx := r.Context()
+	if s.cache != nil {
+		// A cache fill is shared by every request coalesced onto it; one
+		// client's disconnect must not poison the others' response. The
+		// fill stays bounded by the query itself, not by this request.
+		ctx = context.WithoutCancel(ctx)
+	}
 	s.serveCached(w, fq.key, func() ([]byte, error) {
-		page, err := pool.QueryFacts(fq.filter, fq.cursor, fq.limit)
+		page, err := pool.QueryFactsContext(ctx, fq.filter, fq.cursor, fq.limit)
 		if err != nil {
 			return nil, err
 		}
@@ -181,8 +189,16 @@ func (s *server) serveCached(w http.ResponseWriter, key string, fill func() ([]b
 	}
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, situfact.ErrNotFound) {
+		switch {
+		case errors.Is(err, situfact.ErrNotFound):
 			status = http.StatusNotFound
+		case errors.Is(err, context.DeadlineExceeded):
+			// The -request-timeout budget ran out mid scan: the daemon is
+			// overloaded, not the request malformed.
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.Canceled):
+			return // client gone; nobody is reading the response
 		}
 		writeErr(w, status, err.Error())
 		return

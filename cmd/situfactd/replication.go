@@ -223,6 +223,9 @@ func newFollower(cfg config) (*server, error) {
 		started:  time.Now(),
 		cache:    newReadCache(cfg),
 	}
+	// The same admission limits a leader enforces hold here: a follower
+	// fleet is exactly where unbounded read fan-in lands.
+	s.initAdmission()
 	s.poolv.Store(pool)
 	if lb, ok := sidecars[sidecarLeaderboard]; ok {
 		if err := s.board.restore(lb); err != nil {

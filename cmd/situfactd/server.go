@@ -20,6 +20,7 @@ import (
 
 	situfact "repro"
 	"repro/internal/faultfs"
+	"repro/internal/middleware"
 	"repro/internal/readcache"
 )
 
@@ -56,6 +57,23 @@ type config struct {
 	// fatal replication error; 0 = never re-bootstrap (fatal states stand
 	// until an operator restarts the process).
 	followRebootstrapMax int
+
+	// Overload protection & request lifecycle (see internal/middleware and
+	// docs/ARCHITECTURE.md "Overload control & admission").
+	configPath     string        // JSON config file; flags override its keys
+	logRequests    bool          // structured per-request log lines
+	rateLimit      float64       // per-client token-bucket rate (req/s); 0 = off
+	rateBurst      int           // token-bucket burst; 0 = 2×rate
+	maxInflight    int           // concurrent in-flight request bound; 0 = off
+	shedWindow     time.Duration // sustained-backpressure window before shedding writes; 0 = off
+	requestTimeout time.Duration // per-request context deadline; 0 = none
+	readTimeout    time.Duration // http.Server.ReadTimeout (whole request read); 0 = none
+	writeTimeout   time.Duration // http.Server.WriteTimeout; 0 = none (snapshot streams!)
+	idleTimeout    time.Duration // http.Server.IdleTimeout for keep-alives
+	maxBody        int64         // POST /v1/tuples body cap in bytes
+	maxBatchBody   int64         // POST /v1/tuples:batch body cap in bytes
+	factIndex      bool          // flag view of the read path (scanFacts = !factIndex)
+	walVerifyMode  bool          // -wal-verify: offline fsck then exit
 }
 
 // server owns the pool and the leaderboard. Append/Delete handlers rely on
@@ -97,6 +115,20 @@ type server struct {
 	repairStop chan struct{} // closes to stop walRepairLoop; nil without -wal
 	repairDone chan struct{}
 	repairOnce sync.Once
+
+	// Admission control (nil members = that layer is off; every accessor
+	// on them is nil-safe). limiter and admit protect leaders and
+	// followers alike; shedder only runs where there is a pipeline to
+	// watch, so it is nil on followers and with -pipeline=false.
+	limiter *middleware.Limiter
+	admit   *middleware.Gate
+	shedder *middleware.Shedder
+	panics  atomic.Uint64 // handler panics Recover turned into 500s
+	// shedStop/shedDone bound the backpressure sampler goroutine
+	// (shedLoop); nil when the shedder is off.
+	shedStop chan struct{}
+	shedDone chan struct{}
+	shedOnce sync.Once
 
 	// stateMu serialises checkpoints (background snapshotter vs shutdown).
 	stateMu sync.Mutex
@@ -241,6 +273,7 @@ func newServer(cfg config) (*server, error) {
 		started:  time.Now(),
 		cache:    newReadCache(cfg),
 	}
+	s.initAdmission()
 	s.poolv.Store(pool)
 	if lb, ok := sidecars[sidecarLeaderboard]; ok {
 		if err := s.board.restore(lb); err != nil {
@@ -324,6 +357,7 @@ func newServer(cfg config) (*server, error) {
 			return nil, fmt.Errorf("situfactd: %w", err)
 		}
 	}
+	s.startShedLoop()
 	if s.wal != nil {
 		s.repairStop = make(chan struct{})
 		s.repairDone = make(chan struct{})
@@ -390,13 +424,119 @@ func newReadCache(cfg config) *readcache.Cache {
 	return readcache.New(cfg.readCacheTTL)
 }
 
-// handler routes the API.
+// initAdmission builds the admission layers from the config. Both
+// constructors (newServer and newFollower) call it, so every limit a
+// leader enforces holds on its followers too. Layers the config leaves
+// at zero come back nil, and every middleware accessor treats nil as
+// "off".
+func (s *server) initAdmission() {
+	s.limiter = middleware.NewLimiter(s.cfg.rateLimit, s.cfg.rateBurst)
+	s.admit = middleware.NewGate(s.cfg.maxInflight)
+	if s.cfg.pipeline && s.cfg.follow == "" && s.cfg.shedWindow > 0 {
+		// Shedding watches the ingest pipeline's backpressure; without a
+		// pipeline (follower, -pipeline=false) there is nothing to watch.
+		s.shedder = middleware.NewShedder(s.cfg.shedWindow)
+	}
+}
+
+// shedSamplePeriod is how often shedLoop samples the pipeline for
+// sustained backpressure; it must divide the -shed-window finely enough
+// that a calm sample inside the window resets it.
+const shedSamplePeriod = 50 * time.Millisecond
+
+// startShedLoop launches the backpressure sampler when a shedder is
+// configured; a no-op otherwise. Called after StartPipeline.
+func (s *server) startShedLoop() {
+	if s.shedder == nil {
+		return
+	}
+	s.shedStop = make(chan struct{})
+	s.shedDone = make(chan struct{})
+	go s.shedLoop()
+}
+
+// shedLoop feeds the shedder its saturation signal: the pipeline is
+// saturated when producers blocked on a full queue since the last sample
+// AND some shard's queue is still at capacity now. The first condition
+// alone would trip on a momentary blip the adaptive queue absorbs by
+// growing; the second alone would trip on a queue that is full but
+// draining fine. Only both, sustained across the whole -shed-window,
+// turn shedding on — and one calm sample turns it back off.
+func (s *server) shedLoop() {
+	defer close(s.shedDone)
+	t := time.NewTicker(shedSamplePeriod)
+	defer t.Stop()
+	var lastFullWaits uint64
+	for {
+		select {
+		case <-s.shedStop:
+			return
+		case now := <-t.C:
+			sum := s.db().IngestSummary()
+			saturated := false
+			if sum.FullWaits > lastFullWaits {
+				for _, st := range sum.PerShard {
+					if st.Depth >= st.Cap {
+						saturated = true
+						break
+					}
+				}
+			}
+			lastFullWaits = sum.FullWaits
+			s.shedder.Observe(saturated, now)
+		}
+	}
+}
+
+// maxBodyBytes / maxBatchBytes are the request body caps, defaulted here
+// rather than in the config so in-process tests that build a bare config
+// keep the production caps.
+func (s *server) maxBodyBytes() int64 {
+	if s.cfg.maxBody > 0 {
+		return s.cfg.maxBody
+	}
+	return 1 << 20
+}
+
+func (s *server) maxBatchBytes() int64 {
+	if s.cfg.maxBatchBody > 0 {
+		return s.cfg.maxBatchBody
+	}
+	return 32 << 20
+}
+
+// handler routes the API behind the admission and lifecycle middleware.
+// The chain, outermost first:
+//
+//	Log            per-request line + the verdict slot (only with -log-requests)
+//	Recover        a handler panic 500s one request, not the process
+//	Limit          per-client token bucket → 429 + Retry-After
+//	InflightLimit  concurrent-request bound → 503 + Retry-After
+//	ShedWrites     sustained pipeline backpressure → writes 503, reads pass
+//	Deadline       per-request context budget (-request-timeout)
+//
+// Log sits outside Recover so the line records the 500 and the "panic"
+// verdict; the admission layers sit inside Recover so even a bug in them
+// cannot kill the daemon. Rejections happen before the body is read or
+// journaled, so a shed request was never acknowledged. routes() stays
+// the undecorated source of truth for the API surface.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	for pattern, h := range s.routes() {
 		mux.HandleFunc(pattern, h)
 	}
-	return mux
+	var layers []middleware.Func
+	if s.cfg.logRequests {
+		layers = append(layers, middleware.Log(log.Printf))
+	}
+	layers = append(layers,
+		middleware.Recover(log.Printf, &s.panics),
+		middleware.Limit(s.limiter),
+		middleware.InflightLimit(s.admit),
+		middleware.ShedWrites(s.shedder),
+		middleware.Deadline(s.cfg.requestTimeout),
+	)
+	return middleware.Chain(layers...)(mux)
 }
 
 // saveState commits a checkpoint; a no-op without -state-dir. It is the
@@ -475,6 +615,11 @@ func (s *server) close() error {
 	if s.repl != nil {
 		// Stop the replication loop before the pool it applies into.
 		s.repl.shutdown()
+	}
+	if s.shedStop != nil {
+		// Stop the backpressure sampler before the pool it samples.
+		s.shedOnce.Do(func() { close(s.shedStop) })
+		<-s.shedDone
 	}
 	if s.repairStop != nil {
 		// Stop the repair loop before the WAL it repairs.
@@ -588,6 +733,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.ReadCache.Entries = cst.Entries
 		resp.ReadCache.OldestAgeSeconds = cst.OldestAge.Seconds()
 	}
+	resp.Overload = overloadWire{
+		Shed:         s.admit.Shed() + s.shedder.Shed(),
+		Limited:      s.limiter.Limited(),
+		Inflight:     s.admit.Inflight(),
+		InflightPeak: s.admit.Peak(),
+		MaxInflight:  s.admit.Bound(),
+		RateLimit:    s.cfg.rateLimit,
+		Clients:      s.limiter.Clients(),
+		Shedding:     s.shedder.Shedding(),
+		Panics:       s.panics.Load(),
+	}
 	ist := pool.IndexStats()
 	resp.Index = indexWire{
 		Serving: ist.Serving,
@@ -650,7 +806,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req tupleRequest
-	if !decodeBody(w, r, 1<<20, &req) {
+	if !decodeBody(w, r, s.maxBodyBytes(), &req) {
 		return
 	}
 	// The gate is held across apply + board feed (toArrival) so a
@@ -665,13 +821,16 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.gate.RLock()
 		defer s.gate.RUnlock()
 		var err error
-		if arr, err = s.db().Append(req.Dims, req.Measures); err != nil {
+		if arr, err = s.db().AppendContext(r.Context(), req.Dims, req.Measures); err != nil {
 			return err
 		}
 		resp = s.toArrival(arr, req.Top, true)
 		return nil
 	}()
 	if err != nil {
+		if writeIngestCtxErr(w, r, err) {
+			return
+		}
 		// A journal failure is the daemon's fault, not the request's: the
 		// daemon is degraded but repairing itself in the background, so
 		// report 503 + Retry-After — retry soon, do not drop the row as
@@ -702,7 +861,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req batchRequest
-	if !decodeBody(w, r, 32<<20, &req) {
+	if !decodeBody(w, r, s.maxBatchBytes(), &req) {
 		return
 	}
 	if len(req.Rows) == 0 {
@@ -721,7 +880,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	func() {
 		s.gate.RLock()
 		defer s.gate.RUnlock()
-		arrs, batchErr = s.db().AppendBatch(rows)
+		arrs, batchErr = s.db().AppendBatchContext(r.Context(), rows)
 		if arrs == nil {
 			return // pre-validation failure: nothing applied, nothing to feed
 		}
@@ -737,6 +896,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if batchErr != nil && arrs == nil {
 		// Nothing was processed: usually a pre-validation failure (400),
 		// but a poisoned WAL also fails whole batches before any arrival.
+		if writeIngestCtxErr(w, r, batchErr) {
+			return
+		}
 		if errors.Is(batchErr, situfact.ErrWALFailed) {
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusServiceUnavailable, batchErr.Error())
@@ -749,9 +911,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Mid-batch engine failure: the arrivals present above DID commit;
 		// report them with the error so the client can reconcile. A journal
 		// failure is the degraded-mode case — 503 + Retry-After, the batch
-		// (minus the committed arrivals) is retryable.
+		// (minus the committed arrivals) is retryable; so is a request
+		// deadline that ran out mid batch (the rows that made it in are
+		// reported, the rest were never accepted).
 		status := http.StatusInternalServerError
-		if errors.Is(batchErr, situfact.ErrWALFailed) {
+		if errors.Is(batchErr, situfact.ErrWALFailed) || errors.Is(batchErr, context.DeadlineExceeded) {
 			w.Header().Set("Retry-After", "1")
 			status = http.StatusServiceUnavailable
 		}
@@ -780,7 +944,10 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := pool.Delete(shard, tupleID); err != nil {
+	if err := pool.DeleteContext(r.Context(), shard, tupleID); err != nil {
+		if writeIngestCtxErr(w, r, err) {
+			return
+		}
 		status := deleteStatus(err)
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
@@ -789,6 +956,27 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeIngestCtxErr consumes the two context outcomes of the ingest
+// path's enqueue boundary, reporting whether it handled the error. A
+// canceled context means the client hung up while its request was
+// parked on a full queue — the op was never accepted, and nobody is
+// reading the response, so nothing is written. A deadline means the
+// -request-timeout budget ran out waiting for queue space: the daemon
+// is overloaded, so answer like every other overload rejection.
+func writeIngestCtxErr(w http.ResponseWriter, r *http.Request, err error) bool {
+	switch {
+	case errors.Is(err, context.Canceled):
+		middleware.SetVerdict(r, "canceled")
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		middleware.SetVerdict(r, "deadline")
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "overloaded: request deadline exceeded waiting for ingest queue space")
+		return true
+	}
+	return false
 }
 
 // feedBoard offers an arrival's scored facts to the leaderboard — the

@@ -149,6 +149,9 @@ type ingestShardWire struct {
 	MaxBatch int    `json:"max_batch"`
 	// FullWaits counts producer blocks on a full queue (backpressure).
 	FullWaits uint64 `json:"full_waits"`
+	// Canceled counts producers whose request context ended while parked
+	// on the full queue — the op was never accepted or acknowledged.
+	Canceled uint64 `json:"canceled"`
 	// Resizes counts adaptive capacity changes (grows and shrinks).
 	Resizes uint64 `json:"resizes"`
 }
@@ -170,6 +173,10 @@ type ingestWire struct {
 	MaxBatch  int     `json:"max_batch"`
 	// FullWaits sums the shards' backpressure (queue-full) events.
 	FullWaits uint64 `json:"full_waits"`
+	// Canceled sums producers whose context ended while parked on a full
+	// queue (client disconnects and request deadlines at the enqueue
+	// boundary); none of them were acknowledged.
+	Canceled uint64 `json:"canceled"`
 	// Resizes sums the shards' adaptive capacity changes.
 	Resizes uint64 `json:"resizes"`
 	// BatchHist is the merged drained-batch-size histogram: bucket i
@@ -192,6 +199,7 @@ func toWireIngest(sum situfact.IngestSummary) ingestWire {
 		MeanBatch:  sum.MeanBatch,
 		MaxBatch:   sum.MaxBatch,
 		FullWaits:  sum.FullWaits,
+		Canceled:   sum.Canceled,
 		Resizes:    sum.Resizes,
 		BatchHist:  sum.BatchHist,
 	}
@@ -203,7 +211,7 @@ func toWireIngest(sum situfact.IngestSummary) ingestWire {
 		out.PerShard[i] = ingestShardWire{
 			Shard: i, QueueDepth: st.Depth, QueueCap: st.Cap,
 			Enqueued: st.Enqueued, Batches: st.Batches, MaxBatch: st.MaxBatch,
-			FullWaits: st.FullWaits, Resizes: st.Resizes,
+			FullWaits: st.FullWaits, Canceled: st.Canceled, Resizes: st.Resizes,
 		}
 	}
 	return out
@@ -266,6 +274,32 @@ type readCacheWire struct {
 	OldestAgeSeconds float64 `json:"oldest_age_seconds"`
 }
 
+// overloadWire is the admission-control block of GET /v1/metrics.
+type overloadWire struct {
+	// Shed counts requests rejected 503 by admission control: the
+	// in-flight gate plus backpressure write shedding. Degraded-mode WAL
+	// rejections are the WAL block's concern, not counted here.
+	Shed uint64 `json:"shed"`
+	// Limited counts requests rejected 429 by the per-client token
+	// bucket (-rate-limit).
+	Limited uint64 `json:"limited"`
+	// Inflight is the current concurrent-request count and InflightPeak
+	// its high-water mark; MaxInflight the -max-inflight bound (0 = the
+	// gate is off and both counters stay 0).
+	Inflight     int64 `json:"inflight"`
+	InflightPeak int64 `json:"inflight_peak"`
+	MaxInflight  int64 `json:"max_inflight"`
+	// RateLimit echoes -rate-limit (req/s per client; 0 = off) and
+	// Clients is the number of per-client buckets currently tracked.
+	RateLimit float64 `json:"rate_limit"`
+	Clients   int     `json:"clients"`
+	// Shedding reports whether write shedding is active right now
+	// (sustained pipeline backpressure for longer than -shed-window).
+	Shedding bool `json:"shedding"`
+	// Panics counts handler panics recovered into single-request 500s.
+	Panics uint64 `json:"panics"`
+}
+
 // indexWire is the incremental-fact-index block of GET /v1/metrics.
 type indexWire struct {
 	// Serving reports whether /v1/facts pages are answered from the index
@@ -296,6 +330,7 @@ type metricsResponse struct {
 	Snapshot      snapshotWire     `json:"snapshot"`
 	Replication   *replicationWire `json:"replication,omitempty"`
 	ReadCache     readCacheWire    `json:"read_cache"`
+	Overload      overloadWire     `json:"overload"`
 	Index         indexWire        `json:"index"`
 }
 

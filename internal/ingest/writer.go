@@ -12,6 +12,7 @@
 package ingest
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 )
@@ -60,6 +61,7 @@ type Writer[T any] struct {
 	batches   uint64
 	maxBatch  int
 	fullWaits uint64 // producer blocks on a full queue (backpressure)
+	canceled  uint64 // producers that gave up while parked on a full queue
 	resizes   uint64 // adaptive capacity changes (grow + shrink)
 	hist      [batchHistBuckets]uint64
 
@@ -89,6 +91,10 @@ type Stats struct {
 	// FullWaits counts producer blocks on a full queue — each is one
 	// backpressure event where ingest outran the writer.
 	FullWaits uint64
+	// Canceled counts producers whose context ended while they were
+	// parked on a full queue: the op was never accepted, never journaled
+	// and never acknowledged (EnqueueContext).
+	Canceled uint64
 	// BatchHist is a power-of-two histogram of drained batch sizes:
 	// bucket i counts batches of size (2^(i-1), 2^i], the last bucket
 	// counts everything larger.
@@ -156,6 +162,49 @@ func (w *Writer[T]) Enqueue(op T) bool {
 	w.mu.Unlock()
 	w.wake.Signal()
 	return true
+}
+
+// EnqueueContext is Enqueue with cancellation while parked: a producer
+// whose ctx ends before queue space frees gives up its slot and returns
+// ctx's error — the op was never accepted, so nothing will be journaled
+// or acknowledged for it (counted in Stats.Canceled). Once the op is in
+// the queue the cancellation point has passed and the op completes
+// normally, exactly like Enqueue. ok mirrors Enqueue's: false with a nil
+// error means the writer is closed and the caller should fall back to
+// its direct path.
+func (w *Writer[T]) EnqueueContext(ctx context.Context, op T) (ok bool, err error) {
+	if ctx.Done() == nil {
+		return w.Enqueue(op), nil
+	}
+	w.mu.Lock()
+	for len(w.queue) >= w.cap && !w.closed {
+		if ctx.Err() != nil {
+			w.canceled++
+			w.mu.Unlock()
+			return false, ctx.Err()
+		}
+		w.fullWaits++
+		w.fullSinceDrain++
+		// The cond has no cancellable wait, so arrange a Broadcast when
+		// ctx ends; taking mu in the callback guarantees the waiter is
+		// parked (or already past the check) when the wakeup fires.
+		stop := context.AfterFunc(ctx, func() {
+			w.mu.Lock()
+			w.notFull.Broadcast()
+			w.mu.Unlock()
+		})
+		w.notFull.Wait()
+		stop()
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return false, nil
+	}
+	w.queue = append(w.queue, op)
+	w.enqueued++
+	w.mu.Unlock()
+	w.wake.Signal()
+	return true, nil
 }
 
 // run is the writer goroutine: drain everything queued, process it as
@@ -272,6 +321,7 @@ func (w *Writer[T]) Stats() Stats {
 		Batches:   w.batches,
 		MaxBatch:  w.maxBatch,
 		FullWaits: w.fullWaits,
+		Canceled:  w.canceled,
 		BatchHist: w.hist,
 	}
 }

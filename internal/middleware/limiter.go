@@ -1,0 +1,170 @@
+package middleware
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// limiterMaxClients bounds the per-client bucket map: past it, the
+// stalest buckets are evicted. A full bucket is the zero state (a new
+// client starts full), so eviction can only ever be generous.
+const limiterMaxClients = 65536
+
+// Limiter is a per-client token-bucket rate limiter: each client key
+// accrues rate tokens per second up to burst, and a request costs one.
+// A drained bucket answers (false, wait-until-one-token), which the
+// middleware maps to 429 + Retry-After.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+
+	limited atomic.Uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+}
+
+// NewLimiter builds a limiter granting rate requests/second per client
+// with the given burst (<= 0 selects max(2×rate, 1)). A rate <= 0
+// returns nil — the middleware treats a nil limiter as "off".
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = max(2*rate, 1)
+	}
+	return &Limiter{rate: rate, burst: b, clients: make(map[string]*bucket)}
+}
+
+// Allow spends one token of key's bucket at time now. When the bucket
+// is dry it reports false plus how long until one token accrues — the
+// Retry-After the client should honor.
+func (l *Limiter) Allow(key string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[key]
+	if b == nil {
+		if len(l.clients) >= limiterMaxClients {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = min(b.tokens+dt*l.rate, l.burst)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.limited.Add(1)
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictLocked drops the stalest quarter of the buckets. Caller holds mu.
+func (l *Limiter) evictLocked(now time.Time) {
+	cutoff := now.Add(-time.Minute)
+	for k, b := range l.clients {
+		if b.last.Before(cutoff) {
+			delete(l.clients, k)
+		}
+	}
+	if len(l.clients) < limiterMaxClients {
+		return
+	}
+	// Everyone is recent: drop arbitrarily to a quarter headroom. A
+	// dropped client restarts with a full bucket — generous, never unfair.
+	drop := limiterMaxClients / 4
+	for k := range l.clients {
+		if drop == 0 {
+			break
+		}
+		delete(l.clients, k)
+		drop--
+	}
+}
+
+// Limited counts requests rejected with 429 since start.
+func (l *Limiter) Limited() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.limited.Load()
+}
+
+// Clients is the live bucket count (testing and metrics).
+func (l *Limiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}
+
+// ClientKey identifies the client a bucket belongs to: the Authorization
+// token when one is presented (so all connections of one authenticated
+// client share a budget), the remote IP otherwise (port stripped — every
+// connection from one host shares a budget).
+func ClientKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return "token:" + tok
+		}
+		return "auth:" + auth
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Limit rejects requests whose client bucket is dry with 429 +
+// Retry-After. A nil limiter is the identity (rate limiting off).
+func Limit(l *Limiter) Func {
+	if l == nil {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ok, wait := l.Allow(ClientKey(r), time.Now())
+			if !ok {
+				SetVerdict(r, "limited")
+				w.Header().Set("Retry-After", retryAfterSeconds(wait))
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				w.Write([]byte(`{"error":"rate limit exceeded: retry after the Retry-After delay"}` + "\n"))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// retryAfterSeconds renders a wait as the whole-second Retry-After
+// value, at least 1 (the header has no sub-second form).
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int(wait / time.Second)
+	if wait%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,171 @@
+// Package middleware is situfactd's request-lifecycle and admission-
+// control layer: composable http.Handler wrappers for panic recovery,
+// structured request logging, per-request deadlines, per-client token-
+// bucket rate limiting (limiter.go) and overload shedding (overload.go).
+//
+// The package is deliberately generic and dependency-free — it knows
+// nothing about pools, journals or shards. The daemon composes a chain
+// in front of its mux; every counter a wrapper maintains is exported
+// through a snapshot method so /v1/metrics can surface it without the
+// package knowing about wire formats.
+//
+// A request's admission outcome (the "verdict": limited, shed, panic)
+// travels to the access logger through a per-request context slot, so
+// the log line can say WHY a 429/503 happened without the wrappers
+// knowing about each other.
+package middleware
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Func is one middleware layer: it wraps a handler in another.
+type Func func(http.Handler) http.Handler
+
+// Chain composes layers outermost-first: Chain(a, b)(h) serves a(b(h)).
+func Chain(layers ...Func) Func {
+	return func(next http.Handler) http.Handler {
+		for i := len(layers) - 1; i >= 0; i-- {
+			next = layers[i](next)
+		}
+		return next
+	}
+}
+
+// verdictKey indexes the per-request verdict slot in the context.
+type verdictKey struct{}
+
+// verdictSlot is mutable so inner layers can record a verdict into a
+// context installed by an outer layer (contexts themselves are
+// immutable).
+type verdictSlot struct{ v string }
+
+// WithVerdict installs an empty verdict slot on the request; the access
+// logger does this so inner layers' SetVerdict calls reach its log line.
+func WithVerdict(r *http.Request) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), verdictKey{}, &verdictSlot{}))
+}
+
+// SetVerdict records the admission outcome ("limited", "shed", "panic")
+// for the request's log line. A no-op when no slot is installed (logging
+// off).
+func SetVerdict(r *http.Request, v string) {
+	if s, ok := r.Context().Value(verdictKey{}).(*verdictSlot); ok {
+		s.v = v
+	}
+}
+
+// Verdict reads the recorded admission outcome ("" = served normally).
+func Verdict(r *http.Request) string {
+	if s, ok := r.Context().Value(verdictKey{}).(*verdictSlot); ok {
+		return s.v
+	}
+	return ""
+}
+
+// statusWriter records the status code and body bytes a handler wrote,
+// for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes http.Flusher through so streaming responses (the
+// snapshot stream) keep flushing under the logger.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Recover turns a handler panic into a 500 for that one request instead
+// of a dead daemon: the stack goes to logf, panics increments, and the
+// connection gets an error response if no bytes were written yet.
+func Recover(logf func(format string, args ...any), panics *atomic.Uint64) Func {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw, isSW := w.(*statusWriter)
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if panics != nil {
+					panics.Add(1)
+				}
+				SetVerdict(r, "panic")
+				logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				// Only answer if the handler had not started the response;
+				// otherwise the truncated body is the client's signal.
+				if !isSW || sw.status == 0 {
+					http.Error(w, `{"error":"internal server error"}`, http.StatusInternalServerError)
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Log writes one structured line per request: method, path, status,
+// bytes, duration, client and the admission verdict, via logf. It
+// installs the verdict slot, so it must sit outside the admission
+// layers whose outcomes it reports.
+func Log(logf func(format string, args ...any)) Func {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r = WithVerdict(r)
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			verdict := Verdict(r)
+			if verdict == "" {
+				verdict = "-"
+			}
+			logf("request method=%s path=%s status=%d bytes=%d duration=%s client=%s verdict=%s",
+				r.Method, r.URL.Path, status, sw.bytes, time.Since(start).Round(time.Microsecond),
+				ClientKey(r), verdict)
+		})
+	}
+}
+
+// Deadline bounds each request with a context deadline, so a handler
+// parked downstream (a full ingest queue, a long scan) gives up when
+// the budget runs out instead of holding resources for a client that
+// may be long gone. d <= 0 is the identity.
+func Deadline(d time.Duration) Func {
+	if d <= 0 {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}

@@ -1,0 +1,325 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMiddlewareRecoverTurnsPanicInto500(t *testing.T) {
+	var panics atomic.Uint64
+	var logged string
+	h := Chain(
+		Log(func(format string, args ...any) {}),
+		Recover(func(format string, args ...any) { logged = fmt.Sprintf(format, args...) }, &panics),
+	)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if panics.Load() != 1 {
+		t.Fatalf("panics = %d, want 1", panics.Load())
+	}
+	if !strings.Contains(logged, "kaboom") {
+		t.Fatalf("panic log %q does not name the panic value", logged)
+	}
+	// A second request serves normally: the daemon survived.
+	h = Chain(Recover(func(string, ...any) {}, &panics))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("post-panic status = %d, want 204", rec.Code)
+	}
+}
+
+func TestMiddlewareLogCarriesVerdict(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	h := Chain(Log(logf))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		SetVerdict(r, "shed")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("busy"))
+	}))
+	req := httptest.NewRequest("POST", "/v1/tuples", nil)
+	req.RemoteAddr = "198.51.100.7:4242"
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1", len(lines))
+	}
+	for _, want := range []string{"method=POST", "path=/v1/tuples", "status=503", "bytes=4", "client=198.51.100.7", "verdict=shed"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("log line %q missing %q", lines[0], want)
+		}
+	}
+}
+
+func TestMiddlewareDeadlinePropagates(t *testing.T) {
+	var sawDeadline atomic.Bool
+	h := Chain(Deadline(10 * time.Millisecond))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			sawDeadline.Store(true)
+		}
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+			t.Error("request context never expired")
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if !sawDeadline.Load() {
+		t.Fatal("handler saw no context deadline")
+	}
+	// Deadline(0) is the identity: no deadline installed.
+	h = Chain(Deadline(0))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			t.Error("Deadline(0) installed a deadline")
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+}
+
+func TestMiddlewareVerdictWithoutSlotIsNoop(t *testing.T) {
+	r := httptest.NewRequest("GET", "/x", nil)
+	SetVerdict(r, "shed") // must not panic
+	if v := Verdict(r); v != "" {
+		t.Fatalf("verdict without slot = %q, want empty", v)
+	}
+}
+
+func TestMiddlewareChainOrder(t *testing.T) {
+	var order []string
+	layer := func(name string) Func {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(layer("outer"), layer("inner"))(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("execution order = %v, want [outer inner]", order)
+	}
+}
+
+func TestLimiterTokenBucket(t *testing.T) {
+	l := NewLimiter(10, 2) // 10/s, burst 2
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", now); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.Allow("a", now)
+	if ok {
+		t.Fatal("third immediate request admitted past the burst")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry wait = %v, want (0, 1s]", wait)
+	}
+	// Another client has its own bucket.
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("independent client rejected")
+	}
+	// 100ms accrues one token at 10/s.
+	if ok, _ := l.Allow("a", now.Add(100*time.Millisecond)); !ok {
+		t.Fatal("token did not accrue")
+	}
+	if l.Limited() != 1 {
+		t.Fatalf("limited = %d, want 1", l.Limited())
+	}
+	if NewLimiter(0, 5) != nil {
+		t.Fatal("rate 0 should build no limiter")
+	}
+}
+
+func TestLimiterEvictionBoundsClients(t *testing.T) {
+	l := NewLimiter(1, 1)
+	now := time.Now()
+	for i := 0; i < limiterMaxClients+10; i++ {
+		l.Allow(fmt.Sprintf("c%d", i), now)
+	}
+	if n := l.Clients(); n > limiterMaxClients {
+		t.Fatalf("clients = %d, want <= %d", n, limiterMaxClients)
+	}
+}
+
+func TestLimitMiddleware429(t *testing.T) {
+	l := NewLimiter(1, 1)
+	h := Chain(Log(func(string, ...any) {}), Limit(l))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest("POST", "/v1/tuples", nil)
+	req.RemoteAddr = "203.0.113.9:1000"
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request status = %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+}
+
+func TestLimiterClientKey(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	r.RemoteAddr = "192.0.2.1:5555"
+	if k := ClientKey(r); k != "192.0.2.1" {
+		t.Fatalf("ip key = %q", k)
+	}
+	r.Header.Set("Authorization", "Bearer sekrit")
+	if k := ClientKey(r); k != "token:sekrit" {
+		t.Fatalf("token key = %q", k)
+	}
+}
+
+func TestOverloadGateBoundsInflight(t *testing.T) {
+	g := NewGate(3)
+	block := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	h := Chain(InflightLimit(g))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-block
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		<-entered
+	}
+	// The 4th is over the bound: shed synchronously with 503.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-bound status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response carries no Retry-After")
+	}
+	if g.Shed() != 1 || g.Inflight() != 3 || g.Peak() != 3 {
+		t.Fatalf("shed=%d inflight=%d peak=%d, want 1/3/3", g.Shed(), g.Inflight(), g.Peak())
+	}
+	close(block)
+	wg.Wait()
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", g.Inflight())
+	}
+	if g.Peak() > g.Bound() {
+		t.Fatalf("peak %d exceeded bound %d", g.Peak(), g.Bound())
+	}
+}
+
+func TestOverloadShedderWindow(t *testing.T) {
+	s := NewShedder(100 * time.Millisecond)
+	now := time.Now()
+	s.Observe(true, now)
+	if s.Shedding() {
+		t.Fatal("shedding before the window elapsed")
+	}
+	s.Observe(true, now.Add(50*time.Millisecond))
+	if s.Shedding() {
+		t.Fatal("shedding at half the window")
+	}
+	s.Observe(true, now.Add(110*time.Millisecond))
+	if !s.Shedding() {
+		t.Fatal("not shedding after a full saturated window")
+	}
+	s.Observe(false, now.Add(120*time.Millisecond))
+	if s.Shedding() {
+		t.Fatal("one calm sample should clear shedding")
+	}
+	// A fresh saturation run restarts the clock.
+	s.Observe(true, now.Add(130*time.Millisecond))
+	s.Observe(true, now.Add(140*time.Millisecond))
+	if s.Shedding() {
+		t.Fatal("shedding resumed without a full new window")
+	}
+}
+
+func TestOverloadShedWritesLetsReadsPass(t *testing.T) {
+	s := NewShedder(time.Nanosecond)
+	now := time.Now()
+	s.Observe(true, now)
+	s.Observe(true, now.Add(time.Millisecond))
+	if !s.Shedding() {
+		t.Fatal("shedder not active")
+	}
+	h := Chain(ShedWrites(s))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/tuples", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write during shedding = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/facts", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read during shedding = %d, want 200", rec.Code)
+	}
+	if s.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", s.Shed())
+	}
+}
+
+func TestOverloadNilLayersAreIdentity(t *testing.T) {
+	h := Chain(Limit(nil), InflightLimit(nil), ShedWrites(nil))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status through nil layers = %d, want 418", rec.Code)
+	}
+	if (*Gate)(nil).Inflight() != 0 || (*Shedder)(nil).Shedding() || (*Limiter)(nil).Limited() != 0 {
+		t.Fatal("nil receivers must read as zero")
+	}
+}
+
+func TestMiddlewareDeadlineCancelsParkedHandler(t *testing.T) {
+	// The deadline must reach downstream waits: a handler parked on a
+	// context-aware wait returns once the budget runs out.
+	h := Chain(Deadline(20 * time.Millisecond))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		select {
+		case <-ctx.Done():
+			if ctx.Err() != context.DeadlineExceeded {
+				t.Errorf("ctx err = %v, want deadline exceeded", ctx.Err())
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("parked handler never released")
+		}
+	}))
+	start := time.Now()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/", nil))
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("request held %v past its 20ms budget", d)
+	}
+}

@@ -1,0 +1,188 @@
+package middleware
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Gate bounds concurrent in-flight requests: past max, new requests are
+// shed with 503 + Retry-After instead of queueing goroutines without
+// bound. Admission is a single CAS-free Add/compare, so the uncontended
+// cost is two atomic ops per request.
+type Gate struct {
+	max      int64
+	inflight atomic.Int64
+	peak     atomic.Int64
+	shed     atomic.Uint64
+}
+
+// NewGate bounds in-flight requests at max; max <= 0 returns nil (off).
+func NewGate(max int) *Gate {
+	if max <= 0 {
+		return nil
+	}
+	return &Gate{max: int64(max)}
+}
+
+// Enter admits one request, reporting false (and counting a shed) when
+// the bound is reached. Every true return must be paired with Exit.
+func (g *Gate) Enter() bool {
+	n := g.inflight.Add(1)
+	if n > g.max {
+		g.inflight.Add(-1)
+		g.shed.Add(1)
+		return false
+	}
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			return true
+		}
+	}
+}
+
+// Exit releases one admitted request.
+func (g *Gate) Exit() { g.inflight.Add(-1) }
+
+// Inflight is the current admitted-request count.
+func (g *Gate) Inflight() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.inflight.Load()
+}
+
+// Peak is the highest concurrent admitted count observed; by
+// construction it never exceeds the configured bound.
+func (g *Gate) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// Shed counts requests rejected at the bound.
+func (g *Gate) Shed() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.shed.Load()
+}
+
+// Bound returns the configured limit (0 = off).
+func (g *Gate) Bound() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// InflightLimit sheds requests past the gate's bound with 503 +
+// Retry-After. A nil gate is the identity.
+func InflightLimit(g *Gate) Func {
+	if g == nil {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !g.Enter() {
+				SetVerdict(r, "shed")
+				writeShed(w, "too many in-flight requests")
+				return
+			}
+			defer g.Exit()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Shedder is the backpressure half of admission control: an external
+// sampler feeds it saturation observations (for situfactd: "some shard
+// writer's queue sits at its ceiling and producers blocked on it since
+// the last sample"), and once saturation has held for the window, write
+// requests are shed with 503 + Retry-After until a calm sample lands.
+// A shed request was rejected before anything was journaled or applied,
+// so the degraded-mode ack invariant carries over: a shed row was never
+// acked.
+type Shedder struct {
+	window time.Duration
+	// satSince is the UnixNano start of the current saturation run
+	// (0 = calm). Only the sampler goroutine writes it.
+	satSince atomic.Int64
+	active   atomic.Bool
+	shed     atomic.Uint64
+}
+
+// NewShedder sheds writes after saturation holds for window; window <= 0
+// returns nil (shedding off).
+func NewShedder(window time.Duration) *Shedder {
+	if window <= 0 {
+		return nil
+	}
+	return &Shedder{window: window}
+}
+
+// Observe feeds one saturation sample at time now. Called from a single
+// sampler goroutine.
+func (s *Shedder) Observe(saturated bool, now time.Time) {
+	if !saturated {
+		s.satSince.Store(0)
+		s.active.Store(false)
+		return
+	}
+	since := s.satSince.Load()
+	if since == 0 {
+		s.satSince.Store(now.UnixNano())
+		return
+	}
+	if now.Sub(time.Unix(0, since)) >= s.window {
+		s.active.Store(true)
+	}
+}
+
+// Shedding reports whether writes are currently being shed.
+func (s *Shedder) Shedding() bool {
+	if s == nil {
+		return false
+	}
+	return s.active.Load()
+}
+
+// Shed counts write requests rejected while shedding.
+func (s *Shedder) Shed() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.shed.Load()
+}
+
+// ShedWrites rejects mutating requests (anything but GET/HEAD) with
+// 503 + Retry-After while the shedder is active. Reads always pass: the
+// saturated resource is the ingest pipeline, and shedding reads would
+// only widen the outage. A nil shedder is the identity.
+func ShedWrites(s *Shedder) Func {
+	if s == nil {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead && s.active.Load() {
+				s.shed.Add(1)
+				SetVerdict(r, "shed")
+				writeShed(w, "ingest overloaded: writes are being shed")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// writeShed answers one shed request: 503, Retry-After 1 — the same
+// shape degraded mode uses, so clients need one retry discipline.
+func writeShed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte(`{"error":"` + msg + `"}` + "\n"))
+}

@@ -1,6 +1,7 @@
 package situfact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -76,6 +77,9 @@ type IngestSummary struct {
 	MeanBatch float64
 	MaxBatch  int
 	FullWaits uint64
+	// Canceled sums producers whose context ended while parked on a full
+	// queue: their ops were never accepted, journaled or acknowledged.
+	Canceled uint64
 	// Resizes sums the shards' adaptive capacity changes.
 	Resizes uint64
 	// BatchHist is the merged drained-batch-size histogram.
@@ -98,6 +102,7 @@ func MergeIngestStats(stats []IngestStats) IngestSummary {
 		out.Enqueued += st.Enqueued
 		out.Batches += st.Batches
 		out.FullWaits += st.FullWaits
+		out.Canceled += st.Canceled
 		out.Resizes += st.Resizes
 		if st.MaxBatch > out.MaxBatch {
 			out.MaxBatch = st.MaxBatch
@@ -396,27 +401,37 @@ func (p *Pool) processShardBatch(pipe *pipeline, shard int, ops []*ingestOp, rec
 }
 
 // enqueueWait enqueues op on shard's writer and waits out its future.
-// ok reports whether the pipeline accepted the op; when false (the
-// pipeline stopped mid-call) the caller must run its direct path.
-func (p *Pool) enqueueWait(pipe *pipeline, shard int, op *ingestOp) (ok bool) {
+// ok reports whether the pipeline accepted the op; when false with a
+// nil error (the pipeline stopped mid-call) the caller must run its
+// direct path. A non-nil error is ctx's — the caller gave up while
+// parked on a full queue, before the op was accepted, so nothing was
+// journaled or acknowledged (Stats.Canceled counts it). Cancellation
+// only applies at the queue boundary: once accepted the op completes
+// and the wait is unconditional (its record may already be journaled).
+func (p *Pool) enqueueWait(ctx context.Context, pipe *pipeline, shard int, op *ingestOp) (ok bool, err error) {
 	var wg sync.WaitGroup
 	wg.Add(1)
 	op.wg = &wg
-	if !pipe.writers[shard].Enqueue(op) {
-		return false
+	ok, err = pipe.writers[shard].EnqueueContext(ctx, op)
+	if !ok {
+		return false, err
 	}
 	wg.Wait()
-	return true
+	return true, nil
 }
 
 // pipelineAppend runs one append through the pipeline. handled reports
-// whether the pipeline took the operation; when false the caller falls
-// back to the direct path.
-func (p *Pool) pipelineAppend(pipe *pipeline, shard int, dims []string, measures []float64) (arr *Arrival, err error, handled bool) {
+// whether the pipeline resolved the call (including by cancellation);
+// when false the caller falls back to the direct path.
+func (p *Pool) pipelineAppend(ctx context.Context, pipe *pipeline, shard int, dims []string, measures []float64) (arr *Arrival, err error, handled bool) {
 	op := getOp()
 	op.rec = persist.Record{Type: persist.RecAppend, Shard: shard, Dims: dims, Measures: measures}
-	if !p.enqueueWait(pipe, shard, op) {
+	ok, cerr := p.enqueueWait(ctx, pipe, shard, op)
+	if !ok {
 		putOp(op)
+		if cerr != nil {
+			return nil, fmt.Errorf("situfact: pool: enqueue canceled: %w", cerr), true
+		}
 		return nil, nil, false
 	}
 	arr, err = op.arr, op.err
@@ -430,11 +445,15 @@ func (p *Pool) pipelineAppend(pipe *pipeline, shard int, dims []string, measures
 // pipelineDelete runs one delete through the pipeline — the same queue
 // as appends, so a shard's deletes order with its appends exactly as
 // they were enqueued. handled is as in pipelineAppend.
-func (p *Pool) pipelineDelete(pipe *pipeline, shard int, tupleID int64) (err error, handled bool) {
+func (p *Pool) pipelineDelete(ctx context.Context, pipe *pipeline, shard int, tupleID int64) (err error, handled bool) {
 	op := getOp()
 	op.rec = persist.Record{Type: persist.RecDelete, Shard: shard, TupleID: tupleID}
-	if !p.enqueueWait(pipe, shard, op) {
+	ok, cerr := p.enqueueWait(ctx, pipe, shard, op)
+	if !ok {
 		putOp(op)
+		if cerr != nil {
+			return fmt.Errorf("situfact: pool: enqueue canceled: %w", cerr), true
+		}
 		return nil, false
 	}
 	err = op.err
@@ -450,8 +469,10 @@ func (p *Pool) pipelineDelete(pipe *pipeline, shard int, tupleID int64) (err err
 // apply order); the returned arrivals are in input order. Unlike the
 // direct path, an engine error on one row does not stop that shard's
 // later rows — every row is journaled and attempted, and errors are
-// joined per row.
-func (p *Pool) pipelineAppendBatch(pipe *pipeline, rows []Row) ([]*Arrival, error) {
+// joined per row. A ctx that ends mid-fan-out stops ENQUEUING: rows
+// already accepted complete normally (they may be journaled), rows not
+// yet enqueued fail with ctx's error — never a half-acknowledged row.
+func (p *Pool) pipelineAppendBatch(ctx context.Context, pipe *pipeline, rows []Row) ([]*Arrival, error) {
 	ops := make([]*ingestOp, len(rows))
 	var wg sync.WaitGroup
 	wg.Add(len(rows))
@@ -461,12 +482,21 @@ func (p *Pool) pipelineAppendBatch(pipe *pipeline, rows []Row) ([]*Arrival, erro
 		op.rec = persist.Record{Type: persist.RecAppend, Shard: shard, Dims: r.Dims, Measures: r.Measures}
 		op.wg = &wg
 		ops[i] = op
-		if !pipe.writers[shard].Enqueue(op) {
-			// Pipeline stopped mid-call (a lifecycle race the API forbids);
-			// resolve this row directly so the batch still completes.
-			op.arr, op.err = p.directAppend(shard, r.Dims, r.Measures)
-			wg.Done()
+		ok, cerr := pipe.writers[shard].EnqueueContext(ctx, op)
+		if ok {
+			continue
 		}
+		if cerr != nil {
+			// Caller canceled while parked: this row (and only this row)
+			// was never accepted. Resolve its future locally.
+			op.err = fmt.Errorf("enqueue canceled: %w", cerr)
+			wg.Done()
+			continue
+		}
+		// Pipeline stopped mid-call (a lifecycle race the API forbids);
+		// resolve this row directly so the batch still completes.
+		op.arr, op.err = p.directAppend(shard, r.Dims, r.Measures)
+		wg.Done()
 	}
 	wg.Wait()
 	out := make([]*Arrival, len(rows))

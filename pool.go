@@ -1,6 +1,7 @@
 package situfact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -146,6 +147,17 @@ func (p *Pool) ShardFor(value string) int {
 // (direct path) or enqueue order (with the ingest pipeline running —
 // see StartPipeline); either way each shard applies them sequentially.
 func (p *Pool) Append(dims []string, measures []float64) (*Arrival, error) {
+	return p.AppendContext(context.Background(), dims, measures)
+}
+
+// AppendContext is Append with a cancellation point at the pipeline's
+// queue boundary: a ctx that ends while the caller is parked on a full
+// shard queue gives up — the row was never journaled, never applied and
+// never acknowledged (IngestStats.Canceled counts it), so a client that
+// disconnected under backpressure holds no future. Once the row is
+// accepted the cancellation point has passed and the call completes
+// like Append.
+func (p *Pool) AppendContext(ctx context.Context, dims []string, measures []float64) (*Arrival, error) {
 	// Validated before journaling (the engine would reject these too, but
 	// a rejected row must not leave a permanent record in the WAL).
 	if len(dims) != p.schema.rs.NumDims() {
@@ -165,7 +177,7 @@ func (p *Pool) Append(dims []string, measures []float64) (*Arrival, error) {
 		return nil, fmt.Errorf("situfact: pool: %w (the WAL caps one record at 16 MiB)", ErrRowTooLarge)
 	}
 	if pipe := p.pipe.Load(); pipe != nil {
-		if arr, err, handled := p.pipelineAppend(pipe, shard, dims, measures); handled {
+		if arr, err, handled := p.pipelineAppend(ctx, pipe, shard, dims, measures); handled {
 			return arr, err
 		}
 	}
@@ -239,6 +251,13 @@ func (p *Pool) journalAppend(shard int, dims []string, measures []float64) (uint
 // on one row no longer stops that shard's later rows — and failures are
 // joined per row, with only the failed rows' entries nil.
 func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
+	return p.AppendBatchContext(context.Background(), rows)
+}
+
+// AppendBatchContext is AppendBatch with the same queue-boundary
+// cancellation as AppendContext: rows already enqueued when ctx ends
+// complete normally, rows not yet enqueued fail with ctx's error.
+func (p *Pool) AppendBatchContext(ctx context.Context, rows []Row) ([]*Arrival, error) {
 	d, m := p.schema.rs.NumDims(), p.schema.rs.NumMeasures()
 	for i, r := range rows {
 		if len(r.Dims) != d || len(r.Measures) != m {
@@ -256,7 +275,7 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 		}
 	}
 	if pipe := p.pipe.Load(); pipe != nil {
-		return p.pipelineAppendBatch(pipe, rows)
+		return p.pipelineAppendBatch(ctx, pipe, rows)
 	}
 	perShard := make([][]int, len(p.shards))
 	for i, r := range rows {
@@ -321,6 +340,12 @@ func (p *Pool) AppendBatch(rows []Row) ([]*Arrival, error) {
 // Arrival names a tuple uniquely. Like Engine.Delete it requires the
 // BottomUp family.
 func (p *Pool) Delete(shard int, tupleID int64) error {
+	return p.DeleteContext(context.Background(), shard, tupleID)
+}
+
+// DeleteContext is Delete with the same queue-boundary cancellation as
+// AppendContext.
+func (p *Pool) DeleteContext(ctx context.Context, shard int, tupleID int64) error {
 	if shard < 0 || shard >= len(p.shards) {
 		return fmt.Errorf("situfact: pool: shard %d of %d: %w", shard, len(p.shards), ErrNotFound)
 	}
@@ -331,7 +356,7 @@ func (p *Pool) Delete(shard int, tupleID int64) error {
 			p.Algorithm(), ErrDeleteUnsupported)
 	}
 	if pipe := p.pipe.Load(); pipe != nil {
-		if err, handled := p.pipelineDelete(pipe, shard, tupleID); handled {
+		if err, handled := p.pipelineDelete(ctx, pipe, shard, tupleID); handled {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package situfact
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/binary"
 	"encoding/hex"
@@ -200,6 +201,16 @@ func decodeCursor(s string) (queryCursor, error) {
 // collected — one shard at a time, never across the whole call — so
 // queries and ingest interleave per shard.
 func (p *Pool) QueryFacts(f FactFilter, cursor string, limit int) (FactPage, error) {
+	return p.QueryFactsContext(context.Background(), f, cursor, limit)
+}
+
+// QueryFactsContext is QueryFacts with a cancellation point between
+// shards: a ctx that ends mid-scan (client disconnect, request
+// deadline) stops before the next shard's lock is taken and returns
+// ctx's error. The per-shard work itself is not interrupted — a shard's
+// read lock is held only for one page fragment, which is the bounded
+// unit of work.
+func (p *Pool) QueryFactsContext(ctx context.Context, f FactFilter, cursor string, limit int) (FactPage, error) {
 	if f.Shard >= len(p.shards) {
 		return FactPage{}, fmt.Errorf("situfact: query: shard %d of %d: %w", f.Shard, len(p.shards), ErrNotFound)
 	}
@@ -226,12 +237,15 @@ func (p *Pool) QueryFacts(f FactFilter, cursor string, limit int) (FactPage, err
 		first, last = f.Shard, f.Shard
 	}
 	if !p.scanQueries.Load() {
-		return p.queryFactsIndexed(plan, cur, first, last, limit)
+		return p.queryFactsIndexed(ctx, plan, cur, first, last, limit)
 	}
 	var page FactPage
 	for shard := first; shard <= last; shard++ {
 		if cur != nil && shard < cur.shard {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return FactPage{}, fmt.Errorf("situfact: query: %w", err)
 		}
 		s := &p.shards[shard]
 		s.mu.RLock()
@@ -275,11 +289,14 @@ func (p *Pool) QueryFacts(f FactFilter, cursor string, limit int) (FactPage, err
 // walk, never collecting or sorting the shard's full fact set. It must
 // return bit-identical pages (cursors included) to the scan loop above —
 // the equivalence property test holds the two paths together.
-func (p *Pool) queryFactsIndexed(plan queryPlan, cur *queryCursor, first, last, limit int) (FactPage, error) {
+func (p *Pool) queryFactsIndexed(ctx context.Context, plan queryPlan, cur *queryCursor, first, last, limit int) (FactPage, error) {
 	var page FactPage
 	for shard := first; shard <= last; shard++ {
 		if cur != nil && shard < cur.shard {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return FactPage{}, fmt.Errorf("situfact: query: %w", err)
 		}
 		var after *queryCursor
 		if cur != nil && shard == cur.shard {
